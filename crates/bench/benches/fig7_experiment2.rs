@@ -1,0 +1,28 @@
+//! Figure 7: computational time to extract frequent geographic patterns
+//! with Apriori and Apriori-KC+ on Experiment 2 (minsup 5%–17%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geopattern_datagen::experiments::experiment2;
+use geopattern_mining::{mine, AprioriConfig, MinSupport, PairFilter};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let e = experiment2(42);
+    let mut group = c.benchmark_group("fig7_experiment2");
+    for pct in [5u32, 8, 11, 14, 17] {
+        let sup = MinSupport::Fraction(pct as f64 / 100.0);
+        group.bench_with_input(BenchmarkId::new("apriori", pct), &sup, |b, &sup| {
+            let config = AprioriConfig::apriori(sup);
+            b.iter(|| black_box(mine(&e.data, &config)));
+        });
+        group.bench_with_input(BenchmarkId::new("apriori_kc_plus", pct), &sup, |b, &sup| {
+            let config =
+                AprioriConfig::apriori_kc_plus(sup, PairFilter::none(), e.same_type.clone());
+            b.iter(|| black_box(mine(&e.data, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the substrates: DE-9IM relate, R-tree queries, and
+//! end-to-end predicate extraction on the synthetic city.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geopattern_datagen::{generate_city, CityConfig};
+use geopattern_geom::{coord, from_wkt, relate, Rect};
+use geopattern_sdb::RTree;
+use std::hint::black_box;
+
+fn bench_relate(c: &mut Criterion) {
+    let district = from_wkt("POLYGON ((0 0, 100 0, 100 100, 0 100, 0 0))").unwrap();
+    let slum_inside = from_wkt("POLYGON ((20 55, 40 55, 40 80, 20 80, 20 55))").unwrap();
+    let slum_overlap = from_wkt("POLYGON ((88 30, 112 30, 112 48, 88 48, 88 30))").unwrap();
+    let street = from_wkt("LINESTRING (-5 50, 105 50)").unwrap();
+    let school = from_wkt("POINT (62 33)").unwrap();
+
+    let mut group = c.benchmark_group("relate");
+    for (name, a, b) in [
+        ("polygon_contains_polygon", &district, &slum_inside),
+        ("polygon_overlaps_polygon", &district, &slum_overlap),
+        ("line_crosses_polygon", &street, &district),
+        ("point_in_polygon", &school, &district),
+    ] {
+        group.bench_function(name, |bch| bch.iter(|| black_box(relate(a, b))));
+    }
+    group.finish();
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    for n in [100usize, 1_000, 10_000] {
+        let items: Vec<Rect> = (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64 * 10.0;
+                let y = (i / 100) as f64 * 10.0;
+                Rect::new(coord(x, y), coord(x + 8.0, y + 8.0))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &items, |b, items| {
+            b.iter(|| black_box(RTree::bulk_load(items)));
+        });
+        let tree = RTree::bulk_load(&items);
+        let query = Rect::new(coord(200.0, 20.0), coord(320.0, 60.0));
+        group.bench_with_input(BenchmarkId::new("query", n), &tree, |b, tree| {
+            b.iter(|| black_box(tree.query_rect(&query)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_city_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("city_extraction");
+    group.sample_size(20);
+    for grid in [4usize, 8, 12] {
+        let ds = generate_city(&CityConfig { grid, ..Default::default() });
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &ds, |b, ds| {
+            b.iter(|| {
+                black_box(geopattern_sdb::extract(
+                    &ds.reference,
+                    &ds.relevant_refs(),
+                    &geopattern_sdb::ExtractionConfig::topological_only(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_is_simple(c: &mut Criterion) {
+    use geopattern_geom::Ring;
+    // A large circular ring: the sweep validates in near-linear time; the
+    // naive all-pairs check this replaced was O(n²).
+    let mut group = c.benchmark_group("is_simple");
+    for n in [100usize, 1_000, 4_000] {
+        let pts: Vec<geopattern_geom::Coord> = (0..n)
+            .map(|k| {
+                let a = k as f64 / n as f64 * std::f64::consts::TAU;
+                coord(a.cos() * 1000.0, a.sin() * 1000.0)
+            })
+            .collect();
+        let ring = Ring::new(pts).expect("circle is simple");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, ring| {
+            b.iter(|| black_box(ring.is_simple()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relate, bench_rtree, bench_city_extraction, bench_is_simple);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmarks live in benches/; the experiments binary in src/bin.

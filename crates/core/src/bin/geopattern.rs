@@ -1,0 +1,226 @@
+//! The `geopattern` command-line interface.
+//!
+//! ```text
+//! geopattern mine <dataset.gpd> [--minsup 0.3] [--minconf 0.7]
+//!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+]
+//!                 [--dep TYPE_A TYPE_B]... [--itemsets] [--rules]
+//! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd]
+//! geopattern relate <WKT_A> <WKT_B>
+//! geopattern gain --t 2,2,2 --n 2
+//! ```
+//!
+//! Dataset files use the text format of `geopattern_sdb::dataset` (see
+//! `generate-city --out` for a sample).
+
+use geopattern::{Algorithm, KnowledgeBase, MiningPipeline, MinSupport, SpatialDataset};
+use geopattern_datagen::{generate_city, CityConfig};
+use geopattern_geom::from_wkt;
+use geopattern_mining::minimal_gain;
+use geopattern_qsr::{classify, topological_relation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("mine") => cmd_mine(&args[1..]),
+        Some("generate-city") => cmd_generate_city(&args[1..]),
+        Some("relate") => cmd_relate(&args[1..]),
+        Some("gain") => cmd_gain(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "geopattern — frequent geographic pattern mining with QSR filters\n\n\
+         USAGE:\n  \
+         geopattern mine <dataset.gpd> [--minsup F] [--minconf F] [--algorithm A]\n                  \
+         [--dep TYPE_A TYPE_B]... [--itemsets] [--rules]\n  \
+         geopattern generate-city [--grid N] [--seed S] [--out FILE]\n  \
+         geopattern relate <WKT_A> <WKT_B>\n  \
+         geopattern gain --t T1,T2,... --n N\n\n\
+         ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+"
+    );
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "apriori" => Algorithm::Apriori,
+        "kc" | "apriori-kc" => Algorithm::AprioriKc,
+        "kc+" | "apriori-kc+" => Algorithm::AprioriKcPlus,
+        "fpgrowth" | "fp-growth" => Algorithm::FpGrowth,
+        "fpgrowth-kc+" | "fp-growth-kc+" => Algorithm::FpGrowthKcPlus,
+        "eclat" => Algorithm::Eclat,
+        "eclat-kc+" => Algorithm::EclatKcPlus,
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of an argument list.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let minsup: f64 = take_flag(&mut args, "--minsup")?
+        .map(|v| v.parse().map_err(|_| format!("bad --minsup {v:?}")))
+        .transpose()?
+        .unwrap_or(0.3);
+    let minconf: f64 = take_flag(&mut args, "--minconf")?
+        .map(|v| v.parse().map_err(|_| format!("bad --minconf {v:?}")))
+        .transpose()?
+        .unwrap_or(0.7);
+    let algorithm = take_flag(&mut args, "--algorithm")?
+        .map(|v| parse_algorithm(&v))
+        .transpose()?
+        .unwrap_or(Algorithm::AprioriKcPlus);
+    let show_itemsets = take_switch(&mut args, "--itemsets");
+    let show_rules = take_switch(&mut args, "--rules");
+
+    let mut knowledge = KnowledgeBase::new();
+    while let Some(pos) = args.iter().position(|a| a == "--dep") {
+        if pos + 2 >= args.len() {
+            return Err("--dep needs two feature-type names".into());
+        }
+        let b = args.remove(pos + 2);
+        let a = args.remove(pos + 1);
+        args.remove(pos);
+        knowledge.add_type_dependency(a, b);
+    }
+
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        [] => return Err("mine needs a dataset file".into()),
+        extra => return Err(format!("unexpected arguments: {extra:?}")),
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let dataset = SpatialDataset::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+
+    let report = MiningPipeline::new()
+        .algorithm(algorithm)
+        .min_support(MinSupport::Fraction(minsup))
+        .min_confidence(minconf)
+        .knowledge(knowledge)
+        .run(&dataset);
+
+    println!("{}", report.summary());
+    if let Some(stats) = &report.extraction_stats {
+        println!(
+            "extraction: {} exact pairs, {} pruned by index",
+            stats.candidate_pairs, stats.pruned_pairs
+        );
+    }
+    if show_itemsets {
+        println!("\nfrequent itemsets (size >= 2):");
+        for s in report.frequent_itemsets(2) {
+            println!("  {s}");
+        }
+    }
+    if show_rules {
+        println!("\nrules (confidence >= {minconf}):");
+        for r in report.rendered_rules() {
+            println!("  {r}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate_city(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let grid: usize = take_flag(&mut args, "--grid")?
+        .map(|v| v.parse().map_err(|_| format!("bad --grid {v:?}")))
+        .transpose()?
+        .unwrap_or(6);
+    let seed: u64 = take_flag(&mut args, "--seed")?
+        .map(|v| v.parse().map_err(|_| format!("bad --seed {v:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let out = take_flag(&mut args, "--out")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let city = generate_city(&CityConfig { grid, seed, ..Default::default() });
+    let text = city.to_text();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {path}: {} districts, {} relevant layers",
+                city.reference.len(),
+                city.relevant.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_relate(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("relate needs exactly two WKT arguments".into());
+    };
+    let ga = from_wkt(a).map_err(|e| format!("first geometry: {e}"))?;
+    let gb = from_wkt(b).map_err(|e| format!("second geometry: {e}"))?;
+    let m = geopattern_geom::relate(&ga, &gb);
+    println!("DE-9IM: {m}");
+    println!("relation: {}", topological_relation(&ga, &gb));
+    println!(
+        "converse: {}",
+        classify(&m.transposed(), gb.dimension(), ga.dimension())
+    );
+    Ok(())
+}
+
+fn cmd_gain(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let t: Vec<u64> = take_flag(&mut args, "--t")?
+        .ok_or("gain needs --t (comma-separated relation counts)")?
+        .split(',')
+        .map(|v| v.parse().map_err(|_| format!("bad t value {v:?}")))
+        .collect::<Result<_, _>>()?;
+    let n: u64 = take_flag(&mut args, "--n")?
+        .map(|v| v.parse().map_err(|_| format!("bad --n {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+    let m: u64 = t.iter().sum::<u64>() + n;
+    println!(
+        "largest itemset m={m}, t={t:?}, n={n} → minimal gain {}",
+        minimal_gain(&t, n)
+    );
+    Ok(())
+}

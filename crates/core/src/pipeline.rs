@@ -1,0 +1,304 @@
+//! The end-to-end mining pipeline.
+//!
+//! [`MiningPipeline`] wires the full system together: geometric dataset →
+//! qualitative predicate extraction → transaction encoding → (filtered)
+//! frequent-itemset mining → association rules. Inputs can enter at either
+//! stage: a geometric [`SpatialDataset`] or an already-extracted
+//! `PredicateTable` / [`TransactionSet`].
+
+use crate::convert::{dependency_filter, same_type_filter, to_transactions};
+use crate::report::PatternReport;
+use geopattern_mining::{
+    generate_rules, mine, mine_apriori_tid, mine_eclat, mine_fp, AprioriConfig,
+    AprioriTidConfig, CountingStrategy, EclatConfig, FpGrowthConfig, MinSupport, PairFilter,
+    TransactionSet,
+};
+use geopattern_sdb::{
+    extract, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase, SpatialDataset,
+};
+
+/// Which mining algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Plain Apriori (no filtering) — the baseline.
+    Apriori,
+    /// Apriori-KC: removes well-known dependency pairs (`Φ`).
+    AprioriKc,
+    /// Apriori-KC+: removes `Φ` plus same-feature-type pairs (the paper's
+    /// contribution). The default.
+    #[default]
+    AprioriKcPlus,
+    /// FP-Growth, unfiltered.
+    FpGrowth,
+    /// FP-Growth with the KC+ filters (demonstrates algorithm-agnosticism).
+    FpGrowthKcPlus,
+    /// Eclat (vertical bitsets), unfiltered.
+    Eclat,
+    /// Eclat with the KC+ filters.
+    EclatKcPlus,
+    /// AprioriTid (transformed-database counting), unfiltered.
+    AprioriTid,
+    /// AprioriTid with the KC+ filters.
+    AprioriTidKcPlus,
+}
+
+impl Algorithm {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Apriori => "Apriori",
+            Algorithm::AprioriKc => "Apriori-KC",
+            Algorithm::AprioriKcPlus => "Apriori-KC+",
+            Algorithm::FpGrowth => "FP-Growth",
+            Algorithm::FpGrowthKcPlus => "FP-Growth-KC+",
+            Algorithm::Eclat => "Eclat",
+            Algorithm::EclatKcPlus => "Eclat-KC+",
+            Algorithm::AprioriTid => "AprioriTid",
+            Algorithm::AprioriTidKcPlus => "AprioriTid-KC+",
+        }
+    }
+}
+
+/// Builder for a mining run. Construct with [`MiningPipeline::new`], chain
+/// setters, then call [`MiningPipeline::run`] on a data source.
+#[derive(Debug, Clone)]
+pub struct MiningPipeline {
+    algorithm: Algorithm,
+    min_support: MinSupport,
+    min_confidence: f64,
+    extraction: ExtractionConfig,
+    knowledge: KnowledgeBase,
+    counting: CountingStrategy,
+    taxonomy: Option<(FeatureTypeTaxonomy, usize)>,
+}
+
+impl Default for MiningPipeline {
+    fn default() -> Self {
+        MiningPipeline {
+            algorithm: Algorithm::default(),
+            min_support: MinSupport::Fraction(0.1),
+            min_confidence: 0.6,
+            extraction: ExtractionConfig::default(),
+            knowledge: KnowledgeBase::new(),
+            counting: CountingStrategy::default(),
+            taxonomy: None,
+        }
+    }
+}
+
+impl MiningPipeline {
+    /// A pipeline with the defaults: Apriori-KC+ at 10% support, 60%
+    /// confidence, topological extraction, empty `Φ`.
+    pub fn new() -> MiningPipeline {
+        MiningPipeline::default()
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Sets the minimum support.
+    pub fn min_support(mut self, s: MinSupport) -> Self {
+        self.min_support = s;
+        self
+    }
+
+    /// Sets the minimum rule confidence.
+    pub fn min_confidence(mut self, c: f64) -> Self {
+        self.min_confidence = c;
+        self
+    }
+
+    /// Sets the predicate-extraction configuration (geometric inputs only).
+    pub fn extraction(mut self, e: ExtractionConfig) -> Self {
+        self.extraction = e;
+        self
+    }
+
+    /// Supplies background knowledge `Φ` (used by the KC/KC+ variants).
+    pub fn knowledge(mut self, kb: KnowledgeBase) -> Self {
+        self.knowledge = kb;
+        self
+    }
+
+    /// Selects the Apriori counting backend.
+    pub fn counting(mut self, c: CountingStrategy) -> Self {
+        self.counting = c;
+        self
+    }
+
+    /// Mines at a coarser feature-type granularity: extracted predicates
+    /// are generalised `levels` steps up the taxonomy before mining
+    /// (geometric inputs only).
+    pub fn granularity(mut self, taxonomy: FeatureTypeTaxonomy, levels: usize) -> Self {
+        self.taxonomy = Some((taxonomy, levels));
+        self
+    }
+
+    /// Runs the full pipeline on a geometric dataset.
+    pub fn run(&self, dataset: &SpatialDataset) -> PatternReport {
+        let (table, stats) = extract(&dataset.reference, &dataset.relevant_refs(), &self.extraction);
+        let table = match &self.taxonomy {
+            Some((taxonomy, levels)) => taxonomy.generalize_table(&table, *levels),
+            None => table,
+        };
+        let deps = dependency_filter(&self.knowledge, &table);
+        let same = same_type_filter(&table);
+        let transactions = to_transactions(&table);
+        self.run_encoded(transactions, deps, same, Some(stats))
+    }
+
+    /// Runs mining on an already-encoded transaction set. The dependency
+    /// filter is resolved against item labels via the knowledge base's
+    /// predicate-level rules only (feature-type rules need a predicate
+    /// table); pass explicit filters with [`MiningPipeline::run_filtered`]
+    /// for full control.
+    pub fn run_transactions(&self, transactions: TransactionSet) -> PatternReport {
+        let same = PairFilter::same_feature_type(&transactions.catalog);
+        self.run_encoded(transactions, PairFilter::none(), same, None)
+    }
+
+    /// Runs mining on a transaction set with explicit filters.
+    pub fn run_filtered(
+        &self,
+        transactions: TransactionSet,
+        dependencies: PairFilter,
+        same_type: PairFilter,
+    ) -> PatternReport {
+        self.run_encoded(transactions, dependencies, same_type, None)
+    }
+
+    fn run_encoded(
+        &self,
+        transactions: TransactionSet,
+        deps: PairFilter,
+        same: PairFilter,
+        extraction_stats: Option<ExtractionStats>,
+    ) -> PatternReport {
+        let result = match self.algorithm {
+            Algorithm::Apriori => mine(
+                &transactions,
+                &AprioriConfig::apriori(self.min_support).with_counting(self.counting),
+            ),
+            Algorithm::AprioriKc => mine(
+                &transactions,
+                &AprioriConfig::apriori_kc(self.min_support, deps).with_counting(self.counting),
+            ),
+            Algorithm::AprioriKcPlus => mine(
+                &transactions,
+                &AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
+                    .with_counting(self.counting),
+            ),
+            Algorithm::FpGrowth => {
+                mine_fp(&transactions, &FpGrowthConfig::new(self.min_support))
+            }
+            Algorithm::FpGrowthKcPlus => mine_fp(
+                &transactions,
+                &FpGrowthConfig::new(self.min_support).with_filter(deps.union(&same)),
+            ),
+            Algorithm::Eclat => mine_eclat(&transactions, &EclatConfig::new(self.min_support)),
+            Algorithm::EclatKcPlus => mine_eclat(
+                &transactions,
+                &EclatConfig::new(self.min_support).with_filter(deps.union(&same)),
+            ),
+            Algorithm::AprioriTid => {
+                mine_apriori_tid(&transactions, &AprioriTidConfig::new(self.min_support))
+            }
+            Algorithm::AprioriTidKcPlus => mine_apriori_tid(
+                &transactions,
+                &AprioriTidConfig::new(self.min_support).with_filter(deps.union(&same)),
+            ),
+        };
+        let rules = generate_rules(&result, transactions.len(), self.min_confidence);
+        PatternReport {
+            algorithm: self.algorithm,
+            min_support: self.min_support,
+            min_confidence: self.min_confidence,
+            transactions,
+            result,
+            rules,
+            extraction_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopattern_mining::TransactionSet;
+
+    fn paper_rows() -> TransactionSet {
+        TransactionSet::from_paper_labels(&[
+            vec!["murderRate=high", "contains_slum", "touches_slum", "contains_school"],
+            vec!["murderRate=high", "contains_slum", "touches_slum"],
+            vec!["murderRate=low", "contains_slum", "contains_school"],
+            vec!["murderRate=high", "contains_slum", "touches_slum", "contains_school"],
+        ])
+    }
+
+    #[test]
+    fn kc_plus_strictly_filters() {
+        let plain = MiningPipeline::new()
+            .algorithm(Algorithm::Apriori)
+            .min_support(MinSupport::Fraction(0.5))
+            .run_transactions(paper_rows());
+        let kcp = MiningPipeline::new()
+            .algorithm(Algorithm::AprioriKcPlus)
+            .min_support(MinSupport::Fraction(0.5))
+            .run_transactions(paper_rows());
+        assert!(kcp.result.num_frequent_min2() < plain.result.num_frequent_min2());
+        // No surviving itemset has two slum predicates.
+        let cat = &kcp.transactions.catalog;
+        let cs = cat.id_of("contains_slum").unwrap();
+        let ts = cat.id_of("touches_slum").unwrap();
+        assert!(kcp
+            .result
+            .all()
+            .all(|f| !(f.items.contains(&cs) && f.items.contains(&ts))));
+    }
+
+    #[test]
+    fn fp_growth_variants_agree_with_apriori() {
+        for (a, b) in [
+            (Algorithm::Apriori, Algorithm::FpGrowth),
+            (Algorithm::AprioriKcPlus, Algorithm::FpGrowthKcPlus),
+            (Algorithm::Apriori, Algorithm::Eclat),
+            (Algorithm::AprioriKcPlus, Algorithm::EclatKcPlus),
+            (Algorithm::Apriori, Algorithm::AprioriTid),
+            (Algorithm::AprioriKcPlus, Algorithm::AprioriTidKcPlus),
+        ] {
+            let ra = MiningPipeline::new()
+                .algorithm(a)
+                .min_support(MinSupport::Fraction(0.5))
+                .run_transactions(paper_rows());
+            let rb = MiningPipeline::new()
+                .algorithm(b)
+                .min_support(MinSupport::Fraction(0.5))
+                .run_transactions(paper_rows());
+            let mut sa: Vec<_> = ra.result.all().map(|f| (f.items.clone(), f.support)).collect();
+            let mut sb: Vec<_> = rb.result.all().map(|f| (f.items.clone(), f.support)).collect();
+            sa.sort();
+            sb.sort();
+            assert_eq!(sa, sb, "{} vs {}", a.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn rules_respect_confidence() {
+        let report = MiningPipeline::new()
+            .algorithm(Algorithm::Apriori)
+            .min_support(MinSupport::Fraction(0.5))
+            .min_confidence(0.9)
+            .run_transactions(paper_rows());
+        assert!(report.rules.iter().all(|r| r.confidence >= 0.9));
+        assert!(!report.rules.is_empty());
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::AprioriKcPlus.name(), "Apriori-KC+");
+        assert_eq!(Algorithm::default(), Algorithm::AprioriKcPlus);
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's Table 1: the partial Porto Alegre dataset, verbatim.
+//!
+//! Six districts with their non-spatial crime attributes and the
+//! topological predicates they hold against slums, schools and police
+//! centers. This is the worked example behind Table 2 (all frequent
+//! itemsets at 50% minimum support).
+
+use geopattern_mining::TransactionSet;
+
+/// District names in table order.
+pub const DISTRICTS: [&str; 6] =
+    ["Teresopolis", "Vila Nova", "Cavalhada", "Cristal", "Nonoai", "Camaqua"];
+
+/// The rows of Table 1, in the paper's label notation.
+pub fn rows() -> Vec<Vec<&'static str>> {
+    vec![
+        // Teresopolis
+        vec![
+            "murderRate=high",
+            "theftRate=low",
+            "contains_slum",
+            "overlaps_slum",
+            "contains_school",
+            "touches_school",
+        ],
+        // Vila Nova
+        vec![
+            "murderRate=low",
+            "theftRate=low",
+            "contains_slum",
+            "touches_slum",
+            "touches_school",
+        ],
+        // Cavalhada
+        vec![
+            "murderRate=low",
+            "theftRate=high",
+            "contains_slum",
+            "touches_slum",
+            "overlaps_slum",
+            "contains_school",
+            "touches_school",
+            "contains_policeCenter",
+        ],
+        // Cristal
+        vec![
+            "murderRate=high",
+            "theftRate=high",
+            "contains_slum",
+            "overlaps_slum",
+            "covers_slum",
+            "contains_school",
+            "touches_school",
+            "contains_policeCenter",
+        ],
+        // Nonoai
+        vec![
+            "murderRate=high",
+            "theftRate=high",
+            "contains_slum",
+            "touches_slum",
+            "overlaps_slum",
+            "covers_slum",
+            "contains_school",
+            "touches_school",
+        ],
+        // Camaqua
+        vec![
+            "murderRate=high",
+            "theftRate=low",
+            "contains_slum",
+            "overlaps_slum",
+            "contains_school",
+            "touches_school",
+        ],
+    ]
+}
+
+/// Table 1 as a transaction set (feature types inferred from the labels).
+pub fn transactions() -> TransactionSet {
+    TransactionSet::from_paper_labels(&rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_districts_nine_predicates() {
+        let ts = transactions();
+        assert_eq!(ts.len(), 6);
+        // 2 non-spatial values per attribute × 2 attributes = 4 items, plus
+        // 7 spatial predicates = 11 distinct items; but the paper counts
+        // "9 predicates: two non-spatial and 7 spatial" (attributes, not
+        // attribute values). Items: murderRate high/low, theftRate
+        // high/low, contains/touches/overlaps/covers_slum,
+        // contains/touches_school, contains_policeCenter = 11.
+        assert_eq!(ts.catalog.len(), 11);
+        let spatial = (0..ts.catalog.len() as u32)
+            .filter(|&i| ts.catalog.feature_type(i).is_some())
+            .count();
+        assert_eq!(spatial, 7);
+    }
+
+    #[test]
+    fn same_type_pairs_of_table1() {
+        let ts = transactions();
+        // slum: C(4,2)=6 pairs; school: C(2,2)=1; policeCenter: 0 → 7.
+        assert_eq!(ts.catalog.same_feature_type_pairs().len(), 7);
+    }
+
+    #[test]
+    fn row_sizes_match_table() {
+        let ts = transactions();
+        let sizes: Vec<usize> = ts.transactions().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![6, 5, 8, 8, 8, 6]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Convex hull (Andrew's monotone chain).
+
+use crate::coord::Coord;
+use crate::robust::{orientation, Orientation};
+
+/// Computes the convex hull of a point set.
+///
+/// Returns the hull vertices in counter-clockwise order without the closing
+/// duplicate. Collinear points on hull edges are excluded. Degenerate inputs
+/// return what is representable: a single point or the two extreme points of
+/// a collinear set.
+pub fn convex_hull(points: &[Coord]) -> Vec<Coord> {
+    let mut pts: Vec<Coord> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(b));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Coord> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    if hull.len() < 3 {
+        // All input collinear: keep the two extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = [
+            coord(0.0, 0.0),
+            coord(2.0, 0.0),
+            coord(2.0, 2.0),
+            coord(0.0, 2.0),
+            coord(1.0, 1.0),
+            coord(0.5, 1.5),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(hull.contains(&coord(0.0, 0.0)));
+        assert!(hull.contains(&coord(2.0, 2.0)));
+        assert!(!hull.contains(&coord(1.0, 1.0)));
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = [coord(0.0, 0.0), coord(4.0, 0.0), coord(4.0, 3.0), coord(0.0, 3.0)];
+        let hull = convex_hull(&pts);
+        let mut area2 = 0.0;
+        for i in 0..hull.len() {
+            area2 += hull[i].cross(hull[(i + 1) % hull.len()]);
+        }
+        assert!(area2 > 0.0, "hull must be counter-clockwise");
+        assert_eq!(area2, 24.0);
+    }
+
+    #[test]
+    fn collinear_edge_points_excluded() {
+        let pts = [
+            coord(0.0, 0.0),
+            coord(1.0, 0.0),
+            coord(2.0, 0.0),
+            coord(2.0, 2.0),
+            coord(0.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&coord(1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[coord(1.0, 1.0)]), vec![coord(1.0, 1.0)]);
+        assert_eq!(
+            convex_hull(&[coord(1.0, 1.0), coord(1.0, 1.0)]),
+            vec![coord(1.0, 1.0)]
+        );
+        // Fully collinear set: the two extremes.
+        let hull = convex_hull(&[coord(0.0, 0.0), coord(1.0, 1.0), coord(3.0, 3.0), coord(2.0, 2.0)]);
+        assert_eq!(hull, vec![coord(0.0, 0.0), coord(3.0, 3.0)]);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let pts = [
+            coord(0.0, 0.0),
+            coord(0.0, 0.0),
+            coord(1.0, 0.0),
+            coord(1.0, 0.0),
+            coord(0.0, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 3);
+    }
+}

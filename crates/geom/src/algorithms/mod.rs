@@ -1,0 +1,11 @@
+//! Geometric algorithms over the core types: distances, convex hulls,
+//! simplification and plane-sweep intersection detection.
+
+pub mod distance;
+pub mod hull;
+pub mod simplify;
+pub mod sweep;
+
+pub use distance::geometry_distance;
+pub use hull::convex_hull;
+pub use simplify::{simplify_coords, simplify_linestring, simplify_polygon, simplify_ring};

@@ -1,0 +1,194 @@
+//! Polyline and ring simplification (Ramer–Douglas–Peucker).
+//!
+//! Municipal GIS layers are often over-digitised; simplification before
+//! predicate extraction trades boundary fidelity for speed. The tolerance
+//! bounds the Hausdorff distance between the original and simplified
+//! curve, so topological relations with features farther than the
+//! tolerance from every boundary are preserved.
+
+use crate::coord::Coord;
+use crate::error::{GeomError, GeomResult};
+use crate::linestring::LineString;
+use crate::polygon::{Polygon, Ring};
+use crate::segment::Segment;
+
+/// Ramer–Douglas–Peucker on an open coordinate sequence. Always keeps the
+/// first and last points.
+pub fn simplify_coords(coords: &[Coord], tolerance: f64) -> Vec<Coord> {
+    if coords.len() <= 2 {
+        return coords.to_vec();
+    }
+    let mut keep = vec![false; coords.len()];
+    keep[0] = true;
+    keep[coords.len() - 1] = true;
+    rdp(coords, 0, coords.len() - 1, tolerance, &mut keep);
+    coords
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(&c, _)| c)
+        .collect()
+}
+
+fn rdp(coords: &[Coord], first: usize, last: usize, tolerance: f64, keep: &mut [bool]) {
+    if last <= first + 1 {
+        return;
+    }
+    let chord = Segment::new(coords[first], coords[last]);
+    let mut worst = (first, 0.0f64);
+    for (i, &c) in coords.iter().enumerate().take(last).skip(first + 1) {
+        let d = if chord.is_degenerate() {
+            c.distance(chord.a)
+        } else {
+            chord.distance_to_point(c)
+        };
+        if d > worst.1 {
+            worst = (i, d);
+        }
+    }
+    if worst.1 > tolerance {
+        keep[worst.0] = true;
+        rdp(coords, first, worst.0, tolerance, keep);
+        rdp(coords, worst.0, last, tolerance, keep);
+    }
+}
+
+/// Simplifies a polyline. Returns an error when the tolerance collapses
+/// the line below two distinct points (only possible for closed lines).
+pub fn simplify_linestring(line: &LineString, tolerance: f64) -> GeomResult<LineString> {
+    LineString::new(simplify_coords(line.coords(), tolerance))
+}
+
+/// Simplifies a ring. The ring is cut at its first vertex (which is always
+/// kept); degenerate or self-intersecting results are rejected by ring
+/// validation.
+pub fn simplify_ring(ring: &Ring, tolerance: f64) -> GeomResult<Ring> {
+    // Close the ring, simplify the closed path, reopen.
+    let mut closed: Vec<Coord> = ring.coords().to_vec();
+    closed.push(ring.coords()[0]);
+    let mut simplified = simplify_coords(&closed, tolerance);
+    simplified.pop();
+    if simplified.len() < 3 {
+        return Err(GeomError::TooFewPoints { expected: 3, got: simplified.len() });
+    }
+    Ring::new(simplified)
+}
+
+/// Simplifies a polygon's rings. Holes that collapse under the tolerance
+/// are dropped (a hole smaller than the tolerance is below the fidelity
+/// the caller asked for); a collapsing exterior is an error.
+pub fn simplify_polygon(polygon: &Polygon, tolerance: f64) -> GeomResult<Polygon> {
+    let exterior = simplify_ring(polygon.exterior(), tolerance)?;
+    let holes: Vec<Ring> = polygon
+        .holes()
+        .iter()
+        .filter_map(|h| simplify_ring(h, tolerance).ok())
+        .collect();
+    Polygon::new(exterior, holes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+
+    #[test]
+    fn collinear_points_removed() {
+        let line = LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]).unwrap();
+        let s = simplify_linestring(&line, 0.0).unwrap();
+        assert_eq!(s.coords(), &[coord(0.0, 0.0), coord(3.0, 0.0)]);
+    }
+
+    #[test]
+    fn significant_vertices_kept() {
+        let line =
+            LineString::from_xy(&[(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)]).unwrap();
+        let s = simplify_linestring(&line, 1.0).unwrap();
+        assert_eq!(s.num_points(), 3, "the apex deviates by 5 > 1");
+        let s = simplify_linestring(&line, 10.0).unwrap();
+        assert_eq!(s.num_points(), 2, "tolerance swallows the apex");
+    }
+
+    #[test]
+    fn small_wiggles_removed_large_kept() {
+        let line = LineString::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.05),
+            (2.0, -0.04),
+            (3.0, 0.02),
+            (4.0, 3.0), // significant
+            (5.0, 0.0),
+        ])
+        .unwrap();
+        let s = simplify_linestring(&line, 0.5).unwrap();
+        assert!(s.num_points() <= 4);
+        assert!(s.coords().contains(&coord(4.0, 3.0)));
+    }
+
+    #[test]
+    fn endpoints_always_survive() {
+        let line = LineString::from_xy(&[(0.0, 0.0), (0.1, 0.0), (0.2, 0.0)]).unwrap();
+        let s = simplify_linestring(&line, 100.0).unwrap();
+        assert_eq!(s.coords().first(), Some(&coord(0.0, 0.0)));
+        assert_eq!(s.coords().last(), Some(&coord(0.2, 0.0)));
+    }
+
+    #[test]
+    fn ring_simplification_preserves_validity() {
+        // An octagon with tiny notches simplifies to something rectangular.
+        let ring = Ring::from_xy(&[
+            (0.0, 0.0),
+            (5.0, 0.02),
+            (10.0, 0.0),
+            (9.98, 5.0),
+            (10.0, 10.0),
+            (5.0, 9.97),
+            (0.0, 10.0),
+            (0.03, 5.0),
+        ])
+        .unwrap();
+        let s = simplify_ring(&ring, 0.5).unwrap();
+        assert!(s.num_points() <= 5);
+        assert!((s.area() - ring.area()).abs() < 1.0);
+    }
+
+    #[test]
+    fn polygon_with_tiny_hole_drops_it() {
+        let shell = Ring::rect(coord(0.0, 0.0), coord(100.0, 100.0)).unwrap();
+        let tiny = Ring::from_xy(&[(50.0, 50.0), (50.2, 50.0), (50.1, 50.2)]).unwrap();
+        let p = Polygon::new(shell, vec![tiny]).unwrap();
+        let s = simplify_polygon(&p, 1.0).unwrap();
+        assert!(s.holes().is_empty(), "sub-tolerance hole dropped");
+        // A large hole survives.
+        let shell = Ring::rect(coord(0.0, 0.0), coord(100.0, 100.0)).unwrap();
+        let big = Ring::rect(coord(30.0, 30.0), coord(70.0, 70.0)).unwrap();
+        let p = Polygon::new(shell, vec![big]).unwrap();
+        let s = simplify_polygon(&p, 1.0).unwrap();
+        assert_eq!(s.holes().len(), 1);
+    }
+
+    #[test]
+    fn hausdorff_bound_holds() {
+        // Every removed vertex lies within the tolerance of the simplified
+        // curve.
+        let line = LineString::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.4),
+            (2.0, -0.3),
+            (3.0, 0.2),
+            (4.0, 0.0),
+            (5.0, 2.9),
+            (6.0, 0.0),
+        ])
+        .unwrap();
+        let tol = 0.5;
+        let s = simplify_linestring(&line, tol).unwrap();
+        for &c in line.coords() {
+            let d = s
+                .segments()
+                .map(|seg| seg.distance_to_point(c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d <= tol + 1e-12, "vertex {c} at distance {d}");
+        }
+    }
+}

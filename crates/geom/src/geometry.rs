@@ -1,0 +1,177 @@
+//! The unified geometry enum.
+
+use crate::bbox::Rect;
+use crate::coord::Coord;
+use crate::linestring::{LineString, MultiLineString};
+use crate::point::{MultiPoint, Point};
+use crate::polygon::{MultiPolygon, Polygon};
+
+/// Topological dimension of a geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GeomDim {
+    /// Points (dimension 0).
+    Point = 0,
+    /// Curves (dimension 1).
+    Line = 1,
+    /// Surfaces (dimension 2).
+    Area = 2,
+}
+
+/// Any supported geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    Point(Point),
+    MultiPoint(MultiPoint),
+    LineString(LineString),
+    MultiLineString(MultiLineString),
+    Polygon(Polygon),
+    MultiPolygon(MultiPolygon),
+}
+
+impl Geometry {
+    /// Topological dimension.
+    pub fn dimension(&self) -> GeomDim {
+        match self {
+            Geometry::Point(_) | Geometry::MultiPoint(_) => GeomDim::Point,
+            Geometry::LineString(_) | Geometry::MultiLineString(_) => GeomDim::Line,
+            Geometry::Polygon(_) | Geometry::MultiPolygon(_) => GeomDim::Area,
+        }
+    }
+
+    /// Envelope of the geometry.
+    pub fn envelope(&self) -> Rect {
+        match self {
+            Geometry::Point(p) => p.envelope(),
+            Geometry::MultiPoint(p) => p.envelope(),
+            Geometry::LineString(l) => l.envelope(),
+            Geometry::MultiLineString(l) => l.envelope(),
+            Geometry::Polygon(p) => p.envelope(),
+            Geometry::MultiPolygon(p) => p.envelope(),
+        }
+    }
+
+    /// A representative point guaranteed to be on the geometry
+    /// (interior where one exists).
+    pub fn representative_point(&self) -> Coord {
+        match self {
+            Geometry::Point(p) => p.coord(),
+            Geometry::MultiPoint(p) => p.coords()[0],
+            Geometry::LineString(l) => l.segments().next().expect("validated").midpoint(),
+            Geometry::MultiLineString(l) => {
+                l.lines()[0].segments().next().expect("validated").midpoint()
+            }
+            Geometry::Polygon(p) => p.interior_point(),
+            Geometry::MultiPolygon(p) => p.interior_point(),
+        }
+    }
+
+    /// The OGC geometry-type name (as used in WKT).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Geometry::Point(_) => "POINT",
+            Geometry::MultiPoint(_) => "MULTIPOINT",
+            Geometry::LineString(_) => "LINESTRING",
+            Geometry::MultiLineString(_) => "MULTILINESTRING",
+            Geometry::Polygon(_) => "POLYGON",
+            Geometry::MultiPolygon(_) => "MULTIPOLYGON",
+        }
+    }
+
+    /// Area (0 for points and lines).
+    pub fn area(&self) -> f64 {
+        match self {
+            Geometry::Polygon(p) => p.area(),
+            Geometry::MultiPolygon(p) => p.area(),
+            _ => 0.0,
+        }
+    }
+
+    /// Length (0 for points; perimeter for areal geometries).
+    pub fn length(&self) -> f64 {
+        match self {
+            Geometry::LineString(l) => l.length(),
+            Geometry::MultiLineString(l) => l.length(),
+            Geometry::Polygon(p) => p.perimeter(),
+            Geometry::MultiPolygon(p) => p.polygons().iter().map(|q| q.perimeter()).sum(),
+            _ => 0.0,
+        }
+    }
+}
+
+impl From<Point> for Geometry {
+    fn from(g: Point) -> Self {
+        Geometry::Point(g)
+    }
+}
+impl From<MultiPoint> for Geometry {
+    fn from(g: MultiPoint) -> Self {
+        Geometry::MultiPoint(g)
+    }
+}
+impl From<LineString> for Geometry {
+    fn from(g: LineString) -> Self {
+        Geometry::LineString(g)
+    }
+}
+impl From<MultiLineString> for Geometry {
+    fn from(g: MultiLineString) -> Self {
+        Geometry::MultiLineString(g)
+    }
+}
+impl From<Polygon> for Geometry {
+    fn from(g: Polygon) -> Self {
+        Geometry::Polygon(g)
+    }
+}
+impl From<MultiPolygon> for Geometry {
+    fn from(g: MultiPolygon) -> Self {
+        Geometry::MultiPolygon(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+    use crate::polygon::PointLocation;
+
+    #[test]
+    fn dimensions() {
+        let p: Geometry = Point::xy(0.0, 0.0).unwrap().into();
+        let l: Geometry = LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).unwrap().into();
+        let a: Geometry = Polygon::rect(coord(0.0, 0.0), coord(1.0, 1.0)).unwrap().into();
+        assert_eq!(p.dimension(), GeomDim::Point);
+        assert_eq!(l.dimension(), GeomDim::Line);
+        assert_eq!(a.dimension(), GeomDim::Area);
+        assert!(GeomDim::Point < GeomDim::Line && GeomDim::Line < GeomDim::Area);
+    }
+
+    #[test]
+    fn measures_and_names() {
+        let a: Geometry = Polygon::rect(coord(0.0, 0.0), coord(2.0, 3.0)).unwrap().into();
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.length(), 10.0);
+        assert_eq!(a.type_name(), "POLYGON");
+        let l: Geometry = LineString::from_xy(&[(0.0, 0.0), (3.0, 4.0)]).unwrap().into();
+        assert_eq!(l.length(), 5.0);
+        assert_eq!(l.area(), 0.0);
+    }
+
+    #[test]
+    fn representative_points_lie_on_geometry() {
+        let poly = Polygon::rect(coord(0.0, 0.0), coord(1.0, 1.0)).unwrap();
+        let g: Geometry = poly.clone().into();
+        assert_eq!(poly.locate(g.representative_point()), PointLocation::Inside);
+
+        let line = LineString::from_xy(&[(0.0, 0.0), (2.0, 0.0)]).unwrap();
+        let g: Geometry = line.clone().into();
+        let rp = g.representative_point();
+        assert!(line.segments().any(|s| s.contains_point(rp)));
+    }
+
+    #[test]
+    fn envelope_dispatch() {
+        let g: Geometry = Point::xy(3.0, 4.0).unwrap().into();
+        assert_eq!(g.envelope().center(), coord(3.0, 4.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Point and multi-point geometries.
+
+use crate::bbox::Rect;
+use crate::coord::Coord;
+use crate::error::{GeomError, GeomResult};
+
+/// A single position (0-dimensional geometry). Its topological boundary is
+/// empty; its interior is the point itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point(pub Coord);
+
+impl Point {
+    /// Creates a point, rejecting non-finite coordinates.
+    pub fn new(c: Coord) -> GeomResult<Point> {
+        if !c.is_finite() {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        Ok(Point(c))
+    }
+
+    /// Creates a point from raw components.
+    pub fn xy(x: f64, y: f64) -> GeomResult<Point> {
+        Point::new(Coord::new(x, y))
+    }
+
+    /// The underlying coordinate.
+    #[inline]
+    pub fn coord(&self) -> Coord {
+        self.0
+    }
+
+    /// Envelope (degenerate rectangle).
+    #[inline]
+    pub fn envelope(&self) -> Rect {
+        Rect::of_point(self.0)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.0.distance(other.0)
+    }
+}
+
+impl From<Point> for Coord {
+    fn from(p: Point) -> Coord {
+        p.0
+    }
+}
+
+/// A finite set of distinct positions.
+///
+/// Duplicate coordinates are removed at construction; the set is stored in
+/// lexicographic order, enabling O(log n) membership tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPoint {
+    coords: Vec<Coord>,
+}
+
+impl MultiPoint {
+    /// Builds a multi-point from coordinates, deduplicating and sorting.
+    /// At least one coordinate is required.
+    pub fn new(mut coords: Vec<Coord>) -> GeomResult<MultiPoint> {
+        if coords.is_empty() {
+            return Err(GeomError::TooFewPoints { expected: 1, got: 0 });
+        }
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        coords.sort_by(|a, b| a.lex_cmp(b));
+        coords.dedup();
+        Ok(MultiPoint { coords })
+    }
+
+    /// The deduplicated, sorted coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// Number of distinct points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Always false: construction requires at least one point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Binary-search membership test (exact coordinate equality).
+    pub fn contains(&self, c: Coord) -> bool {
+        self.coords.binary_search_by(|p| p.lex_cmp(&c)).is_ok()
+    }
+
+    /// Envelope of the set.
+    pub fn envelope(&self) -> Rect {
+        Rect::of_coords(self.coords.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+
+    #[test]
+    fn point_construction() {
+        assert!(Point::xy(1.0, 2.0).is_ok());
+        assert_eq!(Point::xy(f64::NAN, 0.0), Err(GeomError::NonFiniteCoordinate));
+        assert_eq!(
+            Point::new(coord(0.0, f64::INFINITY)),
+            Err(GeomError::NonFiniteCoordinate)
+        );
+        let p = Point::xy(3.0, 4.0).unwrap();
+        assert_eq!(p.coord(), coord(3.0, 4.0));
+        assert_eq!(p.envelope().min, coord(3.0, 4.0));
+        assert_eq!(p.envelope().max, coord(3.0, 4.0));
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::xy(0.0, 0.0).unwrap();
+        let b = Point::xy(3.0, 4.0).unwrap();
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn multipoint_dedup_and_sort() {
+        let mp = MultiPoint::new(vec![
+            coord(2.0, 2.0),
+            coord(1.0, 1.0),
+            coord(2.0, 2.0),
+            coord(0.0, 5.0),
+        ])
+        .unwrap();
+        assert_eq!(mp.len(), 3);
+        assert_eq!(mp.coords()[0], coord(0.0, 5.0));
+        assert!(mp.contains(coord(2.0, 2.0)));
+        assert!(!mp.contains(coord(2.0, 2.1)));
+    }
+
+    #[test]
+    fn multipoint_rejects_empty_and_nonfinite() {
+        assert_eq!(
+            MultiPoint::new(vec![]),
+            Err(GeomError::TooFewPoints { expected: 1, got: 0 })
+        );
+        assert_eq!(
+            MultiPoint::new(vec![coord(f64::NAN, 0.0)]),
+            Err(GeomError::NonFiniteCoordinate)
+        );
+    }
+
+    #[test]
+    fn multipoint_envelope() {
+        let mp = MultiPoint::new(vec![coord(1.0, 5.0), coord(-2.0, 0.0)]).unwrap();
+        let e = mp.envelope();
+        assert_eq!(e.min, coord(-2.0, 0.0));
+        assert_eq!(e.max, coord(1.0, 5.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Prepared geometries: cached data for repeated `relate` calls.
+//!
+//! Predicate extraction relates one reference feature against many
+//! relevant features. [`PreparedGeometry`] caches the envelope and the
+//! geometry's topological dimensions so that envelope-disjoint pairs —
+//! the overwhelming majority in a realistic layer, even after R-tree
+//! pruning at the layer level — are answered with a directly constructed
+//! disjoint matrix, never touching the exact relate machinery.
+
+use crate::bbox::Rect;
+use crate::geometry::{GeomDim, Geometry};
+use crate::relate::{relate, Dim, IntersectionMatrix, Part};
+
+/// A geometry plus cached relate-acceleration data.
+#[derive(Debug, Clone)]
+pub struct PreparedGeometry {
+    geometry: Geometry,
+    envelope: Rect,
+    interior_dim: Dim,
+    boundary_dim: Dim,
+}
+
+impl PreparedGeometry {
+    /// Prepares a geometry.
+    pub fn new(geometry: Geometry) -> PreparedGeometry {
+        let envelope = geometry.envelope();
+        let (interior_dim, boundary_dim) = match geometry.dimension() {
+            GeomDim::Point => (Dim::Zero, Dim::Empty),
+            GeomDim::Line => {
+                let has_boundary = match &geometry {
+                    Geometry::LineString(l) => !l.boundary_points().is_empty(),
+                    Geometry::MultiLineString(ml) => !ml.boundary_points().is_empty(),
+                    _ => unreachable!("line dimension implies a lineal geometry"),
+                };
+                (Dim::One, if has_boundary { Dim::Zero } else { Dim::Empty })
+            }
+            GeomDim::Area => (Dim::Two, Dim::One),
+        };
+        PreparedGeometry { geometry, envelope, interior_dim, boundary_dim }
+    }
+
+    /// The wrapped geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Cached envelope.
+    pub fn envelope(&self) -> Rect {
+        self.envelope
+    }
+
+    /// Relates `self` to `other`, with the envelope-disjoint fast path.
+    pub fn relate_to(&self, other: &PreparedGeometry) -> IntersectionMatrix {
+        if !self.envelope.intersects(&other.envelope) {
+            return disjoint_matrix(self, other);
+        }
+        relate(&self.geometry, &other.geometry)
+    }
+
+    /// True when the envelopes rule out any intersection.
+    pub fn definitely_disjoint(&self, other: &PreparedGeometry) -> bool {
+        !self.envelope.intersects(&other.envelope)
+    }
+}
+
+/// The exact DE-9IM matrix of two disjoint geometries, built from their
+/// cached part dimensions.
+fn disjoint_matrix(a: &PreparedGeometry, b: &PreparedGeometry) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Interior, Part::Exterior, a.interior_dim);
+    m.set(Part::Boundary, Part::Exterior, a.boundary_dim);
+    m.set(Part::Exterior, Part::Interior, b.interior_dim);
+    m.set(Part::Exterior, Part::Boundary, b.boundary_dim);
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wkt::from_wkt;
+
+    fn prep(wkt: &str) -> PreparedGeometry {
+        PreparedGeometry::new(from_wkt(wkt).unwrap())
+    }
+
+    #[test]
+    fn fast_path_matches_exact_relate_for_disjoint_pairs() {
+        let shapes = [
+            "POINT (0 0)",
+            "MULTIPOINT ((0 0), (1 1))",
+            "LINESTRING (0 0, 1 1)",
+            "LINESTRING (0 0, 1 0, 1 1, 0 1, 0 0)", // closed: empty boundary
+            "MULTILINESTRING ((0 0, 1 0), (0 1, 1 1))",
+            "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((2 0, 3 0, 3 1, 2 1, 2 0)))",
+        ];
+        let far = [
+            "POINT (100 100)",
+            "LINESTRING (100 100, 101 101)",
+            "POLYGON ((100 100, 101 100, 101 101, 100 101, 100 100))",
+        ];
+        for a in shapes {
+            for b in far {
+                let pa = prep(a);
+                let pb = prep(b);
+                assert!(pa.definitely_disjoint(&pb));
+                assert_eq!(
+                    pa.relate_to(&pb),
+                    relate(pa.geometry(), pb.geometry()),
+                    "fast path diverged for {a} vs {b}"
+                );
+                assert_eq!(
+                    pb.relate_to(&pa),
+                    pa.relate_to(&pb).transposed(),
+                    "transpose consistency for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intersecting_pairs_delegate_to_exact_relate() {
+        let a = prep("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+        let b = prep("POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))");
+        assert!(!a.definitely_disjoint(&b));
+        assert_eq!(a.relate_to(&b), relate(a.geometry(), b.geometry()));
+        assert_eq!(a.relate_to(&b).to_string(), "212101212");
+    }
+
+    #[test]
+    fn envelope_overlap_but_geometry_disjoint_still_exact() {
+        // Diagonal arrangement: envelopes overlap, geometries do not — the
+        // prepared path must fall through to the exact relate.
+        let c = prep("LINESTRING (0 5, 5 0)");
+        let d = prep("LINESTRING (4.9 4.9, 10 10)");
+        assert!(!c.definitely_disjoint(&d), "envelopes overlap");
+        let m = c.relate_to(&d);
+        assert_eq!(m, relate(c.geometry(), d.geometry()));
+        assert!(m.matches("FF*FF****"), "geometries are actually disjoint");
+    }
+}

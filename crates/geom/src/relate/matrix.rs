@@ -1,0 +1,236 @@
+//! The dimensionally-extended 9-intersection matrix (DE-9IM).
+//!
+//! Egenhofer & Franzosa's 9-intersection model [10 in the paper] describes
+//! the topological relationship between two geometries `A` and `B` by the
+//! dimension of the intersections of their interiors (`I`), boundaries
+//! (`B`) and exteriors (`E`):
+//!
+//! ```text
+//!             I(B)      B(B)      E(B)
+//! I(A)   dim(I∩I)  dim(I∩B)  dim(I∩E)
+//! B(A)   dim(B∩I)  dim(B∩B)  dim(B∩E)
+//! E(A)   dim(E∩I)  dim(E∩B)  dim(E∩E)
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Dimension of a point-set intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dim {
+    /// The intersection is empty (`F` in DE-9IM notation).
+    Empty,
+    /// The intersection contains only isolated points (`0`).
+    Zero,
+    /// The intersection contains a curve (`1`).
+    One,
+    /// The intersection contains an areal patch (`2`).
+    Two,
+}
+
+impl Dim {
+    /// DE-9IM character for this dimension.
+    pub fn to_char(self) -> char {
+        match self {
+            Dim::Empty => 'F',
+            Dim::Zero => '0',
+            Dim::One => '1',
+            Dim::Two => '2',
+        }
+    }
+
+    /// True when the intersection is non-empty.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self != Dim::Empty
+    }
+
+    /// The larger of two dimensions (used to accumulate evidence).
+    #[inline]
+    pub fn max(self, other: Dim) -> Dim {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Index into the matrix: which part of the geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Part {
+    Interior = 0,
+    Boundary = 1,
+    Exterior = 2,
+}
+
+/// A DE-9IM matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntersectionMatrix {
+    cells: [[Dim; 3]; 3],
+}
+
+impl IntersectionMatrix {
+    /// The all-`F` matrix (nothing intersects — impossible for real
+    /// geometries whose exteriors always meet, used as a builder seed).
+    pub fn empty() -> IntersectionMatrix {
+        IntersectionMatrix { cells: [[Dim::Empty; 3]; 3] }
+    }
+
+    /// Reads a cell.
+    #[inline]
+    pub fn get(&self, a: Part, b: Part) -> Dim {
+        self.cells[a as usize][b as usize]
+    }
+
+    /// Writes a cell.
+    #[inline]
+    pub fn set(&mut self, a: Part, b: Part, d: Dim) {
+        self.cells[a as usize][b as usize] = d;
+    }
+
+    /// Raises a cell to at least `d` (never lowers it).
+    #[inline]
+    pub fn raise(&mut self, a: Part, b: Part, d: Dim) {
+        let cur = self.get(a, b);
+        self.set(a, b, cur.max(d));
+    }
+
+    /// The matrix of the converse relation: `relate(B, A)`.
+    pub fn transposed(&self) -> IntersectionMatrix {
+        let mut t = IntersectionMatrix::empty();
+        for i in 0..3 {
+            for j in 0..3 {
+                t.cells[j][i] = self.cells[i][j];
+            }
+        }
+        t
+    }
+
+    /// Matches the matrix against a DE-9IM pattern string.
+    ///
+    /// Pattern characters: `T` (non-empty), `F` (empty), `*` (any),
+    /// `0`/`1`/`2` (exact dimension). Panics if the pattern is not 9 valid
+    /// characters; use [`IntersectionMatrix::try_matches`] for fallible
+    /// matching.
+    pub fn matches(&self, pattern: &str) -> bool {
+        self.try_matches(pattern).expect("invalid DE-9IM pattern")
+    }
+
+    /// Fallible version of [`IntersectionMatrix::matches`].
+    pub fn try_matches(&self, pattern: &str) -> Result<bool, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        if chars.len() != 9 {
+            return Err(format!("pattern must have 9 characters, got {}", chars.len()));
+        }
+        let mut all_match = true;
+        for (idx, &pc) in chars.iter().enumerate() {
+            let d = self.cells[idx / 3][idx % 3];
+            let ok = match pc {
+                'T' | 't' => d.is_true(),
+                'F' | 'f' => d == Dim::Empty,
+                '*' => true,
+                '0' => d == Dim::Zero,
+                '1' => d == Dim::One,
+                '2' => d == Dim::Two,
+                other => return Err(format!("invalid pattern character {other:?}")),
+            };
+            all_match &= ok;
+        }
+        Ok(all_match)
+    }
+}
+
+impl fmt::Display for IntersectionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.cells {
+            for d in row {
+                write!(f, "{}", d.to_char())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for IntersectionMatrix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 9 {
+            return Err(format!("matrix string must have 9 characters, got {}", chars.len()));
+        }
+        let mut m = IntersectionMatrix::empty();
+        for (idx, &c) in chars.iter().enumerate() {
+            let d = match c {
+                'F' | 'f' => Dim::Empty,
+                '0' => Dim::Zero,
+                '1' => Dim::One,
+                '2' => Dim::Two,
+                other => return Err(format!("invalid matrix character {other:?}")),
+            };
+            m.cells[idx / 3][idx % 3] = d;
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let m: IntersectionMatrix = "212101212".parse().unwrap();
+        assert_eq!(m.to_string(), "212101212");
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Two);
+        assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Exterior, Part::Exterior), Dim::Two);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("21210121".parse::<IntersectionMatrix>().is_err());
+        assert!("2121012123".parse::<IntersectionMatrix>().is_err());
+        assert!("21210121X".parse::<IntersectionMatrix>().is_err());
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let m: IntersectionMatrix = "212F11FF2".parse().unwrap();
+        assert!(!m.matches("T*T***T**"));
+        assert!(m.matches("T********"));
+        assert!(m.matches("212F11FF2"));
+        assert!(m.matches("*********"));
+        assert!(m.matches("TTTF11FFT"));
+        assert!(!m.matches("F********"));
+        assert!(m.try_matches("bad").is_err());
+        assert!(m.try_matches("TTTTTTTTX").is_err());
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m: IntersectionMatrix = "012F1F2F0".parse().unwrap();
+        let t = m.transposed();
+        assert_eq!(t.get(Part::Interior, Part::Boundary), m.get(Part::Boundary, Part::Interior));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn raise_never_lowers() {
+        let mut m = IntersectionMatrix::empty();
+        m.raise(Part::Interior, Part::Interior, Dim::One);
+        m.raise(Part::Interior, Part::Interior, Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+        m.raise(Part::Interior, Part::Interior, Dim::Two);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Two);
+    }
+
+    #[test]
+    fn dim_ordering() {
+        assert!(Dim::Empty < Dim::Zero && Dim::Zero < Dim::One && Dim::One < Dim::Two);
+        assert_eq!(Dim::One.max(Dim::Zero), Dim::One);
+        assert!(!Dim::Empty.is_true());
+        assert!(Dim::Zero.is_true());
+    }
+}

@@ -1,0 +1,673 @@
+//! DE-9IM computation (`relate`) for every pair of supported geometries.
+//!
+//! The entry point is [`relate`], which returns the full
+//! [`IntersectionMatrix`] of two geometries. Named predicates and the
+//! Egenhofer relation classification live in `geopattern-qsr`, which
+//! interprets the matrices produced here.
+//!
+//! # Method
+//!
+//! Geometries are normalised into three homogeneous classes (point sets,
+//! curve sets with mod-2 boundaries, region sets — see [`shapes`]), and the
+//! matrix is assembled per class pair:
+//!
+//! * **point × _**: direct classification of each point.
+//! * **curve × curve**: exact segment-pair intersection classification for
+//!   the interior cells, boundary-point classification for the boundary
+//!   cells, and collinear-interval coverage for the exterior cells.
+//! * **curve × region** and **region × region**: each boundary/curve
+//!   segment is split at its intersections with the region boundary and the
+//!   fragments are classified inside/on/outside; collinear runs are
+//!   recognised symbolically from the overlap intervals.
+//!
+//! All *existence* decisions route through the robust orientation
+//! predicate; only the coordinates of split points are rounded.
+//!
+//! # Precision caveat
+//!
+//! Fragment midpoints are classified in floating point. Adversarial inputs
+//! whose fragments are thinner than ~1e-12 of a segment's parameter space
+//! can therefore be misclassified; the paper's workloads (municipal GIS
+//! scale) are far from this regime.
+
+pub mod matrix;
+pub mod shapes;
+
+pub use matrix::{Dim, IntersectionMatrix, Part};
+
+use crate::geometry::Geometry;
+use crate::polygon::PointLocation;
+use crate::segment::SegSegIntersection;
+use shapes::{shape_of, Areal, Lineal, LinealLocation, Puntal, Shape};
+
+/// Computes the DE-9IM matrix of `a` against `b`.
+pub fn relate(a: &Geometry, b: &Geometry) -> IntersectionMatrix {
+    match (shape_of(a), shape_of(b)) {
+        (Shape::P(pa), Shape::P(pb)) => relate_pp(&pa, &pb),
+        (Shape::P(p), Shape::L(l)) => relate_pl(&p, &l),
+        (Shape::P(p), Shape::A(ar)) => relate_pa(&p, &ar),
+        (Shape::L(l), Shape::P(p)) => relate_pl(&p, &l).transposed(),
+        (Shape::L(la), Shape::L(lb)) => relate_ll(&la, &lb),
+        (Shape::L(l), Shape::A(ar)) => relate_la(&l, &ar),
+        (Shape::A(ar), Shape::P(p)) => relate_pa(&p, &ar).transposed(),
+        (Shape::A(ar), Shape::L(l)) => relate_la(&l, &ar).transposed(),
+        (Shape::A(aa), Shape::A(ab)) => relate_aa(&aa, &ab),
+    }
+}
+
+/// True when the geometries share at least one point.
+pub fn intersects(a: &Geometry, b: &Geometry) -> bool {
+    if !a.envelope().intersects(&b.envelope()) {
+        return false;
+    }
+    relate(a, b).matches("T********")
+        || relate(a, b).matches("*T*******")
+        || relate(a, b).matches("***T*****")
+        || relate(a, b).matches("****T****")
+}
+
+fn relate_pp(a: &Puntal, b: &Puntal) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+    for &c in &a.coords {
+        if b.coords.contains(&c) {
+            m.raise(Part::Interior, Part::Interior, Dim::Zero);
+        } else {
+            m.raise(Part::Interior, Part::Exterior, Dim::Zero);
+        }
+    }
+    for &c in &b.coords {
+        if !a.coords.contains(&c) {
+            m.raise(Part::Exterior, Part::Interior, Dim::Zero);
+        }
+    }
+    m
+}
+
+fn relate_pl(p: &Puntal, l: &Lineal) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+    // A finite point set can never cover a curve's (1-dimensional) interior.
+    m.set(Part::Exterior, Part::Interior, Dim::One);
+    for &c in &p.coords {
+        match l.locate(c) {
+            LinealLocation::Interior => m.raise(Part::Interior, Part::Interior, Dim::Zero),
+            LinealLocation::Boundary => m.raise(Part::Interior, Part::Boundary, Dim::Zero),
+            LinealLocation::Exterior => m.raise(Part::Interior, Part::Exterior, Dim::Zero),
+        }
+    }
+    for &bp in &l.boundary {
+        if !p.coords.contains(&bp) {
+            m.raise(Part::Exterior, Part::Boundary, Dim::Zero);
+        }
+    }
+    m
+}
+
+fn relate_pa(p: &Puntal, ar: &Areal) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+    // Finite points never cover a region's interior or boundary.
+    m.set(Part::Exterior, Part::Interior, Dim::Two);
+    m.set(Part::Exterior, Part::Boundary, Dim::One);
+    for &c in &p.coords {
+        match ar.locate(c) {
+            PointLocation::Inside => m.raise(Part::Interior, Part::Interior, Dim::Zero),
+            PointLocation::OnBoundary => m.raise(Part::Interior, Part::Boundary, Dim::Zero),
+            PointLocation::Outside => m.raise(Part::Interior, Part::Exterior, Dim::Zero),
+        }
+    }
+    m
+}
+
+fn relate_ll(a: &Lineal, b: &Lineal) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+
+    // Interior/interior evidence from segment pairs.
+    'outer: for sa in &a.segments {
+        for sb in &b.segments {
+            match sa.intersect(sb) {
+                SegSegIntersection::None => {}
+                SegSegIntersection::Overlap(_) => {
+                    // A common arc of positive length: all but finitely many
+                    // of its points are interior to both curves.
+                    m.raise(Part::Interior, Part::Interior, Dim::One);
+                    break 'outer;
+                }
+                SegSegIntersection::Point(p) => {
+                    // `p` lies on both curves by construction (its
+                    // coordinate may be rounded for proper crossings, so
+                    // the exact on-segment test is not reliable here);
+                    // only the boundary membership needs checking.
+                    let a_interior = !a.boundary.contains(&p);
+                    let b_interior = !b.boundary.contains(&p);
+                    if a_interior && b_interior {
+                        m.raise(Part::Interior, Part::Interior, Dim::Zero);
+                    }
+                }
+            }
+        }
+    }
+
+    // Boundary rows/columns from explicit boundary-point classification.
+    for &bp in &a.boundary {
+        match b.locate(bp) {
+            LinealLocation::Interior => m.raise(Part::Boundary, Part::Interior, Dim::Zero),
+            LinealLocation::Boundary => m.raise(Part::Boundary, Part::Boundary, Dim::Zero),
+            LinealLocation::Exterior => m.raise(Part::Boundary, Part::Exterior, Dim::Zero),
+        }
+    }
+    for &bp in &b.boundary {
+        match a.locate(bp) {
+            LinealLocation::Interior => m.raise(Part::Interior, Part::Boundary, Dim::Zero),
+            LinealLocation::Boundary => m.raise(Part::Boundary, Part::Boundary, Dim::Zero),
+            LinealLocation::Exterior => m.raise(Part::Exterior, Part::Boundary, Dim::Zero),
+        }
+    }
+
+    // Exterior cells by point-set coverage: if A ⊆ B there is no part of A
+    // outside B (and vice versa).
+    if !a.covered_by(b) {
+        m.raise(Part::Interior, Part::Exterior, Dim::One);
+    }
+    if !b.covered_by(a) {
+        m.raise(Part::Exterior, Part::Interior, Dim::One);
+    }
+    m
+}
+
+fn relate_la(l: &Lineal, ar: &Areal) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+    // A curve never covers a region's interior.
+    m.set(Part::Exterior, Part::Interior, Dim::Two);
+
+    let boundary = ar.boundary_segments();
+    let flags = shapes::split_classify(&l.segments, &boundary, ar);
+    if flags.inside {
+        m.raise(Part::Interior, Part::Interior, Dim::One);
+    }
+    if flags.on_boundary {
+        m.raise(Part::Interior, Part::Boundary, Dim::One);
+    }
+    if flags.outside {
+        m.raise(Part::Interior, Part::Exterior, Dim::One);
+    }
+
+    // Isolated curve/boundary touch points: dimension 0 in I×B or B×B.
+    if flags.touch_point {
+        for sa in &l.segments {
+            for sb in &boundary {
+                if let SegSegIntersection::Point(p) = sa.intersect(sb) {
+                    match l.locate(p) {
+                        // A proper crossing's coordinate is rounded and may
+                        // fail the exact on-segment test; such a point is
+                        // never an exact curve endpoint, so it classifies
+                        // as curve-interior.
+                        LinealLocation::Interior | LinealLocation::Exterior => {
+                            m.raise(Part::Interior, Part::Boundary, Dim::Zero)
+                        }
+                        LinealLocation::Boundary => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // Curve endpoints against the region.
+    for &bp in &l.boundary {
+        match ar.locate(bp) {
+            PointLocation::Inside => m.raise(Part::Boundary, Part::Interior, Dim::Zero),
+            PointLocation::OnBoundary => m.raise(Part::Boundary, Part::Boundary, Dim::Zero),
+            PointLocation::Outside => m.raise(Part::Boundary, Part::Exterior, Dim::Zero),
+        }
+    }
+
+    // Region boundary not covered by the curve.
+    if !boundary.iter().all(|s| shapes::segment_covered_by(s, &l.segments)) {
+        m.raise(Part::Exterior, Part::Boundary, Dim::One);
+    }
+    m
+}
+
+fn relate_aa(a: &Areal, b: &Areal) -> IntersectionMatrix {
+    let mut m = IntersectionMatrix::empty();
+    m.set(Part::Exterior, Part::Exterior, Dim::Two);
+
+    let ba = a.boundary_segments();
+    let bb = b.boundary_segments();
+    let fa = shapes::split_classify(&ba, &bb, b); // ∂A against B
+    let fb = shapes::split_classify(&bb, &ba, a); // ∂B against A
+
+    // Per-component interior points. A component whose boundary lies
+    // entirely on the other operand's boundary (e.g. a polygon exactly
+    // filling the other's hole) contributes no boundary-fragment evidence;
+    // its interior point is the only witness. Since each polygon's interior
+    // is connected, one point per component makes the tests below complete:
+    // any interior region not witnessed by a point forces a boundary
+    // crossing, which the fragment flags catch.
+    let ips_a = a.interior_points();
+    let ips_b = b.interior_points();
+    let a_ip_in_b = ips_a.iter().any(|&c| b.locate(c) == PointLocation::Inside);
+    let a_ip_out_b = ips_a.iter().any(|&c| b.locate(c) == PointLocation::Outside);
+    let b_ip_in_a = ips_b.iter().any(|&c| a.locate(c) == PointLocation::Inside);
+    let b_ip_out_a = ips_b.iter().any(|&c| a.locate(c) == PointLocation::Outside);
+
+    if fa.inside || fb.inside || a_ip_in_b || b_ip_in_a {
+        m.set(Part::Interior, Part::Interior, Dim::Two);
+    }
+    // A boundary arc of one region strictly inside the other spans an areal
+    // neighbourhood on both sides, hence the 2s in I×E / E×I below.
+    if fb.inside {
+        m.set(Part::Interior, Part::Boundary, Dim::One);
+    }
+    if fa.outside || fb.inside || a_ip_out_b {
+        m.set(Part::Interior, Part::Exterior, Dim::Two);
+    }
+    if fa.inside {
+        m.set(Part::Boundary, Part::Interior, Dim::One);
+    }
+    if fa.on_boundary || fb.on_boundary {
+        m.set(Part::Boundary, Part::Boundary, Dim::One);
+    } else if fa.touch_point || fb.touch_point {
+        m.set(Part::Boundary, Part::Boundary, Dim::Zero);
+    }
+    if fa.outside {
+        m.set(Part::Boundary, Part::Exterior, Dim::One);
+    }
+    if fb.outside || fa.inside || b_ip_out_a {
+        m.set(Part::Exterior, Part::Interior, Dim::Two);
+    }
+    if fb.outside {
+        m.set(Part::Exterior, Part::Boundary, Dim::One);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+    use crate::linestring::{LineString, MultiLineString};
+    use crate::point::{MultiPoint, Point};
+    use crate::polygon::{MultiPolygon, Polygon, Ring};
+
+    fn pt(x: f64, y: f64) -> Geometry {
+        Point::xy(x, y).unwrap().into()
+    }
+    fn mpt(pts: &[(f64, f64)]) -> Geometry {
+        MultiPoint::new(pts.iter().map(|&(x, y)| coord(x, y)).collect())
+            .unwrap()
+            .into()
+    }
+    fn line(pts: &[(f64, f64)]) -> Geometry {
+        LineString::from_xy(pts).unwrap().into()
+    }
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Geometry {
+        Polygon::rect(coord(x0, y0), coord(x1, y1)).unwrap().into()
+    }
+    fn im(a: &Geometry, b: &Geometry) -> String {
+        relate(a, b).to_string()
+    }
+
+    // ---- point × point ----
+
+    #[test]
+    fn pp_equal() {
+        assert_eq!(im(&pt(1.0, 1.0), &pt(1.0, 1.0)), "0FFFFFFF2");
+    }
+
+    #[test]
+    fn pp_distinct() {
+        assert_eq!(im(&pt(1.0, 1.0), &pt(2.0, 2.0)), "FF0FFF0F2");
+    }
+
+    #[test]
+    fn pp_multipoint_subset() {
+        let a = mpt(&[(0.0, 0.0), (1.0, 1.0)]);
+        let b = mpt(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(im(&a, &b), "0FFFFF0F2"); // a within b
+        assert_eq!(im(&b, &a), "0F0FFFFF2"); // b contains a
+    }
+
+    // ---- point × line ----
+
+    #[test]
+    fn pl_point_on_interior() {
+        let l = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        // Point interior: II=0; the curve's interior and both endpoints
+        // extend beyond the point: EI=1, EB=0.
+        assert_eq!(im(&pt(2.0, 0.0), &l), "0FFFFF102");
+    }
+
+    #[test]
+    fn pl_point_on_middle_vertex_is_interior() {
+        let l = line(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)]);
+        let m = relate(&pt(2.0, 0.0), &l);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Empty);
+    }
+
+    #[test]
+    fn pl_point_on_endpoint() {
+        let l = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        let m = relate(&pt(0.0, 0.0), &l);
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+        // The other endpoint is not covered by the point.
+        assert_eq!(m.get(Part::Exterior, Part::Boundary), Dim::Zero);
+    }
+
+    #[test]
+    fn pl_point_off_line() {
+        let l = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        let m = relate(&pt(2.0, 1.0), &l);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+    }
+
+    #[test]
+    fn lp_transpose_consistency() {
+        let l = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        let p = pt(2.0, 0.0);
+        assert_eq!(relate(&l, &p), relate(&p, &l).transposed());
+    }
+
+    // ---- point × polygon ----
+
+    #[test]
+    fn pa_inside_on_outside() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        assert!(relate(&pt(1.0, 1.0), &a).matches("0FFFFF212"));
+        assert!(relate(&pt(2.0, 1.0), &a).matches("F0FFFF212"));
+        assert!(relate(&pt(5.0, 5.0), &a).matches("FF0FFF212"));
+    }
+
+    #[test]
+    fn pa_multipoint_straddling() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        let p = mpt(&[(1.0, 1.0), (5.0, 5.0), (2.0, 1.0)]);
+        let m = relate(&p, &a);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Zero);
+    }
+
+    // ---- line × line ----
+
+    #[test]
+    fn ll_proper_crossing() {
+        let a = line(&[(0.0, 0.0), (2.0, 2.0)]);
+        let b = line(&[(0.0, 2.0), (2.0, 0.0)]);
+        assert_eq!(im(&a, &b), "0F1FF0102");
+    }
+
+    #[test]
+    fn ll_equal_lines() {
+        let a = line(&[(0.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(im(&a, &a.clone()), "1FFF0FFF2");
+    }
+
+    #[test]
+    fn ll_shared_endpoint() {
+        let a = line(&[(0.0, 0.0), (2.0, 0.0)]);
+        let b = line(&[(2.0, 0.0), (4.0, 2.0)]);
+        let m = relate(&a, &b);
+        assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+    }
+
+    #[test]
+    fn ll_endpoint_on_interior_touch() {
+        let a = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        let b = line(&[(2.0, 0.0), (2.0, 3.0)]);
+        let m = relate(&a, &b);
+        // b's endpoint lies on a's interior.
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+        assert_eq!(relate(&b, &a), m.transposed());
+    }
+
+    #[test]
+    fn ll_collinear_partial_overlap() {
+        let a = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        let b = line(&[(2.0, 0.0), (6.0, 0.0)]);
+        let m = relate(&a, &b);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+        assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::One);
+        // a's right endpoint is interior to b, b's left endpoint interior to a.
+        assert_eq!(m.get(Part::Boundary, Part::Interior), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    }
+
+    #[test]
+    fn ll_contained_line() {
+        let a = line(&[(1.0, 0.0), (2.0, 0.0)]);
+        let b = line(&[(0.0, 0.0), (4.0, 0.0)]);
+        let m = relate(&a, &b);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Empty);
+        assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::One);
+        assert!(m.matches("1FF0FF102"));
+    }
+
+    #[test]
+    fn ll_disjoint() {
+        let a = line(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = line(&[(0.0, 5.0), (1.0, 5.0)]);
+        assert_eq!(im(&a, &b), "FF1FF0102");
+    }
+
+    #[test]
+    fn ll_closed_ring_line_has_empty_boundary() {
+        let ring = line(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0), (0.0, 0.0)]);
+        let b = line(&[(0.0, 0.0), (-1.0, -1.0)]);
+        let m = relate(&ring, &b);
+        // The ring's boundary is empty: entire B(A) row is F.
+        assert_eq!(m.get(Part::Boundary, Part::Interior), Dim::Empty);
+        assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Empty);
+        assert_eq!(m.get(Part::Boundary, Part::Exterior), Dim::Empty);
+        // b's endpoint touches the ring's interior (its start vertex).
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    }
+
+    #[test]
+    fn ll_multilinestring_shared_junction() {
+        let a: Geometry = MultiLineString::new(vec![
+            LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).unwrap(),
+            LineString::from_xy(&[(1.0, 0.0), (2.0, 0.0)]).unwrap(),
+        ])
+        .unwrap()
+        .into();
+        let b = line(&[(1.0, 0.0), (1.0, 5.0)]);
+        let m = relate(&a, &b);
+        // The junction (1,0) is interior to `a` under the mod-2 rule and a
+        // boundary endpoint of `b`.
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Empty);
+    }
+
+    // ---- line × polygon ----
+
+    #[test]
+    fn la_line_inside() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let l = line(&[(1.0, 1.0), (3.0, 3.0)]);
+        assert_eq!(im(&l, &a), "1FF0FF212");
+    }
+
+    #[test]
+    fn la_line_crossing() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let l = line(&[(-1.0, 2.0), (5.0, 2.0)]);
+        assert_eq!(im(&l, &a), "101FF0212");
+    }
+
+    #[test]
+    fn la_line_touching_edge_from_outside() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        // Runs along the bottom edge, outside elsewhere.
+        let l = line(&[(-1.0, 0.0), (5.0, 0.0)]);
+        let m = relate(&l, &a);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::One);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+    }
+
+    #[test]
+    fn la_line_touch_at_single_point() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let l = line(&[(4.0, 2.0), (8.0, 2.0)]);
+        let m = relate(&l, &a);
+        // Touches the right edge at the line's start point.
+        assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+    }
+
+    #[test]
+    fn la_line_ending_inside() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let l = line(&[(-2.0, 2.0), (2.0, 2.0)]);
+        let m = relate(&l, &a);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+        assert_eq!(m.get(Part::Boundary, Part::Interior), Dim::Zero);
+        assert_eq!(m.get(Part::Boundary, Part::Exterior), Dim::Zero);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+    }
+
+    #[test]
+    fn la_line_through_hole() {
+        let shell = Ring::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap();
+        let hole = Ring::rect(coord(4.0, 4.0), coord(6.0, 6.0)).unwrap();
+        let a: Geometry = Polygon::new(shell, vec![hole]).unwrap().into();
+        // Crosses the polygon and its hole.
+        let l = line(&[(-1.0, 5.0), (11.0, 5.0)]);
+        let m = relate(&l, &a);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One); // inside hole + outside shell
+        assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+        // A segment entirely within the hole is exterior to the polygon.
+        let l2 = line(&[(4.5, 5.0), (5.5, 5.0)]);
+        assert_eq!(im(&l2, &a), "FF1FF0212");
+    }
+
+    #[test]
+    fn al_transpose_consistency() {
+        let a = rect(0.0, 0.0, 4.0, 4.0);
+        let l = line(&[(-1.0, 2.0), (5.0, 2.0)]);
+        assert_eq!(relate(&a, &l), relate(&l, &a).transposed());
+    }
+
+    // ---- polygon × polygon: the eight Egenhofer relations ----
+
+    #[test]
+    fn aa_disjoint() {
+        assert_eq!(im(&rect(0.0, 0.0, 1.0, 1.0), &rect(3.0, 0.0, 4.0, 1.0)), "FF2FF1212");
+    }
+
+    #[test]
+    fn aa_touch_at_point() {
+        assert_eq!(im(&rect(0.0, 0.0, 1.0, 1.0), &rect(1.0, 1.0, 2.0, 2.0)), "FF2F01212");
+    }
+
+    #[test]
+    fn aa_touch_along_edge() {
+        assert_eq!(im(&rect(0.0, 0.0, 1.0, 1.0), &rect(1.0, 0.0, 2.0, 1.0)), "FF2F11212");
+    }
+
+    #[test]
+    fn aa_equal() {
+        let a = rect(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(im(&a, &a.clone()), "2FFF1FFF2");
+    }
+
+    #[test]
+    fn aa_overlap() {
+        assert_eq!(im(&rect(0.0, 0.0, 2.0, 2.0), &rect(1.0, 1.0, 3.0, 3.0)), "212101212");
+    }
+
+    #[test]
+    fn aa_contains() {
+        assert_eq!(im(&rect(0.0, 0.0, 10.0, 10.0), &rect(2.0, 2.0, 4.0, 4.0)), "212FF1FF2");
+    }
+
+    #[test]
+    fn aa_within() {
+        assert_eq!(im(&rect(2.0, 2.0, 4.0, 4.0), &rect(0.0, 0.0, 10.0, 10.0)), "2FF1FF212");
+    }
+
+    #[test]
+    fn aa_covers() {
+        // B inside A, sharing part of the bottom edge.
+        let a = rect(0.0, 0.0, 10.0, 10.0);
+        let b = rect(2.0, 0.0, 4.0, 4.0);
+        assert_eq!(im(&a, &b), "212F11FF2");
+    }
+
+    #[test]
+    fn aa_covered_by() {
+        let a = rect(2.0, 0.0, 4.0, 4.0);
+        let b = rect(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(im(&a, &b), "2FF11F212");
+    }
+
+    #[test]
+    fn aa_transpose_consistency() {
+        let cases = [
+            (rect(0.0, 0.0, 2.0, 2.0), rect(1.0, 1.0, 3.0, 3.0)),
+            (rect(0.0, 0.0, 10.0, 10.0), rect(2.0, 2.0, 4.0, 4.0)),
+            (rect(0.0, 0.0, 1.0, 1.0), rect(1.0, 0.0, 2.0, 1.0)),
+            (rect(0.0, 0.0, 1.0, 1.0), rect(5.0, 5.0, 6.0, 6.0)),
+        ];
+        for (a, b) in cases {
+            assert_eq!(relate(&a, &b), relate(&b, &a).transposed(), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn aa_polygon_with_hole_containing_other() {
+        let shell = Ring::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap();
+        let hole = Ring::rect(coord(4.0, 4.0), coord(6.0, 6.0)).unwrap();
+        let donut: Geometry = Polygon::new(shell, vec![hole]).unwrap().into();
+        // A polygon inside the hole is disjoint from the donut.
+        let inner = rect(4.5, 4.5, 5.5, 5.5);
+        assert_eq!(im(&donut, &inner), "FF2FF1212");
+        // A polygon filling the hole exactly touches along the hole ring.
+        // Note EB = F: the plug's boundary coincides with the donut's hole
+        // ring, so none of it lies in the donut's exterior.
+        assert_eq!(im(&donut, &rect(4.0, 4.0, 6.0, 6.0)), "FF2F112F2");
+        // A polygon overlapping the hole edge.
+        let over = rect(5.0, 5.0, 7.0, 7.0);
+        assert_eq!(im(&donut, &over), "212101212");
+    }
+
+    #[test]
+    fn aa_multipolygon_component_equal() {
+        let a: Geometry = MultiPolygon::new(vec![
+            Polygon::rect(coord(0.0, 0.0), coord(1.0, 1.0)).unwrap(),
+            Polygon::rect(coord(5.0, 0.0), coord(6.0, 1.0)).unwrap(),
+        ])
+        .unwrap()
+        .into();
+        let b = rect(0.0, 0.0, 1.0, 1.0);
+        // A covers b (one component equals b, the other is extra area).
+        let m = relate(&a, &b);
+        assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Two);
+        assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Two);
+        assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::Empty);
+        assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::One);
+    }
+
+    // ---- intersects convenience ----
+
+    #[test]
+    fn intersects_shortcuts() {
+        assert!(intersects(&rect(0.0, 0.0, 2.0, 2.0), &rect(1.0, 1.0, 3.0, 3.0)));
+        assert!(!intersects(&rect(0.0, 0.0, 1.0, 1.0), &rect(5.0, 5.0, 6.0, 6.0)));
+        assert!(intersects(&pt(1.0, 1.0), &rect(0.0, 0.0, 2.0, 2.0)));
+        assert!(intersects(&rect(0.0, 0.0, 1.0, 1.0), &rect(1.0, 0.0, 2.0, 1.0))); // touch
+    }
+}

@@ -1,0 +1,283 @@
+//! Internal shape abstractions for the DE-9IM engine.
+//!
+//! Every supported geometry is viewed as one of three homogeneous classes:
+//! a point set ([`Puntal`]), a curve set ([`Lineal`]: segments plus mod-2
+//! boundary points), or a region set ([`Areal`]: boundary rings plus a
+//! point-classification function). The relate computations in the parent
+//! module are written once per class pair.
+
+use crate::coord::Coord;
+use crate::geometry::Geometry;
+use crate::polygon::{MultiPolygon, PointLocation, Polygon};
+use crate::segment::{merge_intervals, SegSegIntersection, Segment};
+
+/// Relative tolerance for parameter-space bookkeeping (splitting segments
+/// at intersection points). Decisions about *whether* geometries intersect
+/// are exact; this tolerance only guards against duplicated split points.
+pub const PARAM_EPS: f64 = 1e-12;
+
+/// A 0-dimensional geometry: a finite set of distinct coordinates.
+pub struct Puntal {
+    pub coords: Vec<Coord>,
+}
+
+/// A 1-dimensional geometry: a set of segments plus its topological
+/// boundary (the mod-2 endpoints).
+pub struct Lineal {
+    pub segments: Vec<Segment>,
+    pub boundary: Vec<Coord>,
+}
+
+/// Where a coordinate lies relative to a lineal geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinealLocation {
+    Interior,
+    Boundary,
+    Exterior,
+}
+
+impl Lineal {
+    /// Classifies a coordinate against the curve.
+    pub fn locate(&self, c: Coord) -> LinealLocation {
+        if self.boundary.contains(&c) {
+            return LinealLocation::Boundary;
+        }
+        if self.segments.iter().any(|s| s.contains_point(c)) {
+            LinealLocation::Interior
+        } else {
+            LinealLocation::Exterior
+        }
+    }
+
+    /// True when every point of `self` lies on `other` (point-set
+    /// containment of the curves, computed by collinear-interval coverage).
+    pub fn covered_by(&self, other: &Lineal) -> bool {
+        self.segments.iter().all(|s| segment_covered_by(s, &other.segments))
+    }
+}
+
+/// True when segment `s` is fully covered by the union of `segs`
+/// (via merged collinear-overlap intervals in `s`'s parameter space).
+pub fn segment_covered_by(s: &Segment, segs: &[Segment]) -> bool {
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+    for t in segs {
+        if let SegSegIntersection::Overlap(ov) = s.intersect(t) {
+            let p0 = s.param_of_collinear_point(ov.a);
+            let p1 = s.param_of_collinear_point(ov.b);
+            intervals.push((p0.min(p1), p0.max(p1)));
+        }
+    }
+    crate::segment::intervals_cover_unit(&merge_intervals(intervals), PARAM_EPS.max(1e-9))
+}
+
+/// A 2-dimensional geometry: one or more polygons with disjoint interiors.
+pub enum Areal<'a> {
+    One(&'a Polygon),
+    Many(&'a MultiPolygon),
+}
+
+impl<'a> Areal<'a> {
+    /// Classifies a coordinate against the region (holes respected).
+    pub fn locate(&self, c: Coord) -> PointLocation {
+        match self {
+            Areal::One(p) => p.locate(c),
+            Areal::Many(mp) => mp.locate(c),
+        }
+    }
+
+    /// All boundary segments (exterior rings and holes of every component).
+    pub fn boundary_segments(&self) -> Vec<Segment> {
+        match self {
+            Areal::One(p) => p.boundary_segments().collect(),
+            Areal::Many(mp) => mp
+                .polygons()
+                .iter()
+                .flat_map(|p| p.boundary_segments().collect::<Vec<_>>())
+                .collect(),
+        }
+    }
+
+    /// A point strictly inside the region.
+    pub fn interior_point(&self) -> Coord {
+        match self {
+            Areal::One(p) => p.interior_point(),
+            Areal::Many(mp) => mp.interior_point(),
+        }
+    }
+
+    /// One interior point per connected component of the region's interior
+    /// (one per member polygon). Needed for completeness of the
+    /// region×region interior tests: a component whose boundary is entirely
+    /// shared with the other operand (e.g. a polygon exactly filling a
+    /// hole) is only detectable through its interior point.
+    pub fn interior_points(&self) -> Vec<Coord> {
+        match self {
+            Areal::One(p) => vec![p.interior_point()],
+            Areal::Many(mp) => mp.polygons().iter().map(|p| p.interior_point()).collect(),
+        }
+    }
+}
+
+/// Classification evidence gathered by splitting a set of segments at their
+/// intersections with a region's boundary and classifying each fragment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SplitFlags {
+    /// Some fragment lies strictly inside the region.
+    pub inside: bool,
+    /// Some fragment runs along the region's boundary (collinear overlap).
+    pub on_boundary: bool,
+    /// Some fragment lies strictly outside the region.
+    pub outside: bool,
+    /// Some isolated intersection point with the boundary exists.
+    pub touch_point: bool,
+}
+
+/// Splits every segment in `segs` at its intersections with
+/// `region_boundary` and classifies the fragments against `region`.
+///
+/// Fragments that coincide with a collinear overlap run are classified
+/// `on_boundary` *symbolically* (from the overlap interval itself) rather
+/// than by locating their midpoint, so hairline rounding in the midpoint
+/// computation cannot flip a shared-edge case into an overlap case.
+pub fn split_classify(segs: &[Segment], region_boundary: &[Segment], region: &Areal) -> SplitFlags {
+    let mut flags = SplitFlags::default();
+    for s in segs {
+        let mut cuts: Vec<f64> = vec![0.0, 1.0];
+        let mut on_intervals: Vec<(f64, f64)> = Vec::new();
+        for t in region_boundary {
+            match s.intersect(t) {
+                SegSegIntersection::None => {}
+                SegSegIntersection::Point(p) => {
+                    let tp = s.param_of_collinear_point_clamped(p);
+                    cuts.push(tp);
+                    flags.touch_point = true;
+                }
+                SegSegIntersection::Overlap(ov) => {
+                    let p0 = s.param_of_collinear_point(ov.a);
+                    let p1 = s.param_of_collinear_point(ov.b);
+                    let (lo, hi) = (p0.min(p1), p0.max(p1));
+                    cuts.push(lo);
+                    cuts.push(hi);
+                    on_intervals.push((lo, hi));
+                }
+            }
+        }
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite params"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() <= PARAM_EPS);
+        let on_intervals = merge_intervals(on_intervals);
+
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi - lo <= PARAM_EPS {
+                continue;
+            }
+            let mid = (lo + hi) * 0.5;
+            // Fragments inside a recorded overlap run lie on the boundary.
+            if on_intervals
+                .iter()
+                .any(|&(olo, ohi)| olo - PARAM_EPS <= lo && hi <= ohi + PARAM_EPS)
+            {
+                flags.on_boundary = true;
+                continue;
+            }
+            match region.locate(s.a.lerp(s.b, mid)) {
+                PointLocation::Inside => flags.inside = true,
+                PointLocation::Outside => flags.outside = true,
+                // Numerically pinched fragment grazing the boundary.
+                PointLocation::OnBoundary => flags.on_boundary = true,
+            }
+        }
+    }
+    flags
+}
+
+impl Segment {
+    /// Parameter of an on-segment point, clamped to `[0, 1]`.
+    pub(crate) fn param_of_collinear_point_clamped(&self, p: Coord) -> f64 {
+        self.param_of_collinear_point(p).clamp(0.0, 1.0)
+    }
+}
+
+/// Decomposes a geometry into its homogeneous class.
+pub enum Shape<'a> {
+    P(Puntal),
+    L(Lineal),
+    A(Areal<'a>),
+}
+
+/// Builds the class view of a geometry.
+pub fn shape_of(g: &Geometry) -> Shape<'_> {
+    match g {
+        Geometry::Point(p) => Shape::P(Puntal { coords: vec![p.coord()] }),
+        Geometry::MultiPoint(mp) => Shape::P(Puntal { coords: mp.coords().to_vec() }),
+        Geometry::LineString(l) => Shape::L(Lineal {
+            segments: l.segments().collect(),
+            boundary: l.boundary_points(),
+        }),
+        Geometry::MultiLineString(ml) => Shape::L(Lineal {
+            segments: ml.segments().collect(),
+            boundary: ml.boundary_points(),
+        }),
+        Geometry::Polygon(p) => Shape::A(Areal::One(p)),
+        Geometry::MultiPolygon(mp) => Shape::A(Areal::Many(mp)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+    use crate::linestring::LineString;
+
+    fn lineal(pts: &[(f64, f64)]) -> Lineal {
+        let l = LineString::from_xy(pts).unwrap();
+        Lineal { segments: l.segments().collect(), boundary: l.boundary_points() }
+    }
+
+    #[test]
+    fn lineal_locate() {
+        let l = lineal(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)]);
+        assert_eq!(l.locate(coord(1.0, 0.0)), LinealLocation::Interior);
+        assert_eq!(l.locate(coord(2.0, 0.0)), LinealLocation::Interior); // middle vertex
+        assert_eq!(l.locate(coord(0.0, 0.0)), LinealLocation::Boundary);
+        assert_eq!(l.locate(coord(2.0, 2.0)), LinealLocation::Boundary);
+        assert_eq!(l.locate(coord(5.0, 5.0)), LinealLocation::Exterior);
+    }
+
+    #[test]
+    fn coverage() {
+        let short = lineal(&[(1.0, 0.0), (2.0, 0.0)]);
+        let long = lineal(&[(0.0, 0.0), (4.0, 0.0)]);
+        assert!(short.covered_by(&long));
+        assert!(!long.covered_by(&short));
+        // Coverage across multiple sub-segments.
+        let split = lineal(&[(0.0, 0.0), (1.5, 0.0), (4.0, 0.0)]);
+        assert!(long.covered_by(&split));
+        // Perpendicular: no coverage.
+        let perp = lineal(&[(0.0, 0.0), (0.0, 4.0)]);
+        assert!(!short.covered_by(&perp));
+    }
+
+    #[test]
+    fn split_classify_crossing_polygon() {
+        let poly = crate::polygon::Polygon::rect(coord(0.0, 0.0), coord(2.0, 2.0)).unwrap();
+        let region = Areal::One(&poly);
+        let boundary = region.boundary_segments();
+        // A segment crossing straight through.
+        let segs = [Segment::new(coord(-1.0, 1.0), coord(3.0, 1.0))];
+        let f = split_classify(&segs, &boundary, &region);
+        assert!(f.inside && f.outside && f.touch_point && !f.on_boundary);
+        // A segment running along an edge.
+        let segs = [Segment::new(coord(0.0, 0.0), coord(2.0, 0.0))];
+        let f = split_classify(&segs, &boundary, &region);
+        assert!(f.on_boundary && !f.inside && !f.outside);
+        // A segment fully inside.
+        let segs = [Segment::new(coord(0.5, 0.5), coord(1.5, 1.5))];
+        let f = split_classify(&segs, &boundary, &region);
+        assert!(f.inside && !f.outside && !f.on_boundary && !f.touch_point);
+        // A segment fully outside.
+        let segs = [Segment::new(coord(5.0, 5.0), coord(6.0, 6.0))];
+        let f = split_classify(&segs, &boundary, &region);
+        assert!(f.outside && !f.inside && !f.on_boundary && !f.touch_point);
+    }
+}

@@ -1,0 +1,324 @@
+//! Robust geometric predicates.
+//!
+//! Orientation tests computed naively in floating point mis-classify nearly
+//! collinear triples, which corrupts every downstream topological decision
+//! (point-in-polygon, segment intersection, DE-9IM classification). This
+//! module implements the orientation predicate with a *static error-bound
+//! filter* followed by an *exact fallback* evaluated with error-free
+//! floating-point expansions (two-sum / two-product), in the style of
+//! Shewchuk's adaptive predicates.
+//!
+//! The fast path is two multiplications and a comparison; the exact path is
+//! only taken when the filter cannot certify the sign.
+
+use crate::coord::Coord;
+
+/// The orientation of an ordered triple of points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The triple turns counter-clockwise (positive signed area).
+    CounterClockwise,
+    /// The triple turns clockwise (negative signed area).
+    Clockwise,
+    /// The three points are exactly collinear.
+    Collinear,
+}
+
+impl Orientation {
+    /// Maps a signed value to an orientation.
+    #[inline]
+    pub fn from_sign(v: f64) -> Orientation {
+        if v > 0.0 {
+            Orientation::CounterClockwise
+        } else if v < 0.0 {
+            Orientation::Clockwise
+        } else {
+            Orientation::Collinear
+        }
+    }
+
+    /// The orientation obtained by reversing the triple.
+    #[inline]
+    pub fn reversed(self) -> Orientation {
+        match self {
+            Orientation::CounterClockwise => Orientation::Clockwise,
+            Orientation::Clockwise => Orientation::CounterClockwise,
+            Orientation::Collinear => Orientation::Collinear,
+        }
+    }
+}
+
+/// Error-free transformation: returns `(x, y)` with `x + y == a + b`
+/// exactly, `x` being the rounded sum.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bv = x - a;
+    let av = x - bv;
+    let br = b - bv;
+    let ar = a - av;
+    (x, ar + br)
+}
+
+/// Error-free transformation for subtraction: `x + y == a - b` exactly.
+#[inline]
+fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bv = a - x;
+    let av = x + bv;
+    let br = bv - b;
+    let ar = a - av;
+    (x, ar + br)
+}
+
+/// Error-free transformation for multiplication using FMA:
+/// `x + y == a * b` exactly.
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let y = f64::mul_add(a, b, -x);
+    (x, y)
+}
+
+/// Adds two length-2 expansions into a length-4 expansion
+/// (Shewchuk's `Two-Two-Sum`), nonoverlapping, increasing magnitude.
+#[inline]
+fn two_two_sum(a1: f64, a0: f64, b1: f64, b0: f64) -> [f64; 4] {
+    let (i, x0) = two_sum(a0, b0);
+    let (j, q) = two_sum(a1, i);
+    let (x1, r) = two_sum(q, b1);
+    let (x3, x2) = two_sum(j, x1);
+    [x0, r, x2, x3]
+}
+
+/// Sign of the exact sum of a small expansion (most significant last).
+#[inline]
+fn expansion_sign(e: &[f64]) -> f64 {
+    // The expansion is nonoverlapping with increasing magnitude, so the most
+    // significant nonzero component determines the sign.
+    for &c in e.iter().rev() {
+        if c != 0.0 {
+            return c;
+        }
+    }
+    0.0
+}
+
+/// Exact sign of the 2x2 determinant `| ax ay ; bx by |`.
+fn det2_exact_sign(ax: f64, ay: f64, bx: f64, by: f64) -> f64 {
+    let (p1, p0) = two_product(ax, by);
+    let (q1, q0) = two_product(ay, bx);
+    // det = (p1 + p0) - (q1 + q0); negate q and add.
+    let e = two_two_sum(p1, p0, -q1, -q0);
+    expansion_sign(&e)
+}
+
+/// Relative error bound for the filtered orientation test
+/// (Shewchuk's `ccwerrboundA` = (3 + 16ε)ε with ε = 2⁻⁵³ the machine
+/// epsilon for rounding, i.e. `f64::EPSILON / 2`).
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * (f64::EPSILON / 2.0)) * (f64::EPSILON / 2.0);
+
+/// Signed value whose sign is *exactly* the orientation of `(a, b, c)`.
+///
+/// Positive ⇒ counter-clockwise, negative ⇒ clockwise, zero ⇒ collinear.
+/// The magnitude is twice the triangle area when the fast path is taken, but
+/// only the sign is meaningful in general.
+pub fn orient2d(a: Coord, b: Coord, c: Coord) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return det;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return det;
+        }
+        -detleft - detright
+    } else {
+        return det;
+    };
+
+    let errbound = CCW_ERRBOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return det;
+    }
+
+    // Exact fallback. The subtractions (a - c), (b - c) may themselves round;
+    // compute them as expansions and evaluate the determinant of the rounded
+    // parts exactly, then account for the tails. For the coordinate
+    // magnitudes seen in practice the tails are zero (inputs are exact), so
+    // computing the determinant of the rounded differences exactly is the
+    // common complete answer; when tails are nonzero we fall back to a
+    // widened evaluation.
+    let (acx, acx_t) = two_diff(a.x, c.x);
+    let (acy, acy_t) = two_diff(a.y, c.y);
+    let (bcx, bcx_t) = two_diff(b.x, c.x);
+    let (bcy, bcy_t) = two_diff(b.y, c.y);
+
+    if acx_t == 0.0 && acy_t == 0.0 && bcx_t == 0.0 && bcy_t == 0.0 {
+        return det2_exact_sign(acx, acy, bcx, bcy);
+    }
+
+    // Rare path: differences are inexact. Evaluate the full determinant
+    //   (a.x*b.y - a.x*c.y - c.x*b.y) - (a.y*b.x - a.y*c.x - c.y*b.x) ...
+    // via summing six exact products into an expansion.
+    let terms = [
+        two_product(a.x, b.y),
+        two_product(-a.x, c.y),
+        two_product(-c.x, b.y),
+        two_product(-a.y, b.x),
+        two_product(a.y, c.x),
+        two_product(c.y, b.x),
+    ];
+    // Sum all 12 components with a simple distillation: repeatedly two_sum
+    // into an accumulator expansion. O(n²) but n = 12 and this path is rare.
+    let mut exp: Vec<f64> = Vec::with_capacity(12);
+    for (hi, lo) in terms {
+        for part in [lo, hi] {
+            let mut carry = part;
+            for slot in exp.iter_mut() {
+                let (s, e) = two_sum(*slot, carry);
+                *slot = e;
+                carry = s;
+            }
+            exp.push(carry);
+        }
+    }
+    expansion_sign(&exp)
+}
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[inline]
+pub fn orientation(a: Coord, b: Coord, c: Coord) -> Orientation {
+    Orientation::from_sign(orient2d(a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+
+    #[test]
+    fn simple_orientations() {
+        let a = coord(0.0, 0.0);
+        let b = coord(1.0, 0.0);
+        assert_eq!(orientation(a, b, coord(0.0, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(orientation(a, b, coord(0.0, -1.0)), Orientation::Clockwise);
+        assert_eq!(orientation(a, b, coord(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(orientation(a, b, coord(0.5, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn reversal_flips_sign() {
+        let a = coord(0.3, 0.7);
+        let b = coord(1.9, 2.1);
+        let c = coord(-0.4, 5.5);
+        assert_eq!(orientation(a, b, c), orientation(c, b, a).reversed());
+        assert_eq!(orientation(a, b, c), orientation(b, c, a));
+    }
+
+    #[test]
+    fn nearly_collinear_is_classified_exactly() {
+        // Classic degenerate case: points on a line y = x with tiny
+        // perturbations representable in f64. Naive evaluation returns
+        // unreliable signs here.
+        let a = coord(12.0, 12.0);
+        let b = coord(24.0, 24.0);
+        // Exactly on the line.
+        let c = coord(0.5, 0.5);
+        assert_eq!(orientation(a, b, c), Orientation::Collinear);
+        // One ulp above the line.
+        let c_up = coord(0.5, 0.5 + f64::EPSILON);
+        assert_eq!(orientation(a, b, c_up), Orientation::CounterClockwise);
+        // One ulp below.
+        let c_dn = coord(0.5, 0.5 - f64::EPSILON / 2.0);
+        assert_eq!(orientation(a, b, c_dn), Orientation::Clockwise);
+    }
+
+    #[test]
+    fn shewchuk_grid_torture() {
+        // The well-known 0.5 + i*2^-53 torture grid: every answer must be
+        // consistent with the exact rational evaluation.
+        let base = 0.5;
+        let ulp = f64::EPSILON / 2.0;
+        for i in 0..16 {
+            for j in 0..16 {
+                let p = coord(base + i as f64 * ulp, base + j as f64 * ulp);
+                let q = coord(12.0, 12.0);
+                let r = coord(24.0, 24.0);
+                let s = orient2d(p, q, r);
+                // Exact: sign of (p.x - p.y) * 12 (since q, r on y = x).
+                let exact = p.x - p.y;
+                assert_eq!(
+                    s > 0.0,
+                    exact < 0.0, // p above the line y=x (y > x) is CCW wrt (q,r)? verify by construction below
+                    "inconsistent at i={i} j={j}: s={s} exact={exact}"
+                );
+                if exact == 0.0 {
+                    assert_eq!(s, 0.0, "collinear misclassified at i={i} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_duplicate_points() {
+        let a = coord(1.0, 1.0);
+        assert_eq!(orientation(a, a, coord(2.0, 3.0)), Orientation::Collinear);
+        assert_eq!(orientation(a, coord(2.0, 3.0), a), Orientation::Collinear);
+        assert_eq!(orientation(a, a, a), Orientation::Collinear);
+    }
+
+    #[test]
+    fn huge_and_tiny_magnitudes() {
+        let a = coord(1e300, 1e300);
+        let b = coord(-1e300, -1e300);
+        assert_eq!(orientation(a, b, coord(0.0, 0.0)), Orientation::Collinear);
+        let a = coord(1e-300, 2e-300);
+        let b = coord(2e-300, 4e-300);
+        assert_eq!(orientation(a, b, coord(0.0, 0.0)), Orientation::Collinear);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::coord::coord;
+
+    #[test]
+    fn inexact_difference_fallback_path() {
+        // Coordinates whose differences are not exactly representable
+        // (magnitude gap > 2^53) force the widened six-product expansion.
+        let a = coord(1e16, 1.0);
+        let b = coord(-1e16, -1.0);
+        let on = coord(0.5e16, 0.05);
+        // Exactly collinear in the rationals? a-b slope = 2/2e16 = 1e-16;
+        // point (0.5e16, 0.5) would be on the line. Use the line y = x/1e16:
+        assert_eq!(orientation(a, b, coord(0.0, 0.0)), Orientation::Collinear);
+        // Slightly off the line must classify consistently with its side.
+        let above = coord(0.0, 1e-3);
+        let below = coord(0.0, -1e-3);
+        assert_ne!(orientation(a, b, above), Orientation::Collinear);
+        assert_eq!(orientation(a, b, above), orientation(b, a, below));
+        let _ = on;
+    }
+
+    #[test]
+    fn orientation_antisymmetry_on_grid() {
+        // orient(a,b,c) = -orient(a,c,b) for a grid of integer triples.
+        for ax in -2..3i32 {
+            for bx in -2..3i32 {
+                for cx in -2..3i32 {
+                    let a = coord(ax as f64, (ax * 3 % 5) as f64);
+                    let b = coord(bx as f64, (bx * 7 % 5) as f64);
+                    let c = coord(cx as f64, (cx * 11 % 5) as f64);
+                    assert_eq!(orientation(a, b, c), orientation(a, c, b).reversed());
+                }
+            }
+        }
+    }
+}

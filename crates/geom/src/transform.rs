@@ -1,0 +1,216 @@
+//! Affine transformations of geometries.
+//!
+//! Translation, scaling and rotation, applied uniformly to every
+//! coordinate. Used by the data generators to place feature instances and
+//! by tests to verify invariance properties (topological relations are
+//! preserved by rigid motions and uniform scaling).
+
+use crate::coord::Coord;
+use crate::geometry::Geometry;
+use crate::linestring::{LineString, MultiLineString};
+use crate::point::{MultiPoint, Point};
+use crate::polygon::{MultiPolygon, Polygon, Ring};
+
+/// A 2D affine transform `p ↦ A·p + b` with
+/// `A = [[m00, m01], [m10, m11]]`, `b = (tx, ty)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineTransform {
+    pub m00: f64,
+    pub m01: f64,
+    pub m10: f64,
+    pub m11: f64,
+    pub tx: f64,
+    pub ty: f64,
+}
+
+impl AffineTransform {
+    /// The identity transform.
+    pub fn identity() -> AffineTransform {
+        AffineTransform { m00: 1.0, m01: 0.0, m10: 0.0, m11: 1.0, tx: 0.0, ty: 0.0 }
+    }
+
+    /// Translation by `(dx, dy)`.
+    pub fn translate(dx: f64, dy: f64) -> AffineTransform {
+        AffineTransform { tx: dx, ty: dy, ..AffineTransform::identity() }
+    }
+
+    /// Uniform scaling about the origin.
+    pub fn scale(factor: f64) -> AffineTransform {
+        AffineTransform { m00: factor, m11: factor, ..AffineTransform::identity() }
+    }
+
+    /// Anisotropic scaling about the origin.
+    pub fn scale_xy(sx: f64, sy: f64) -> AffineTransform {
+        AffineTransform { m00: sx, m11: sy, ..AffineTransform::identity() }
+    }
+
+    /// Counter-clockwise rotation about the origin by `radians`.
+    pub fn rotate(radians: f64) -> AffineTransform {
+        let (sin, cos) = radians.sin_cos();
+        AffineTransform { m00: cos, m01: -sin, m10: sin, m11: cos, tx: 0.0, ty: 0.0 }
+    }
+
+    /// Rotation about an arbitrary center.
+    pub fn rotate_about(radians: f64, center: Coord) -> AffineTransform {
+        AffineTransform::translate(center.x, center.y)
+            .then(&AffineTransform::rotate(radians))
+            .then(&AffineTransform::translate(-center.x, -center.y))
+    }
+
+    /// Composition: applies `self` *after* `first` (`(self ∘ first)(p)`).
+    /// Note the argument order: `a.then(&b)` applies `b` first, then `a`…
+    /// which reads backwards; prefer [`AffineTransform::and_then`].
+    fn then(self, first: &AffineTransform) -> AffineTransform {
+        // self(first(p)) = A_self (A_first p + b_first) + b_self
+        AffineTransform {
+            m00: self.m00 * first.m00 + self.m01 * first.m10,
+            m01: self.m00 * first.m01 + self.m01 * first.m11,
+            m10: self.m10 * first.m00 + self.m11 * first.m10,
+            m11: self.m10 * first.m01 + self.m11 * first.m11,
+            tx: self.m00 * first.tx + self.m01 * first.ty + self.tx,
+            ty: self.m10 * first.tx + self.m11 * first.ty + self.ty,
+        }
+    }
+
+    /// Composition in reading order: `a.and_then(&b)` applies `a` first,
+    /// then `b`.
+    pub fn and_then(self, next: &AffineTransform) -> AffineTransform {
+        next.then(&self)
+    }
+
+    /// Applies the transform to a coordinate.
+    pub fn apply(&self, p: Coord) -> Coord {
+        Coord::new(
+            self.m00 * p.x + self.m01 * p.y + self.tx,
+            self.m10 * p.x + self.m11 * p.y + self.ty,
+        )
+    }
+
+    /// Determinant of the linear part (orientation-preserving iff > 0).
+    pub fn det(&self) -> f64 {
+        self.m00 * self.m11 - self.m01 * self.m10
+    }
+
+    /// Applies the transform to a whole geometry. Returns an error only
+    /// when a degenerate transform (determinant 0) collapses a geometry
+    /// below its validity requirements.
+    pub fn apply_geometry(&self, g: &Geometry) -> crate::error::GeomResult<Geometry> {
+        let map = |coords: &[Coord]| -> Vec<Coord> { coords.iter().map(|&c| self.apply(c)).collect() };
+        Ok(match g {
+            Geometry::Point(p) => Point::new(self.apply(p.coord()))?.into(),
+            Geometry::MultiPoint(mp) => MultiPoint::new(map(mp.coords()))?.into(),
+            Geometry::LineString(l) => LineString::new(map(l.coords()))?.into(),
+            Geometry::MultiLineString(ml) => {
+                let lines = ml
+                    .lines()
+                    .iter()
+                    .map(|l| LineString::new(map(l.coords())))
+                    .collect::<crate::error::GeomResult<Vec<_>>>()?;
+                MultiLineString::new(lines)?.into()
+            }
+            Geometry::Polygon(p) => self.apply_polygon(p)?.into(),
+            Geometry::MultiPolygon(mp) => {
+                let polys = mp
+                    .polygons()
+                    .iter()
+                    .map(|p| self.apply_polygon(p))
+                    .collect::<crate::error::GeomResult<Vec<_>>>()?;
+                MultiPolygon::new(polys)?.into()
+            }
+        })
+    }
+
+    fn apply_polygon(&self, p: &Polygon) -> crate::error::GeomResult<Polygon> {
+        let map_ring = |r: &Ring| -> crate::error::GeomResult<Ring> {
+            Ring::new(r.coords().iter().map(|&c| self.apply(c)).collect())
+        };
+        let exterior = map_ring(p.exterior())?;
+        let holes = p.holes().iter().map(map_ring).collect::<crate::error::GeomResult<Vec<_>>>()?;
+        Polygon::new(exterior, holes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+    use crate::relate::relate;
+
+    #[test]
+    fn basic_transforms() {
+        let p = coord(1.0, 2.0);
+        assert_eq!(AffineTransform::identity().apply(p), p);
+        assert_eq!(AffineTransform::translate(3.0, -1.0).apply(p), coord(4.0, 1.0));
+        assert_eq!(AffineTransform::scale(2.0).apply(p), coord(2.0, 4.0));
+        assert_eq!(AffineTransform::scale_xy(2.0, 3.0).apply(p), coord(2.0, 6.0));
+        let r = AffineTransform::rotate(std::f64::consts::FRAC_PI_2).apply(coord(1.0, 0.0));
+        assert!((r.x - 0.0).abs() < 1e-12 && (r.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_order() {
+        // Scale by 2 then translate by (10, 0).
+        let t = AffineTransform::scale(2.0).and_then(&AffineTransform::translate(10.0, 0.0));
+        assert_eq!(t.apply(coord(1.0, 1.0)), coord(12.0, 2.0));
+        // Translate first, then scale: different result.
+        let t = AffineTransform::translate(10.0, 0.0).and_then(&AffineTransform::scale(2.0));
+        assert_eq!(t.apply(coord(1.0, 1.0)), coord(22.0, 2.0));
+    }
+
+    #[test]
+    fn rotate_about_center_fixes_center() {
+        let c = coord(5.0, 5.0);
+        let t = AffineTransform::rotate_about(1.234, c);
+        let r = t.apply(c);
+        assert!((r.x - c.x).abs() < 1e-12 && (r.y - c.y).abs() < 1e-12);
+        assert!((t.det() - 1.0).abs() < 1e-12, "rotation preserves area");
+    }
+
+    #[test]
+    fn geometry_transform_preserves_validity_and_area() {
+        let poly = crate::polygon::Polygon::new(
+            crate::polygon::Ring::rect(coord(0.0, 0.0), coord(4.0, 4.0)).unwrap(),
+            vec![crate::polygon::Ring::rect(coord(1.0, 1.0), coord(2.0, 2.0)).unwrap()],
+        )
+        .unwrap();
+        let g: Geometry = poly.into();
+        let t = AffineTransform::translate(100.0, 50.0);
+        let moved = t.apply_geometry(&g).unwrap();
+        assert_eq!(moved.area(), g.area());
+        let scaled = AffineTransform::scale(3.0).apply_geometry(&g).unwrap();
+        assert!((scaled.area() - 9.0 * g.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_motion_preserves_relations() {
+        let a = crate::wkt::from_wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))").unwrap();
+        let b = crate::wkt::from_wkt("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))").unwrap();
+        let before = relate(&a, &b);
+        let t = AffineTransform::translate(1000.0, -500.0);
+        let ta = t.apply_geometry(&a).unwrap();
+        let tb = t.apply_geometry(&b).unwrap();
+        assert_eq!(relate(&ta, &tb), before);
+        // Uniform scaling preserves topology too.
+        let s = AffineTransform::scale(7.0);
+        assert_eq!(
+            relate(&s.apply_geometry(&a).unwrap(), &s.apply_geometry(&b).unwrap()),
+            before
+        );
+    }
+
+    #[test]
+    fn degenerate_transform_rejected() {
+        let g = crate::wkt::from_wkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))").unwrap();
+        let flat = AffineTransform::scale_xy(1.0, 0.0);
+        assert!(flat.apply_geometry(&g).is_err());
+    }
+
+    #[test]
+    fn mirror_flips_orientation_but_ring_normalises() {
+        let g = crate::wkt::from_wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap();
+        let mirror = AffineTransform::scale_xy(-1.0, 1.0);
+        assert!(mirror.det() < 0.0);
+        let m = mirror.apply_geometry(&g).unwrap();
+        assert_eq!(m.area(), g.area()); // Ring re-normalises to CCW
+    }
+}

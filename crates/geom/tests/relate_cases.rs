@@ -1,0 +1,214 @@
+//! Exhaustive DE-9IM case coverage beyond the unit tests: mixed multi
+//! geometries, holes, closed rings as lines, and degenerate contacts.
+
+use geopattern_geom::{
+    coord, from_wkt, relate, Dim, Geometry, IntersectionMatrix, Part, Polygon, Ring,
+};
+
+fn rel(a: &str, b: &str) -> IntersectionMatrix {
+    relate(&from_wkt(a).unwrap(), &from_wkt(b).unwrap())
+}
+
+fn donut() -> Geometry {
+    let shell = Ring::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap();
+    let hole = Ring::rect(coord(3.0, 3.0), coord(7.0, 7.0)).unwrap();
+    Polygon::new(shell, vec![hole]).unwrap().into()
+}
+
+#[test]
+fn multilinestring_vs_polygon() {
+    // One member crosses, one is outside.
+    let m = rel(
+        "MULTILINESTRING ((-1 5, 11 5), (20 20, 30 30))",
+        "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+    );
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+    assert_eq!(m.get(Part::Boundary, Part::Exterior), Dim::Zero);
+    // One member inside, one outside — no boundary contact at all.
+    let m = rel(
+        "MULTILINESTRING ((2 2, 8 8), (20 20, 30 30))",
+        "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+    );
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Empty);
+    assert_eq!(m.get(Part::Boundary, Part::Interior), Dim::Zero);
+}
+
+#[test]
+fn multipoint_vs_multipolygon() {
+    let mp = "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), ((5 0, 7 0, 7 2, 5 2, 5 0)))";
+    // One point in each component, one on a boundary, one outside.
+    let m = rel("MULTIPOINT ((1 1), (6 1), (5 1), (10 10))", mp);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Zero);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Zero);
+    assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::Two);
+}
+
+#[test]
+fn closed_ring_linestring_vs_polygon_boundary() {
+    // A closed linestring tracing the polygon's boundary exactly: the
+    // curve's boundary is empty, its interior coincides with ∂B.
+    let m = rel(
+        "LINESTRING (0 0, 10 0, 10 10, 0 10, 0 0)",
+        "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+    );
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Empty);
+    assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Empty); // no curve boundary
+    assert_eq!(m.get(Part::Exterior, Part::Boundary), Dim::Empty); // fully covered
+}
+
+#[test]
+fn line_spiking_into_polygon_and_back() {
+    // Enters and exits through the same edge.
+    let m = rel(
+        "LINESTRING (2 -2, 2 5, 4 5, 4 -2)",
+        "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+    );
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    assert_eq!(m.get(Part::Boundary, Part::Exterior), Dim::Zero);
+}
+
+#[test]
+fn line_along_edge_then_inside() {
+    // Runs along the bottom edge, then turns into the interior.
+    let m = rel(
+        "LINESTRING (0 0, 5 0, 5 5)",
+        "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+    );
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::One); // the run
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One); // the climb
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Empty);
+    assert_eq!(m.get(Part::Boundary, Part::Interior), Dim::Zero); // endpoint inside
+    assert_eq!(m.get(Part::Boundary, Part::Boundary), Dim::Zero); // endpoint on edge
+}
+
+#[test]
+fn donut_cases() {
+    let d = donut();
+    // Line crossing the full donut: in body, through hole, out the other
+    // side.
+    let l = from_wkt("LINESTRING (-1 5, 11 5)").unwrap();
+    let m = relate(&l, &d);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One); // hole + outside
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero); // 4 crossings
+
+    // Point in the hole is outside; point in the body inside; point on the
+    // hole ring is boundary.
+    let m = relate(&from_wkt("POINT (5 5)").unwrap(), &d);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Zero);
+    let m = relate(&from_wkt("POINT (1 5)").unwrap(), &d);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Zero);
+    let m = relate(&from_wkt("POINT (3 5)").unwrap(), &d);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+
+    // Donut vs donut: same shell, bigger hole → the first covers the
+    // second... (first's hole is inside second's hole region? No: bigger
+    // hole means smaller polygon.) Check overlap of a shifted donut.
+    let shifted = {
+        let shell = Ring::rect(coord(4.0, 0.0), coord(14.0, 10.0)).unwrap();
+        let hole = Ring::rect(coord(7.0, 3.0), coord(11.0, 7.0)).unwrap();
+        Geometry::from(Polygon::new(shell, vec![hole]).unwrap())
+    };
+    let m = relate(&d, &shifted);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Two);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Two);
+    assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::Two);
+}
+
+#[test]
+fn polygon_inside_hole_of_other() {
+    let d = donut();
+    let inner = from_wkt("POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))").unwrap();
+    let m = relate(&d, &inner);
+    // Disjoint although envelope-contained.
+    assert!(m.matches("FF*FF****"));
+    assert_eq!(relate(&inner, &d), m.transposed());
+}
+
+#[test]
+fn multipolygon_vs_line_spanning_components() {
+    let mp = "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), ((5 0, 7 0, 7 2, 5 2, 5 0)))";
+    let m = rel("LINESTRING (-1 1, 8 1)", mp);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One); // the gap
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero); // 4 crossings
+}
+
+#[test]
+fn touching_multipolygon_components_seen_as_one_region() {
+    // Two components touching at a corner behave as one region whose
+    // interior is disconnected.
+    let mp = "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), ((2 2, 4 2, 4 4, 2 4, 2 2)))";
+    let probe = "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))";
+    let m = rel(mp, probe);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Two);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Two);
+    assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::Two);
+}
+
+#[test]
+fn collinear_vertex_grazing() {
+    // A line entering the polygon exactly through the NW corner (0, 10):
+    // the corner contact is a boundary point, the rest continues inside.
+    let m = rel("LINESTRING (-5 15, 5 5)", "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    // A true graze that bounces off the corner from outside: boundary
+    // touch only, no interior contact.
+    let m = rel("LINESTRING (-5 15, 0 10, -5 5)", "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::One);
+}
+
+#[test]
+fn line_line_t_junction_and_cross_on_vertex() {
+    // Crossing exactly through a middle vertex of the other line.
+    let m = rel("LINESTRING (0 0, 5 5, 10 0)", "LINESTRING (5 0, 5 10)");
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Zero);
+    // Endpoint of one at middle vertex of the other.
+    let m = rel("LINESTRING (0 0, 5 5, 10 0)", "LINESTRING (5 5, 5 10)");
+    assert_eq!(m.get(Part::Interior, Part::Boundary), Dim::Zero);
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty);
+}
+
+#[test]
+fn zigzag_partial_coverage() {
+    // A line covered by a multi-segment path with different vertices.
+    let m = rel("LINESTRING (0 0, 10 0)", "LINESTRING (0 0, 3 0, 7 0, 10 0, 10 5)");
+    assert_eq!(m.get(Part::Interior, Part::Exterior), Dim::Empty, "A ⊆ B");
+    assert_eq!(m.get(Part::Exterior, Part::Interior), Dim::One, "B extends beyond");
+    assert_eq!(m.get(Part::Interior, Part::Interior), Dim::One);
+}
+
+#[test]
+fn envelope_fastpath_consistency() {
+    // Far-apart geometries of every class pair produce pure-disjoint
+    // matrices with correct dimensions in the exterior cells.
+    let far = [
+        ("POINT (1000 1000)", Dim::Zero),
+        ("LINESTRING (1000 1000, 1001 1001)", Dim::One),
+        ("POLYGON ((1000 1000, 1001 1000, 1001 1001, 1000 1001, 1000 1000))", Dim::Two),
+    ];
+    let near = [
+        ("POINT (0 0)", Dim::Zero),
+        ("LINESTRING (0 0, 1 1)", Dim::One),
+        ("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", Dim::Two),
+    ];
+    for (a, da) in near {
+        for (b, db) in far {
+            let m = rel(a, b);
+            assert_eq!(m.get(Part::Interior, Part::Interior), Dim::Empty, "{a} vs {b}");
+            assert_eq!(m.get(Part::Interior, Part::Exterior), da, "{a} vs {b}");
+            assert_eq!(m.get(Part::Exterior, Part::Interior), db, "{a} vs {b}");
+            assert_eq!(m.get(Part::Exterior, Part::Exterior), Dim::Two);
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! Apriori, Apriori-KC and Apriori-KC+ (Listing 1 of the paper).
+//!
+//! All three algorithms share this implementation; they differ only in the
+//! [`PairFilter`] applied to the candidate set `C₂`:
+//!
+//! * **Apriori** — empty filter;
+//! * **Apriori-KC** — the dependency pairs `Φ` (background knowledge);
+//! * **Apriori-KC+** — `Φ` plus every same-feature-type pair (derived from
+//!   item metadata, no background knowledge required).
+//!
+//! Candidate generation is the classic `apriori_gen` join + prune
+//! (Agrawal & Srikant 1994). Two support-counting backends are provided
+//! for the ablation benchmarks: per-transaction subset enumeration against
+//! a hashed candidate set, and a candidate prefix-trie walk.
+
+use crate::filter::PairFilter;
+use crate::item::{ItemId, TransactionSet};
+use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Support-counting backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountingStrategy {
+    /// Enumerate each transaction's k-subsets (restricted to frequent
+    /// items) and probe a hash set of candidates.
+    HashSubset,
+    /// Walk a prefix trie of candidates along each transaction.
+    #[default]
+    PrefixTrie,
+}
+
+/// Configuration of one mining run.
+#[derive(Debug, Clone)]
+pub struct AprioriConfig {
+    /// Minimum support.
+    pub min_support: MinSupport,
+    /// Well-known dependency pairs `Φ` removed from `C₂` (Apriori-KC).
+    pub dependencies: PairFilter,
+    /// Same-feature-type pairs removed from `C₂` (Apriori-KC+).
+    pub same_type: PairFilter,
+    /// Counting backend.
+    pub counting: CountingStrategy,
+}
+
+impl AprioriConfig {
+    /// Plain Apriori at the given support.
+    pub fn apriori(min_support: MinSupport) -> AprioriConfig {
+        AprioriConfig {
+            min_support,
+            dependencies: PairFilter::none(),
+            same_type: PairFilter::none(),
+            counting: CountingStrategy::default(),
+        }
+    }
+
+    /// Apriori-KC: removes the dependency pairs `Φ`.
+    pub fn apriori_kc(min_support: MinSupport, dependencies: PairFilter) -> AprioriConfig {
+        AprioriConfig { dependencies, ..AprioriConfig::apriori(min_support) }
+    }
+
+    /// Apriori-KC+: removes `Φ` plus all same-feature-type pairs.
+    pub fn apriori_kc_plus(
+        min_support: MinSupport,
+        dependencies: PairFilter,
+        same_type: PairFilter,
+    ) -> AprioriConfig {
+        AprioriConfig { dependencies, same_type, ..AprioriConfig::apriori(min_support) }
+    }
+
+    /// Selects the counting backend (builder style).
+    pub fn with_counting(mut self, counting: CountingStrategy) -> AprioriConfig {
+        self.counting = counting;
+        self
+    }
+
+    /// The combined `C₂` filter.
+    pub fn combined_filter(&self) -> PairFilter {
+        self.dependencies.clone().union(&self.same_type)
+    }
+}
+
+/// Runs the configured Apriori variant over a transaction set.
+pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
+    let start = Instant::now();
+    let threshold = config.min_support.threshold(data.len());
+    let mut stats = MiningStats::default();
+
+    // Pass 1: support of individual items.
+    let num_items = data.catalog.len();
+    let mut item_counts = vec![0u64; num_items];
+    for t in data.transactions() {
+        for &i in t {
+            item_counts[i as usize] += 1;
+        }
+    }
+    stats.candidates_per_level.push(num_items);
+    let l1: Vec<FrequentItemset> = (0..num_items as ItemId)
+        .filter(|&i| item_counts[i as usize] >= threshold)
+        .map(|i| FrequentItemset { items: vec![i], support: item_counts[i as usize] })
+        .collect();
+    stats.frequent_per_level.push(l1.len());
+
+    let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
+
+    let mut k = 2;
+    loop {
+        let prev: Vec<&[ItemId]> = levels[k - 2].iter().map(|f| f.items.as_slice()).collect();
+        if prev.is_empty() {
+            break;
+        }
+        let mut candidates = apriori_gen(&prev);
+        if k == 2 {
+            // Listing 1: C₂ = C₂ − Φ − {pairs with the same feature type}.
+            candidates.retain(|c| {
+                if config.dependencies.blocks(c[0], c[1]) {
+                    stats.pairs_removed_dependencies += 1;
+                    false
+                } else if config.same_type.blocks(c[0], c[1]) {
+                    stats.pairs_removed_same_type += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        stats.candidates_per_level.push(candidates.len());
+        if candidates.is_empty() {
+            break;
+        }
+
+        let counts = match config.counting {
+            CountingStrategy::HashSubset => count_hash_subset(data, &candidates, k),
+            CountingStrategy::PrefixTrie => count_prefix_trie(data, &candidates, k),
+        };
+
+        let lk: Vec<FrequentItemset> = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c >= threshold)
+            .map(|(items, support)| FrequentItemset { items, support })
+            .collect();
+        stats.frequent_per_level.push(lk.len());
+        if lk.is_empty() {
+            break;
+        }
+        levels.push(lk);
+        k += 1;
+    }
+
+    stats.duration = start.elapsed();
+    MiningResult { levels, stats }
+}
+
+/// The `apriori_gen` candidate generator: join `L(k−1)` with itself on the
+/// first `k−2` items, then prune candidates having an infrequent
+/// `(k−1)`-subset. `prev` must be sorted lexicographically (it is, because
+/// level construction preserves generation order from sorted inputs).
+pub fn apriori_gen(prev: &[&[ItemId]]) -> Vec<Vec<ItemId>> {
+    let k1 = match prev.first() {
+        Some(f) => f.len(),
+        None => return Vec::new(),
+    };
+    let prev_set: HashSet<&[ItemId]> = prev.iter().copied().collect();
+    let mut out = Vec::new();
+
+    // Join step: pairs sharing the first k-2 items.
+    let mut start = 0;
+    while start < prev.len() {
+        let prefix = &prev[start][..k1 - 1];
+        let mut end = start + 1;
+        while end < prev.len() && &prev[end][..k1 - 1] == prefix {
+            end += 1;
+        }
+        for i in start..end {
+            for j in (i + 1)..end {
+                let mut cand: Vec<ItemId> = prev[i].to_vec();
+                cand.push(prev[j][k1 - 1]);
+                // Prune step: all (k-1)-subsets must be frequent. The two
+                // subsets used in the join are trivially present.
+                let mut ok = true;
+                if k1 >= 2 {
+                    let mut sub = Vec::with_capacity(k1);
+                    for skip in 0..cand.len() - 2 {
+                        sub.clear();
+                        sub.extend(cand.iter().enumerate().filter(|&(x, _)| x != skip).map(|(_, &v)| v));
+                        if !prev_set.contains(sub.as_slice()) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    out.push(cand);
+                }
+            }
+        }
+        start = end;
+    }
+    out
+}
+
+/// Counting backend 1: enumerate each transaction's k-subsets over the
+/// items appearing in any candidate, probing a hash map.
+fn count_hash_subset(data: &TransactionSet, candidates: &[Vec<ItemId>], k: usize) -> Vec<u64> {
+    let mut index: HashMap<&[ItemId], usize> = HashMap::with_capacity(candidates.len());
+    let mut live_items: HashSet<ItemId> = HashSet::new();
+    for (pos, c) in candidates.iter().enumerate() {
+        index.insert(c.as_slice(), pos);
+        live_items.extend(c.iter().copied());
+    }
+    let mut counts = vec![0u64; candidates.len()];
+    let mut filtered: Vec<ItemId> = Vec::new();
+    let mut subset: Vec<ItemId> = Vec::with_capacity(k);
+    for t in data.transactions() {
+        filtered.clear();
+        filtered.extend(t.iter().copied().filter(|i| live_items.contains(i)));
+        if filtered.len() < k {
+            continue;
+        }
+        enumerate_subsets(&filtered, k, &mut subset, 0, &mut |s| {
+            if let Some(&pos) = index.get(s) {
+                counts[pos] += 1;
+            }
+        });
+    }
+    counts
+}
+
+fn enumerate_subsets(
+    items: &[ItemId],
+    k: usize,
+    current: &mut Vec<ItemId>,
+    from: usize,
+    visit: &mut impl FnMut(&[ItemId]),
+) {
+    if current.len() == k {
+        visit(current);
+        return;
+    }
+    let needed = k - current.len();
+    for i in from..=items.len().saturating_sub(needed) {
+        current.push(items[i]);
+        enumerate_subsets(items, k, current, i + 1, visit);
+        current.pop();
+    }
+}
+
+/// A node of the candidate prefix trie.
+#[derive(Default)]
+struct TrieNode {
+    children: HashMap<ItemId, TrieNode>,
+    /// Candidate index when this node terminates a candidate.
+    leaf: Option<usize>,
+}
+
+/// Counting backend 2: walk a prefix trie of candidates along each
+/// (sorted) transaction.
+fn count_prefix_trie(data: &TransactionSet, candidates: &[Vec<ItemId>], _k: usize) -> Vec<u64> {
+    let mut root = TrieNode::default();
+    for (pos, c) in candidates.iter().enumerate() {
+        let mut node = &mut root;
+        for &i in c {
+            node = node.children.entry(i).or_default();
+        }
+        node.leaf = Some(pos);
+    }
+    let mut counts = vec![0u64; candidates.len()];
+    for t in data.transactions() {
+        walk_trie(&root, t, &mut counts);
+    }
+    counts
+}
+
+fn walk_trie(node: &TrieNode, suffix: &[ItemId], counts: &mut [u64]) {
+    if let Some(pos) = node.leaf {
+        counts[pos] += 1;
+    }
+    if node.children.is_empty() {
+        return;
+    }
+    for (i, &item) in suffix.iter().enumerate() {
+        if let Some(child) = node.children.get(&item) {
+            walk_trie(child, &suffix[i + 1..], counts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::ItemCatalog;
+
+    /// The classic 4-transaction example.
+    fn toy() -> TransactionSet {
+        let mut c = ItemCatalog::new();
+        for label in ["a", "b", "c", "d", "e"] {
+            c.intern_attribute(label);
+        }
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0, 1, 2]); // a b c
+        ts.push(vec![0, 1, 3]); // a b d
+        ts.push(vec![0, 2, 3]); // a c d
+        ts.push(vec![1, 2, 4]); // b c e
+        ts
+    }
+
+    #[test]
+    fn plain_apriori_counts() {
+        let r = mine(&toy(), &AprioriConfig::apriori(MinSupport::Count(2)));
+        // Frequent 1-sets: a(3) b(3) c(3) d(2); e(1) is out.
+        assert_eq!(r.levels[0].len(), 4);
+        // Frequent 2-sets: ab(2) ac(2) ad(2) bc(2); bd(1) and cd(1) out.
+        let l2: Vec<&Vec<u32>> = r.levels[1].iter().map(|f| &f.items).collect();
+        assert_eq!(l2.len(), 4);
+        assert!(l2.contains(&&vec![0, 1]));
+        assert!(l2.contains(&&vec![0, 3]));
+        assert!(!l2.contains(&&vec![2, 3]));
+        // No frequent 3-sets at support 2: abc(1), acd(1)...
+        assert_eq!(r.levels.len(), 2);
+        assert!(r.check_downward_closure());
+    }
+
+    #[test]
+    fn both_counting_backends_agree() {
+        let data = toy();
+        for support in [1u64, 2, 3] {
+            let hash = mine(
+                &data,
+                &AprioriConfig::apriori(MinSupport::Count(support))
+                    .with_counting(CountingStrategy::HashSubset),
+            );
+            let trie = mine(
+                &data,
+                &AprioriConfig::apriori(MinSupport::Count(support))
+                    .with_counting(CountingStrategy::PrefixTrie),
+            );
+            let h: Vec<_> = hash.all().collect();
+            let t: Vec<_> = trie.all().collect();
+            assert_eq!(h, t, "support {support}");
+        }
+    }
+
+    #[test]
+    fn filter_blocks_pair_and_supersets() {
+        let data = toy();
+        let filter = PairFilter::from_pairs([(0u32, 1u32)]); // block {a,b}
+        let config =
+            AprioriConfig::apriori_kc_plus(MinSupport::Count(1), PairFilter::none(), filter);
+        let r = mine(&data, &config);
+        for f in r.with_min_size(2) {
+            assert!(
+                !(f.items.contains(&0) && f.items.contains(&1)),
+                "itemset {:?} contains the blocked pair",
+                f.items
+            );
+        }
+        // Other pairs survive.
+        assert!(r.all().any(|f| f.items == vec![0, 2]));
+        // Statistics record the removal.
+        assert_eq!(r.stats.pairs_removed_same_type + r.stats.pairs_removed_dependencies, 1);
+    }
+
+    #[test]
+    fn filter_losslessness() {
+        // Removing {a,b} loses exactly the itemsets containing both a and
+        // b; everything else is identical (§3 of the paper).
+        let data = toy();
+        let plain = mine(&data, &AprioriConfig::apriori(MinSupport::Count(1)));
+        let filtered = mine(
+            &data,
+            &AprioriConfig::apriori_kc(
+                MinSupport::Count(1),
+                PairFilter::from_pairs([(0u32, 1u32)]),
+            ),
+        );
+        let expected: Vec<&FrequentItemset> = plain
+            .all()
+            .filter(|f| !(f.items.contains(&0) && f.items.contains(&1)))
+            .collect();
+        let got: Vec<&FrequentItemset> = filtered.all().collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = TransactionSet::new(ItemCatalog::new());
+        let r = mine(&empty, &AprioriConfig::apriori(MinSupport::Fraction(0.5)));
+        assert_eq!(r.num_frequent(), 0);
+
+        // Single transaction: everything frequent at 100%.
+        let mut c = ItemCatalog::new();
+        c.intern_attribute("x");
+        c.intern_attribute("y");
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0, 1]);
+        let r = mine(&ts, &AprioriConfig::apriori(MinSupport::Fraction(1.0)));
+        assert_eq!(r.num_frequent(), 3); // {x}, {y}, {x,y}
+        assert_eq!(r.max_size(), 2);
+    }
+
+    #[test]
+    fn apriori_gen_join_and_prune() {
+        // L2 = {ab, ac, bc, bd} → join gives abc (from ab+ac: prefix a),
+        // bcd (from bc+bd: prefix b). Prune removes bcd (cd not in L2).
+        let l2: Vec<Vec<u32>> = vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![1, 3]];
+        let refs: Vec<&[u32]> = l2.iter().map(|v| v.as_slice()).collect();
+        let c3 = apriori_gen(&refs);
+        assert_eq!(c3, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn apriori_gen_from_l1() {
+        let l1: Vec<Vec<u32>> = vec![vec![0], vec![2], vec![5]];
+        let refs: Vec<&[u32]> = l1.iter().map(|v| v.as_slice()).collect();
+        let c2 = apriori_gen(&refs);
+        assert_eq!(c2, vec![vec![0, 2], vec![0, 5], vec![2, 5]]);
+    }
+
+    #[test]
+    fn stats_track_levels() {
+        let r = mine(&toy(), &AprioriConfig::apriori(MinSupport::Count(2)));
+        assert_eq!(r.stats.candidates_per_level[0], 5); // items
+        assert_eq!(r.stats.frequent_per_level[0], 4);
+        assert_eq!(r.stats.candidates_per_level[1], 6); // C(4,2)
+        assert_eq!(r.stats.frequent_per_level[1], 4);
+    }
+}

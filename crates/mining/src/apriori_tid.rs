@@ -1,0 +1,257 @@
+//! AprioriTid (Agrawal & Srikant 1994), with the KC/KC+ pair filter.
+//!
+//! AprioriTid counts candidates against a *transformed* database `C̄ₖ`: for
+//! every transaction, the set of k-candidates it contains. A transaction
+//! contains candidate `c` (built by joining two (k−1)-sets sharing a
+//! prefix) iff it contained both generators in the previous pass — so
+//! counting never rescans the raw data, and transactions that stop
+//! containing candidates drop out entirely. The filter semantics are
+//! identical to `Apriori-KC+`: blocked pairs are removed from `C₂`, which
+//! starves every superset.
+//!
+//! A fourth independent execution strategy for the same specification —
+//! used as yet another oracle in the equivalence tests.
+
+use crate::filter::PairFilter;
+use crate::item::{ItemId, TransactionSet};
+use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// AprioriTid configuration.
+#[derive(Debug, Clone)]
+pub struct AprioriTidConfig {
+    /// Minimum support.
+    pub min_support: MinSupport,
+    /// Pairs removed from `C₂`.
+    pub filter: PairFilter,
+}
+
+impl AprioriTidConfig {
+    /// Unfiltered AprioriTid.
+    pub fn new(min_support: MinSupport) -> AprioriTidConfig {
+        AprioriTidConfig { min_support, filter: PairFilter::none() }
+    }
+
+    /// AprioriTid with a `C₂` pair filter (builder style).
+    pub fn with_filter(mut self, filter: PairFilter) -> AprioriTidConfig {
+        self.filter = filter;
+        self
+    }
+}
+
+/// A candidate with the indices of its two generators in the previous
+/// level's candidate list.
+struct Candidate {
+    items: Vec<ItemId>,
+    gen_a: usize,
+    gen_b: usize,
+}
+
+/// Runs AprioriTid over a transaction set.
+pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> MiningResult {
+    let start = Instant::now();
+    let threshold = config.min_support.threshold(data.len());
+    let mut stats = MiningStats::default();
+
+    // Pass 1.
+    let num_items = data.catalog.len();
+    let mut counts = vec![0u64; num_items];
+    for t in data.transactions() {
+        for &i in t {
+            counts[i as usize] += 1;
+        }
+    }
+    stats.candidates_per_level.push(num_items);
+    let l1: Vec<FrequentItemset> = (0..num_items as ItemId)
+        .filter(|&i| counts[i as usize] >= threshold)
+        .map(|i| FrequentItemset { items: vec![i], support: counts[i as usize] })
+        .collect();
+    stats.frequent_per_level.push(l1.len());
+
+    // C̄₁: per transaction, the sorted list of frequent-1-candidate indices.
+    let l1_index: Vec<Option<usize>> = {
+        let mut map = vec![None; num_items];
+        for (pos, f) in l1.iter().enumerate() {
+            map[f.items[0] as usize] = Some(pos);
+        }
+        map
+    };
+    let mut cbar: Vec<Vec<usize>> = data
+        .transactions()
+        .iter()
+        .map(|t| t.iter().filter_map(|&i| l1_index[i as usize]).collect())
+        .collect();
+
+    let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
+    let mut k = 2usize;
+
+    loop {
+        let prev = &levels[k - 2];
+        if prev.len() < 2 {
+            break;
+        }
+        // Join step over the previous *frequent* list (lexicographic).
+        let prev_items: Vec<&[ItemId]> = prev.iter().map(|f| f.items.as_slice()).collect();
+        let prev_set: HashSet<&[ItemId]> = prev_items.iter().copied().collect();
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut group_start = 0;
+        while group_start < prev_items.len() {
+            let prefix = &prev_items[group_start][..k - 2];
+            let mut group_end = group_start + 1;
+            while group_end < prev_items.len() && &prev_items[group_end][..k - 2] == prefix {
+                group_end += 1;
+            }
+            for a in group_start..group_end {
+                for b in (a + 1)..group_end {
+                    let mut items = prev_items[a].to_vec();
+                    items.push(prev_items[b][k - 2]);
+                    // Prune: every (k-1)-subset frequent.
+                    let mut ok = true;
+                    let mut sub = Vec::with_capacity(k - 1);
+                    for skip in 0..items.len().saturating_sub(2) {
+                        sub.clear();
+                        sub.extend(
+                            items.iter().enumerate().filter(|&(x, _)| x != skip).map(|(_, &v)| v),
+                        );
+                        if !prev_set.contains(sub.as_slice()) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        candidates.push(Candidate { items, gen_a: a, gen_b: b });
+                    }
+                }
+            }
+            group_start = group_end;
+        }
+
+        if k == 2 {
+            candidates.retain(|c| {
+                if config.filter.blocks(c.items[0], c.items[1]) {
+                    stats.pairs_removed_same_type += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        stats.candidates_per_level.push(candidates.len());
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Counting over C̄(k-1): candidate c is in transaction t iff both
+        // generators are.
+        let mut support = vec![0u64; candidates.len()];
+        let mut next_cbar: Vec<Vec<usize>> = Vec::with_capacity(cbar.len());
+        for entry in &cbar {
+            let present: HashSet<usize> = entry.iter().copied().collect();
+            let mut contained: Vec<usize> = Vec::new();
+            for (ci, c) in candidates.iter().enumerate() {
+                if present.contains(&c.gen_a) && present.contains(&c.gen_b) {
+                    support[ci] += 1;
+                    contained.push(ci);
+                }
+            }
+            next_cbar.push(contained);
+        }
+
+        // Lk and the index remap for C̄k (which must reference positions in
+        // the *frequent* list, because the next join runs over Lk).
+        let mut remap: Vec<Option<usize>> = vec![None; candidates.len()];
+        let mut lk: Vec<FrequentItemset> = Vec::new();
+        for (ci, c) in candidates.iter().enumerate() {
+            if support[ci] >= threshold {
+                remap[ci] = Some(lk.len());
+                lk.push(FrequentItemset { items: c.items.clone(), support: support[ci] });
+            }
+        }
+        stats.frequent_per_level.push(lk.len());
+        if lk.is_empty() {
+            break;
+        }
+        cbar = next_cbar
+            .into_iter()
+            .map(|entry| entry.into_iter().filter_map(|ci| remap[ci]).collect())
+            .collect();
+        levels.push(lk);
+        k += 1;
+    }
+
+    stats.duration = start.elapsed();
+    MiningResult { levels, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{mine, AprioriConfig};
+    use crate::item::ItemCatalog;
+
+    fn toy() -> TransactionSet {
+        let mut c = ItemCatalog::new();
+        for l in ["a", "b", "c", "d", "e"] {
+            c.intern_attribute(l);
+        }
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0, 1, 2]);
+        ts.push(vec![0, 1, 3]);
+        ts.push(vec![0, 2, 3]);
+        ts.push(vec![1, 2, 4]);
+        ts.push(vec![0, 1, 2, 3]);
+        ts
+    }
+
+    fn sorted_sets(r: &MiningResult) -> Vec<(Vec<u32>, u64)> {
+        let mut v: Vec<(Vec<u32>, u64)> = r.all().map(|f| (f.items.clone(), f.support)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn agrees_with_apriori() {
+        let data = toy();
+        for support in [1u64, 2, 3, 4] {
+            let ap = mine(&data, &AprioriConfig::apriori(MinSupport::Count(support)));
+            let tid = mine_apriori_tid(&data, &AprioriTidConfig::new(MinSupport::Count(support)));
+            assert_eq!(sorted_sets(&ap), sorted_sets(&tid), "support {support}");
+        }
+    }
+
+    #[test]
+    fn filtered_matches_apriori_kc() {
+        let data = toy();
+        let filter = PairFilter::from_pairs([(0u32, 1u32), (1u32, 2u32)]);
+        let ap = mine(&data, &AprioriConfig::apriori_kc(MinSupport::Count(1), filter.clone()));
+        let tid = mine_apriori_tid(
+            &data,
+            &AprioriTidConfig::new(MinSupport::Count(1)).with_filter(filter),
+        );
+        assert_eq!(sorted_sets(&ap), sorted_sets(&tid));
+        assert_eq!(tid.stats.pairs_removed_same_type, 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = TransactionSet::new(ItemCatalog::new());
+        let r = mine_apriori_tid(&empty, &AprioriTidConfig::new(MinSupport::Fraction(0.5)));
+        assert_eq!(r.num_frequent(), 0);
+
+        let mut c = ItemCatalog::new();
+        c.intern_attribute("x");
+        c.intern_attribute("y");
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0, 1]);
+        ts.push(vec![0]);
+        let r = mine_apriori_tid(&ts, &AprioriTidConfig::new(MinSupport::Count(2)));
+        assert_eq!(r.num_frequent(), 1); // only {x}
+    }
+
+    #[test]
+    fn downward_closure() {
+        let r = mine_apriori_tid(&toy(), &AprioriTidConfig::new(MinSupport::Count(2)));
+        assert!(r.check_downward_closure());
+    }
+}

@@ -1,0 +1,151 @@
+//! Closed and maximal frequent itemsets.
+//!
+//! The paper's future-work section points to maximal/closed generalised
+//! patterns (its reference \[9\]) as the next redundancy-elimination step
+//! beyond KC+. These post-processors compute both notions from a full
+//! mining result:
+//!
+//! * an itemset is **closed** when no proper superset has the same
+//!   support;
+//! * an itemset is **maximal** when no proper superset is frequent at all.
+//!
+//! Maximal ⊆ closed ⊆ frequent.
+
+use crate::result::{FrequentItemset, MiningResult};
+
+/// True when `sub` is a strict subset of `sup` (both sorted).
+fn is_strict_subset(sub: &[u32], sup: &[u32]) -> bool {
+    if sub.len() >= sup.len() {
+        return false;
+    }
+    let mut i = 0;
+    for &s in sup {
+        if i < sub.len() && sub[i] == s {
+            i += 1;
+        }
+    }
+    i == sub.len()
+}
+
+/// Extracts the closed frequent itemsets.
+pub fn closed_itemsets(result: &MiningResult) -> Vec<FrequentItemset> {
+    let mut out = Vec::new();
+    for (k, level) in result.levels.iter().enumerate() {
+        // Supersets of a k-set with equal support can only be (k+1)-sets
+        // (if some (k+j)-superset has equal support, so does an
+        // intermediate (k+1)-superset by anti-monotonicity).
+        let next = result.levels.get(k + 1);
+        for f in level {
+            let closed = match next {
+                None => true,
+                Some(next_level) => !next_level
+                    .iter()
+                    .any(|g| g.support == f.support && is_strict_subset(&f.items, &g.items)),
+            };
+            if closed {
+                out.push(f.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the maximal frequent itemsets.
+pub fn maximal_itemsets(result: &MiningResult) -> Vec<FrequentItemset> {
+    let mut out = Vec::new();
+    for (k, level) in result.levels.iter().enumerate() {
+        // A k-set is maximal iff no (k+1)-superset is frequent.
+        let next = result.levels.get(k + 1);
+        for f in level {
+            let maximal = match next {
+                None => true,
+                Some(next_level) => {
+                    !next_level.iter().any(|g| is_strict_subset(&f.items, &g.items))
+                }
+            };
+            if maximal {
+                out.push(f.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{mine, AprioriConfig};
+    use crate::item::{ItemCatalog, TransactionSet};
+    use crate::result::MinSupport;
+
+    fn data() -> TransactionSet {
+        let mut c = ItemCatalog::new();
+        for l in ["a", "b", "c", "d"] {
+            c.intern_attribute(l);
+        }
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0, 1, 2]);
+        ts.push(vec![0, 1, 2]);
+        ts.push(vec![0, 1]);
+        ts.push(vec![0, 3]);
+        ts
+    }
+
+    #[test]
+    fn subset_predicate() {
+        assert!(is_strict_subset(&[1], &[0, 1, 2]));
+        assert!(is_strict_subset(&[0, 2], &[0, 1, 2]));
+        assert!(!is_strict_subset(&[0, 1, 2], &[0, 1, 2]));
+        assert!(!is_strict_subset(&[0, 3], &[0, 1, 2]));
+        assert!(is_strict_subset(&[], &[0]));
+    }
+
+    #[test]
+    fn closed_sets() {
+        let ts = data();
+        let r = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let closed = closed_itemsets(&r);
+        let closed_items: Vec<&Vec<u32>> = closed.iter().map(|f| &f.items).collect();
+        // {a} (4) is closed: no superset has support 4.
+        assert!(closed_items.contains(&&vec![0]));
+        // {b} (3) is NOT closed: {a,b} also has support 3.
+        assert!(!closed_items.contains(&&vec![1]));
+        // {a,b} (3) is closed; {a,b,c} (2) is closed.
+        assert!(closed_items.contains(&&vec![0, 1]));
+        assert!(closed_items.contains(&&vec![0, 1, 2]));
+        // {c} (2) is not closed ({a,b,c} support 2... via {b,c}).
+        assert!(!closed_items.contains(&&vec![2]));
+    }
+
+    #[test]
+    fn maximal_sets() {
+        let ts = data();
+        let r = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let maximal = maximal_itemsets(&r);
+        let maximal_items: Vec<&Vec<u32>> = maximal.iter().map(|f| &f.items).collect();
+        assert_eq!(maximal_items, vec![&vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn maximal_subset_of_closed_subset_of_frequent() {
+        let ts = data();
+        let r = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let frequent = r.num_frequent();
+        let closed = closed_itemsets(&r);
+        let maximal = maximal_itemsets(&r);
+        assert!(maximal.len() <= closed.len());
+        assert!(closed.len() <= frequent);
+        // Every maximal set is closed.
+        for m in &maximal {
+            assert!(closed.iter().any(|c| c.items == m.items));
+        }
+        // Closure recovers all frequent supports: every frequent itemset
+        // has a closed superset with the same support.
+        for f in r.all() {
+            assert!(closed
+                .iter()
+                .any(|c| c.support == f.support
+                    && (c.items == f.items || is_strict_subset(&f.items, &c.items))));
+        }
+    }
+}

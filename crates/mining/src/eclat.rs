@@ -1,0 +1,251 @@
+//! Eclat: vertical frequent-itemset mining with TID bitsets, with the
+//! same pluggable pair filter as Apriori-KC+ and FP-Growth.
+//!
+//! Eclat represents each item by the bitset of transactions containing it
+//! and extends prefixes by intersecting bitsets — a very different
+//! execution strategy from both candidate generation (Apriori) and pattern
+//! growth (FP-Growth). Carrying the KC+ filter here, too, completes the
+//! demonstration that the paper's step is algorithm-agnostic, and gives
+//! the test suite a *third* independent oracle.
+
+use crate::filter::PairFilter;
+use crate::item::{ItemId, TransactionSet};
+use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use std::time::Instant;
+
+/// Eclat configuration.
+#[derive(Debug, Clone)]
+pub struct EclatConfig {
+    /// Minimum support.
+    pub min_support: MinSupport,
+    /// Pairs no mined itemset may contain.
+    pub filter: PairFilter,
+}
+
+impl EclatConfig {
+    /// Unfiltered Eclat.
+    pub fn new(min_support: MinSupport) -> EclatConfig {
+        EclatConfig { min_support, filter: PairFilter::none() }
+    }
+
+    /// Eclat with a pair filter (builder style).
+    pub fn with_filter(mut self, filter: PairFilter) -> EclatConfig {
+        self.filter = filter;
+        self
+    }
+}
+
+/// A transaction-id set as a packed bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TidSet {
+    words: Vec<u64>,
+}
+
+impl TidSet {
+    /// Empty set sized for `n` transactions.
+    pub fn new(n: usize) -> TidSet {
+        TidSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Marks transaction `tid`.
+    pub fn insert(&mut self, tid: usize) {
+        self.words[tid / 64] |= 1u64 << (tid % 64);
+    }
+
+    /// True when `tid` is present.
+    pub fn contains(&self, tid: usize) -> bool {
+        self.words
+            .get(tid / 64)
+            .map(|w| w & (1u64 << (tid % 64)) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Cardinality (the itemset's support).
+    pub fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Intersection with `other`.
+    pub fn intersect(&self, other: &TidSet) -> TidSet {
+        TidSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+}
+
+/// Runs Eclat over a transaction set.
+pub fn mine_eclat(data: &TransactionSet, config: &EclatConfig) -> MiningResult {
+    let start = Instant::now();
+    let n = data.len();
+    let threshold = config.min_support.threshold(n);
+
+    // Vertical representation.
+    let num_items = data.catalog.len();
+    let mut tids: Vec<TidSet> = (0..num_items).map(|_| TidSet::new(n)).collect();
+    for (tid, t) in data.transactions().iter().enumerate() {
+        for &i in t {
+            tids[i as usize].insert(tid);
+        }
+    }
+
+    // Frequent 1-items, in id order for deterministic output.
+    let frequent: Vec<(ItemId, TidSet)> = (0..num_items as ItemId)
+        .filter_map(|i| {
+            let set = &tids[i as usize];
+            (set.count() >= threshold).then(|| (i, set.clone()))
+        })
+        .collect();
+
+    let mut found: Vec<FrequentItemset> = Vec::new();
+    for (pos, (item, set)) in frequent.iter().enumerate() {
+        found.push(FrequentItemset { items: vec![*item], support: set.count() });
+        extend(
+            &frequent,
+            pos,
+            &mut vec![*item],
+            set,
+            threshold,
+            &config.filter,
+            &mut found,
+        );
+    }
+
+    // Group by size; depth-first emission from sorted 1-items is already
+    // lexicographic within each level.
+    let max_k = found.iter().map(|f| f.items.len()).max().unwrap_or(0);
+    let mut levels: Vec<Vec<FrequentItemset>> = vec![Vec::new(); max_k];
+    for f in found {
+        let k = f.items.len();
+        levels[k - 1].push(f);
+    }
+    for level in &mut levels {
+        level.sort_by(|a, b| a.items.cmp(&b.items));
+    }
+
+    let stats = MiningStats {
+        frequent_per_level: levels.iter().map(Vec::len).collect(),
+        duration: start.elapsed(),
+        ..MiningStats::default()
+    };
+    MiningResult { levels, stats }
+}
+
+fn extend(
+    frequent: &[(ItemId, TidSet)],
+    pos: usize,
+    prefix: &mut Vec<ItemId>,
+    prefix_tids: &TidSet,
+    threshold: u64,
+    filter: &PairFilter,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for (next_pos, (item, set)) in frequent.iter().enumerate().skip(pos + 1) {
+        // KC/KC+ pruning: a blocked pair poisons the pattern and every
+        // extension of it.
+        if prefix.iter().any(|&p| filter.blocks(p, *item)) {
+            continue;
+        }
+        let joined = prefix_tids.intersect(set);
+        let support = joined.count();
+        if support < threshold {
+            continue;
+        }
+        prefix.push(*item);
+        out.push(FrequentItemset { items: prefix.clone(), support });
+        extend(frequent, next_pos, prefix, &joined, threshold, filter, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{mine, AprioriConfig};
+    use crate::item::ItemCatalog;
+
+    fn toy() -> TransactionSet {
+        let mut c = ItemCatalog::new();
+        for l in ["a", "b", "c", "d", "e"] {
+            c.intern_attribute(l);
+        }
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0, 1, 2]);
+        ts.push(vec![0, 1, 3]);
+        ts.push(vec![0, 2, 3]);
+        ts.push(vec![1, 2, 4]);
+        ts.push(vec![0, 1, 2, 3]);
+        ts
+    }
+
+    fn sorted_sets(r: &MiningResult) -> Vec<(Vec<u32>, u64)> {
+        let mut v: Vec<(Vec<u32>, u64)> = r.all().map(|f| (f.items.clone(), f.support)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn tidset_basics() {
+        let mut s = TidSet::new(130);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        let mut t = TidSet::new(130);
+        t.insert(64);
+        t.insert(129);
+        t.insert(5);
+        let i = s.intersect(&t);
+        assert_eq!(i.count(), 2);
+        assert!(i.contains(64) && i.contains(129));
+    }
+
+    #[test]
+    fn agrees_with_apriori() {
+        let data = toy();
+        for support in [1u64, 2, 3, 4] {
+            let ap = mine(&data, &AprioriConfig::apriori(MinSupport::Count(support)));
+            let ec = mine_eclat(&data, &EclatConfig::new(MinSupport::Count(support)));
+            assert_eq!(sorted_sets(&ap), sorted_sets(&ec), "support {support}");
+        }
+    }
+
+    #[test]
+    fn filtered_eclat_matches_filtered_apriori() {
+        let data = toy();
+        let filter = PairFilter::from_pairs([(0u32, 1u32), (2u32, 3u32)]);
+        let ap = mine(&data, &AprioriConfig::apriori_kc(MinSupport::Count(1), filter.clone()));
+        let ec = mine_eclat(&data, &EclatConfig::new(MinSupport::Count(1)).with_filter(filter));
+        assert_eq!(sorted_sets(&ap), sorted_sets(&ec));
+    }
+
+    #[test]
+    fn empty_and_unit_inputs() {
+        let r = mine_eclat(
+            &TransactionSet::new(ItemCatalog::new()),
+            &EclatConfig::new(MinSupport::Fraction(0.5)),
+        );
+        assert_eq!(r.num_frequent(), 0);
+
+        let mut c = ItemCatalog::new();
+        c.intern_attribute("x");
+        let mut ts = TransactionSet::new(c);
+        ts.push(vec![0]);
+        let r = mine_eclat(&ts, &EclatConfig::new(MinSupport::Fraction(1.0)));
+        assert_eq!(r.num_frequent(), 1);
+        assert_eq!(r.levels[0][0].support, 1);
+    }
+
+    #[test]
+    fn downward_closure() {
+        let r = mine_eclat(&toy(), &EclatConfig::new(MinSupport::Count(2)));
+        assert!(r.check_downward_closure());
+    }
+}

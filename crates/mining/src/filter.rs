@@ -1,0 +1,149 @@
+//! Candidate-pair filters: the `C₂` pruning step of Apriori-KC and
+//! Apriori-KC+ (Listing 1 of the paper).
+//!
+//! A [`PairFilter`] is a set of unordered item pairs to remove from the
+//! candidate set at pass `k = 2`. By the anti-monotone property of
+//! support, removing a pair guarantees that no superset containing it is
+//! ever generated — one cheap step that eliminates the whole combinatorial
+//! explosion of meaningless supersets.
+//!
+//! Two builders mirror the paper:
+//! * [`PairFilter::from_dependencies`] — the background-knowledge set `Φ`
+//!   of well-known geographic dependencies (Apriori-KC);
+//! * [`PairFilter::same_feature_type`] — pairs of spatial predicates over
+//!   the same relevant feature type, *derived from the data's semantics
+//!   with no background knowledge* (the KC+ addition).
+
+use crate::item::{ItemCatalog, ItemId};
+use std::collections::HashSet;
+
+/// A set of unordered item pairs to drop from `C₂`.
+#[derive(Debug, Clone, Default)]
+pub struct PairFilter {
+    pairs: HashSet<(ItemId, ItemId)>,
+}
+
+impl PairFilter {
+    /// The empty filter (plain Apriori).
+    pub fn none() -> PairFilter {
+        PairFilter::default()
+    }
+
+    /// Filter containing exactly the given pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (ItemId, ItemId)>>(pairs: I) -> PairFilter {
+        let mut f = PairFilter::default();
+        for (a, b) in pairs {
+            f.insert(a, b);
+        }
+        f
+    }
+
+    /// The KC filter: well-known dependency pairs (`Φ`), given as item-id
+    /// pairs already resolved against the catalog.
+    pub fn from_dependencies<I: IntoIterator<Item = (ItemId, ItemId)>>(pairs: I) -> PairFilter {
+        PairFilter::from_pairs(pairs)
+    }
+
+    /// The KC+ same-feature-type filter, derived from item metadata alone.
+    pub fn same_feature_type(catalog: &ItemCatalog) -> PairFilter {
+        PairFilter::from_pairs(catalog.same_feature_type_pairs())
+    }
+
+    /// Adds one unordered pair.
+    pub fn insert(&mut self, a: ItemId, b: ItemId) {
+        if a != b {
+            self.pairs.insert(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+
+    /// Union of two filters (KC+ = dependencies ∪ same-feature-type).
+    pub fn union(mut self, other: &PairFilter) -> PairFilter {
+        self.pairs.extend(other.pairs.iter().copied());
+        self
+    }
+
+    /// True when the filter removes the pair `{a, b}`.
+    pub fn blocks(&self, a: ItemId, b: ItemId) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pairs.contains(&key)
+    }
+
+    /// True when the itemset contains any blocked pair.
+    pub fn blocks_set(&self, items: &[ItemId]) -> bool {
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                if self.blocks(items[i], items[j]) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of blocked pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the filter blocks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> ItemCatalog {
+        let mut c = ItemCatalog::new();
+        c.intern_spatial("contains_slum", "slum"); // 0
+        c.intern_spatial("touches_slum", "slum"); // 1
+        c.intern_spatial("overlaps_slum", "slum"); // 2
+        c.intern_spatial("contains_school", "school"); // 3
+        c.intern_spatial("touches_school", "school"); // 4
+        c.intern_attribute("murderRate=high"); // 5
+        c
+    }
+
+    #[test]
+    fn same_feature_type_filter() {
+        let f = PairFilter::same_feature_type(&catalog());
+        assert_eq!(f.len(), 4); // C(3,2) + C(2,2)
+        assert!(f.blocks(0, 1));
+        assert!(f.blocks(1, 0)); // unordered
+        assert!(f.blocks(1, 2));
+        assert!(f.blocks(3, 4));
+        assert!(!f.blocks(0, 3)); // different types
+        assert!(!f.blocks(0, 5)); // non-spatial partner
+    }
+
+    #[test]
+    fn blocks_set_detects_embedded_pairs() {
+        let f = PairFilter::same_feature_type(&catalog());
+        assert!(f.blocks_set(&[0, 1, 5]));
+        assert!(f.blocks_set(&[5, 3, 4]));
+        assert!(!f.blocks_set(&[0, 3, 5]));
+        assert!(!f.blocks_set(&[0]));
+        assert!(!f.blocks_set(&[]));
+    }
+
+    #[test]
+    fn union_combines_filters() {
+        let same = PairFilter::same_feature_type(&catalog());
+        let deps = PairFilter::from_dependencies([(0u32, 3u32)]);
+        let combined = deps.clone().union(&same);
+        assert_eq!(combined.len(), 5);
+        assert!(combined.blocks(0, 3));
+        assert!(combined.blocks(0, 1));
+        assert!(!deps.blocks(0, 1));
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let mut f = PairFilter::none();
+        f.insert(2, 2);
+        assert!(f.is_empty());
+        assert!(!f.blocks(2, 2));
+    }
+}

@@ -1,0 +1,305 @@
+//! Association-rule generation with interestingness measures.
+//!
+//! Standard rule generation from frequent itemsets (Agrawal & Srikant's
+//! `ap-genrules` semantics): for every frequent itemset `Z` with `|Z| ≥ 2`
+//! and every non-empty proper subset `A ⊂ Z`, the rule `A → Z∖A` is emitted
+//! when its confidence reaches the threshold. Support, confidence, lift,
+//! leverage and conviction are reported — the classic objective measures
+//! the paper contrasts its (threshold-independent) filter against.
+
+use crate::item::{ItemCatalog, ItemId};
+use crate::result::MiningResult;
+use std::collections::HashMap;
+
+/// One association rule `antecedent → consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Sorted antecedent items.
+    pub antecedent: Vec<ItemId>,
+    /// Sorted consequent items.
+    pub consequent: Vec<ItemId>,
+    /// Support of `antecedent ∪ consequent` as a fraction of transactions.
+    pub support: f64,
+    /// `P(consequent | antecedent)`.
+    pub confidence: f64,
+    /// `confidence / P(consequent)`; 1 means independence.
+    pub lift: f64,
+    /// `P(A∪B) − P(A)·P(B)`.
+    pub leverage: f64,
+    /// `(1 − P(B)) / (1 − confidence)`; ∞ for exact rules.
+    pub conviction: f64,
+}
+
+impl AssociationRule {
+    /// Antecedent probability `P(A)` (derived: `support / confidence`).
+    pub fn p_antecedent(&self) -> f64 {
+        self.support / self.confidence
+    }
+
+    /// Consequent probability `P(B)` (derived: `confidence / lift`).
+    pub fn p_consequent(&self) -> f64 {
+        self.confidence / self.lift
+    }
+
+    /// Jaccard coefficient `P(A∪B present together) / P(A or B)`.
+    pub fn jaccard(&self) -> f64 {
+        self.support / (self.p_antecedent() + self.p_consequent() - self.support)
+    }
+
+    /// Cosine measure `P(AB) / √(P(A)·P(B))`.
+    pub fn cosine(&self) -> f64 {
+        self.support / (self.p_antecedent() * self.p_consequent()).sqrt()
+    }
+
+    /// The full itemset the rule was derived from.
+    pub fn itemset(&self) -> Vec<ItemId> {
+        let mut all: Vec<ItemId> =
+            self.antecedent.iter().chain(&self.consequent).copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Renders the rule with labels, e.g.
+    /// `contains_slum → murderRate=high (conf 0.83)`.
+    pub fn render(&self, catalog: &ItemCatalog) -> String {
+        let side = |items: &[ItemId]| {
+            items.iter().map(|&i| catalog.label(i)).collect::<Vec<_>>().join(" ∧ ")
+        };
+        format!(
+            "{} → {} (sup {:.3}, conf {:.3}, lift {:.2})",
+            side(&self.antecedent),
+            side(&self.consequent),
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+/// Generates all rules meeting `min_confidence` from a mining result.
+///
+/// `num_transactions` is the database size the result was mined from.
+pub fn generate_rules(
+    result: &MiningResult,
+    num_transactions: usize,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    let n = num_transactions as f64;
+    let support: HashMap<Vec<ItemId>, u64> = result.support_map();
+    let mut rules = Vec::new();
+
+    for itemset in result.with_min_size(2) {
+        let z = &itemset.items;
+        let sup_z = itemset.support as f64;
+        // Enumerate non-empty proper subsets as antecedents.
+        let total_masks: u32 = 1 << z.len();
+        for mask in 1..total_masks - 1 {
+            let antecedent: Vec<ItemId> = z
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            let consequent: Vec<ItemId> = z
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) == 0)
+                .map(|(_, &v)| v)
+                .collect();
+            let sup_a = match support.get(&antecedent) {
+                Some(&s) => s as f64,
+                None => continue, // not frequent ⇒ rule unreliable; skip
+            };
+            let sup_b = match support.get(&consequent) {
+                Some(&s) => s as f64,
+                None => continue,
+            };
+            let confidence = sup_z / sup_a;
+            if confidence < min_confidence {
+                continue;
+            }
+            let p_b = sup_b / n;
+            rules.push(AssociationRule {
+                antecedent,
+                consequent,
+                support: sup_z / n,
+                confidence,
+                lift: confidence / p_b,
+                leverage: sup_z / n - (sup_a / n) * p_b,
+                conviction: if confidence >= 1.0 {
+                    f64::INFINITY
+                } else {
+                    (1.0 - p_b) / (1.0 - confidence)
+                },
+            });
+        }
+    }
+    // Deterministic order: by antecedent, then consequent.
+    rules.sort_by(|a, b| {
+        a.antecedent
+            .cmp(&b.antecedent)
+            .then_with(|| a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+/// Removes redundant rules in Zaki's sense: a rule is redundant when
+/// another rule with the *same support and confidence* has a subset
+/// antecedent and covers at least the same items overall — it conveys the
+/// same information more generally. (The paper contrasts its apriori
+/// filter with such a-posteriori redundancy elimination \[19\]; both are
+/// provided here because they compose: KC+ removes *meaningless* rules,
+/// this removes *redundant* ones.)
+pub fn non_redundant_rules(rules: &[AssociationRule]) -> Vec<AssociationRule> {
+    let is_subset = |a: &[ItemId], b: &[ItemId]| a.iter().all(|x| b.contains(x));
+    let close = |x: f64, y: f64| (x - y).abs() < 1e-12;
+    rules
+        .iter()
+        .filter(|r| {
+            !rules.iter().any(|general| {
+                !std::ptr::eq(*r, general)
+                    && close(general.support, r.support)
+                    && close(general.confidence, r.confidence)
+                    && is_subset(&general.antecedent, &r.antecedent)
+                    && is_subset(&r.itemset(), &general.itemset())
+                    && (general.antecedent.len() < r.antecedent.len()
+                        || general.itemset().len() > r.itemset().len())
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::{mine, AprioriConfig};
+    use crate::item::{ItemCatalog, TransactionSet};
+    use crate::result::MinSupport;
+
+    fn data() -> TransactionSet {
+        let mut c = ItemCatalog::new();
+        for l in ["a", "b", "c"] {
+            c.intern_attribute(l);
+        }
+        let mut ts = TransactionSet::new(c);
+        // a,b together 3 times; c twice with a.
+        ts.push(vec![0, 1]);
+        ts.push(vec![0, 1, 2]);
+        ts.push(vec![0, 1, 2]);
+        ts.push(vec![0]);
+        ts
+    }
+
+    #[test]
+    fn rule_measures() {
+        let ts = data();
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let rules = generate_rules(&result, ts.len(), 0.0);
+
+        // b → a has confidence 1 (b always with a).
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![0])
+            .expect("rule b → a");
+        assert_eq!(r.confidence, 1.0);
+        assert_eq!(r.support, 0.75);
+        assert_eq!(r.lift, 1.0); // P(a) = 1
+        assert_eq!(r.conviction, f64::INFINITY);
+
+        // a → c: sup(ac)=2, sup(a)=4 → conf 0.5; P(c)=0.5 → lift 1.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![0] && r.consequent == vec![2])
+            .expect("rule a → c");
+        assert_eq!(r.confidence, 0.5);
+        assert_eq!(r.lift, 1.0);
+        assert_eq!(r.leverage, 0.0);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let ts = data();
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let all = generate_rules(&result, ts.len(), 0.0);
+        let strict = generate_rules(&result, ts.len(), 0.9);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.9));
+    }
+
+    #[test]
+    fn multiway_rules_from_triples() {
+        let ts = data();
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let rules = generate_rules(&result, ts.len(), 0.0);
+        // {a,b,c} frequent (2) → rules like a∧b → c exist.
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec![0, 1] && r.consequent == vec![2]));
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec![2] && r.consequent == vec![0, 1]));
+    }
+
+    #[test]
+    fn no_rules_from_empty_result() {
+        let ts = TransactionSet::new(ItemCatalog::new());
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Fraction(0.5)));
+        assert!(generate_rules(&result, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn derived_measures() {
+        let ts = data();
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let rules = generate_rules(&result, ts.len(), 0.0);
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![0])
+            .unwrap();
+        // b → a: P(A)=P(b)=0.75, P(B)=P(a)=1.0, sup=0.75.
+        assert!((r.p_antecedent() - 0.75).abs() < 1e-12);
+        assert!((r.p_consequent() - 1.0).abs() < 1e-12);
+        assert!((r.jaccard() - 0.75).abs() < 1e-12); // 0.75/(0.75+1-0.75)
+        assert!((r.cosine() - 0.75 / 0.75f64.sqrt()).abs() < 1e-12);
+        assert_eq!(r.itemset(), vec![0, 1]);
+    }
+
+    #[test]
+    fn non_redundant_filtering() {
+        let ts = data();
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let rules = generate_rules(&result, ts.len(), 0.0);
+        let kept = non_redundant_rules(&rules);
+        assert!(kept.len() < rules.len(), "some rules must be redundant");
+        // b → a (sup .75, conf 1) makes a∧... wait: check a specific case:
+        // {b} → {a,c} and {b,c} → {a} have (sup .5): the more general
+        // antecedent {c} → {a} has the same support/confidence profile
+        // only if it matches; at minimum, every kept rule must not be
+        // dominated.
+        let is_subset = |a: &[u32], b: &[u32]| a.iter().all(|x| b.contains(x));
+        for r in &kept {
+            for general in &rules {
+                let dominates = (general.support - r.support).abs() < 1e-12
+                    && (general.confidence - r.confidence).abs() < 1e-12
+                    && is_subset(&general.antecedent, &r.antecedent)
+                    && is_subset(&r.itemset(), &general.itemset())
+                    && (general.antecedent.len() < r.antecedent.len()
+                        || general.itemset().len() > r.itemset().len());
+                assert!(!dominates, "{:?} dominated by {:?}", r, general);
+            }
+        }
+        // Filtering is idempotent.
+        assert_eq!(non_redundant_rules(&kept).len(), kept.len());
+    }
+
+    #[test]
+    fn render_uses_labels() {
+        let ts = data();
+        let result = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(2)));
+        let rules = generate_rules(&result, ts.len(), 0.99);
+        let rendered = rules[0].render(&ts.catalog);
+        assert!(rendered.contains("→"));
+        assert!(rendered.contains("conf"));
+    }
+}

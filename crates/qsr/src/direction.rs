@@ -1,0 +1,184 @@
+//! Qualitative direction (order) relations.
+//!
+//! Cone-based cardinal directions between feature centroids: the plane
+//! around the reference is divided into eight 45° cones. Together with
+//! topological and distance relations these are the third family of
+//! qualitative relations named by the paper (topological, distance, order
+//! \[11\]).
+
+use geopattern_geom::{Coord, Geometry};
+use std::fmt;
+
+/// The eight cone-based cardinal directions plus co-location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CardinalDirection {
+    North,
+    NorthEast,
+    East,
+    SouthEast,
+    South,
+    SouthWest,
+    West,
+    NorthWest,
+    /// Reference and target centroids coincide.
+    SamePosition,
+}
+
+impl CardinalDirection {
+    /// All nine values.
+    pub const ALL: [CardinalDirection; 9] = [
+        CardinalDirection::North,
+        CardinalDirection::NorthEast,
+        CardinalDirection::East,
+        CardinalDirection::SouthEast,
+        CardinalDirection::South,
+        CardinalDirection::SouthWest,
+        CardinalDirection::West,
+        CardinalDirection::NorthWest,
+        CardinalDirection::SamePosition,
+    ];
+
+    /// Predicate-friendly name (`north`, `northEast`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            CardinalDirection::North => "north",
+            CardinalDirection::NorthEast => "northEast",
+            CardinalDirection::East => "east",
+            CardinalDirection::SouthEast => "southEast",
+            CardinalDirection::South => "south",
+            CardinalDirection::SouthWest => "southWest",
+            CardinalDirection::West => "west",
+            CardinalDirection::NorthWest => "northWest",
+            CardinalDirection::SamePosition => "samePosition",
+        }
+    }
+
+    /// The opposite direction (`north` ↔ `south`, …).
+    pub fn opposite(self) -> CardinalDirection {
+        use CardinalDirection::*;
+        match self {
+            North => South,
+            NorthEast => SouthWest,
+            East => West,
+            SouthEast => NorthWest,
+            South => North,
+            SouthWest => NorthEast,
+            West => East,
+            NorthWest => SouthEast,
+            SamePosition => SamePosition,
+        }
+    }
+}
+
+impl fmt::Display for CardinalDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Direction of `to` as seen from `from` (cone-based, 45° sectors centred
+/// on the compass directions).
+pub fn direction_between(from: Coord, to: Coord) -> CardinalDirection {
+    let d = to - from;
+    if d.x == 0.0 && d.y == 0.0 {
+        return CardinalDirection::SamePosition;
+    }
+    let angle = d.y.atan2(d.x); // radians, 0 = east, CCW
+    let deg = angle.to_degrees();
+    // Sector centres every 45°, starting at east; each sector spans ±22.5°.
+    let sector = ((deg + 22.5).rem_euclid(360.0) / 45.0).floor() as usize;
+    const ORDER: [CardinalDirection; 8] = [
+        CardinalDirection::East,
+        CardinalDirection::NorthEast,
+        CardinalDirection::North,
+        CardinalDirection::NorthWest,
+        CardinalDirection::West,
+        CardinalDirection::SouthWest,
+        CardinalDirection::South,
+        CardinalDirection::SouthEast,
+    ];
+    ORDER[sector.min(7)]
+}
+
+/// Direction between the representative points of two geometries.
+///
+/// Uses polygon interior points / centroidal representatives, which is the
+/// feature-type-granularity reading the paper mines at.
+pub fn geometry_direction(from: &Geometry, to: &Geometry) -> CardinalDirection {
+    direction_between(reference_point(from), reference_point(to))
+}
+
+fn reference_point(g: &Geometry) -> Coord {
+    match g {
+        Geometry::Polygon(p) => p.centroid(),
+        Geometry::Point(p) => p.coord(),
+        other => other.envelope().center(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopattern_geom::coord;
+
+    #[test]
+    fn axis_directions() {
+        let o = coord(0.0, 0.0);
+        assert_eq!(direction_between(o, coord(0.0, 1.0)), CardinalDirection::North);
+        assert_eq!(direction_between(o, coord(1.0, 0.0)), CardinalDirection::East);
+        assert_eq!(direction_between(o, coord(0.0, -1.0)), CardinalDirection::South);
+        assert_eq!(direction_between(o, coord(-1.0, 0.0)), CardinalDirection::West);
+    }
+
+    #[test]
+    fn diagonal_directions() {
+        let o = coord(0.0, 0.0);
+        assert_eq!(direction_between(o, coord(1.0, 1.0)), CardinalDirection::NorthEast);
+        assert_eq!(direction_between(o, coord(-1.0, 1.0)), CardinalDirection::NorthWest);
+        assert_eq!(direction_between(o, coord(-1.0, -1.0)), CardinalDirection::SouthWest);
+        assert_eq!(direction_between(o, coord(1.0, -1.0)), CardinalDirection::SouthEast);
+    }
+
+    #[test]
+    fn cone_boundaries() {
+        let o = coord(0.0, 0.0);
+        // 10° above east stays east; 30° goes northeast.
+        let at = |deg: f64| {
+            let r = deg.to_radians();
+            coord(r.cos(), r.sin())
+        };
+        assert_eq!(direction_between(o, at(10.0)), CardinalDirection::East);
+        assert_eq!(direction_between(o, at(30.0)), CardinalDirection::NorthEast);
+        assert_eq!(direction_between(o, at(80.0)), CardinalDirection::North);
+        assert_eq!(direction_between(o, at(190.0)), CardinalDirection::West);
+        assert_eq!(direction_between(o, at(-10.0)), CardinalDirection::East);
+        assert_eq!(direction_between(o, at(-80.0)), CardinalDirection::South);
+    }
+
+    #[test]
+    fn same_position() {
+        assert_eq!(
+            direction_between(coord(3.0, 3.0), coord(3.0, 3.0)),
+            CardinalDirection::SamePosition
+        );
+    }
+
+    #[test]
+    fn opposite_is_involutive_and_consistent() {
+        for d in CardinalDirection::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+        let o = coord(0.0, 0.0);
+        let p = coord(2.0, 5.0);
+        assert_eq!(direction_between(o, p).opposite(), direction_between(p, o));
+    }
+
+    #[test]
+    fn geometry_direction_uses_representatives() {
+        use geopattern_geom::{from_wkt, Geometry};
+        let a: Geometry = from_wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").unwrap();
+        let b: Geometry = from_wkt("POINT (1 10)").unwrap();
+        assert_eq!(geometry_direction(&a, &b), CardinalDirection::North);
+        assert_eq!(geometry_direction(&b, &a), CardinalDirection::South);
+    }
+}

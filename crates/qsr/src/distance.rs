@@ -1,0 +1,160 @@
+//! Qualitative distance relations.
+//!
+//! The paper's example: a district is `veryClose` / `close` / `far` from
+//! police centers according to distance thresholds. A [`DistanceScheme`]
+//! names a monotone sequence of bands; [`DistanceScheme::classify`]
+//! quantises a metric distance into one of them. The number of bands
+//! directly drives the number of same-feature-type predicate pairs the
+//! KC+ filter must remove (§1 of the paper).
+
+use std::fmt;
+
+/// One qualitative distance band: everything up to `upper` (exclusive for
+/// all but the last band, which is open-ended when `upper` is infinite).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceBand {
+    /// Name used in predicates, e.g. `"veryClose"`, `"close"`, `"far"`.
+    pub name: String,
+    /// Exclusive upper bound of the band (metric units of the dataset).
+    pub upper: f64,
+}
+
+/// A named, ordered partition of `[0, ∞)` into qualitative distance bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceScheme {
+    bands: Vec<DistanceBand>,
+}
+
+/// Errors constructing a [`DistanceScheme`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistanceSchemeError {
+    /// No bands were supplied.
+    Empty,
+    /// Band bounds must be strictly increasing and positive.
+    NotIncreasing { index: usize },
+    /// Band names must be unique.
+    DuplicateName { name: String },
+}
+
+impl fmt::Display for DistanceSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceSchemeError::Empty => write!(f, "a distance scheme needs at least one band"),
+            DistanceSchemeError::NotIncreasing { index } => {
+                write!(f, "band {index} does not increase the upper bound")
+            }
+            DistanceSchemeError::DuplicateName { name } => {
+                write!(f, "duplicate band name {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistanceSchemeError {}
+
+impl DistanceScheme {
+    /// Builds a scheme from `(name, upper_bound)` pairs. The last band may
+    /// use `f64::INFINITY` to be open-ended; if it does not, distances
+    /// beyond the last bound classify as `None`.
+    pub fn new<S: Into<String>>(bands: Vec<(S, f64)>) -> Result<DistanceScheme, DistanceSchemeError> {
+        if bands.is_empty() {
+            return Err(DistanceSchemeError::Empty);
+        }
+        let bands: Vec<DistanceBand> = bands
+            .into_iter()
+            .map(|(name, upper)| DistanceBand { name: name.into(), upper })
+            .collect();
+        let mut prev = 0.0;
+        for (i, b) in bands.iter().enumerate() {
+            if b.upper <= prev || b.upper.is_nan() {
+                return Err(DistanceSchemeError::NotIncreasing { index: i });
+            }
+            prev = b.upper;
+        }
+        for (i, b) in bands.iter().enumerate() {
+            if bands[..i].iter().any(|o| o.name == b.name) {
+                return Err(DistanceSchemeError::DuplicateName { name: b.name.clone() });
+            }
+        }
+        Ok(DistanceScheme { bands })
+    }
+
+    /// The paper's three-band scheme: `veryClose` / `close` / `far`, with
+    /// the given thresholds and an open-ended `far`.
+    pub fn very_close_close_far(very_close: f64, close: f64) -> DistanceScheme {
+        DistanceScheme::new(vec![
+            ("veryClose", very_close),
+            ("close", close),
+            ("far", f64::INFINITY),
+        ])
+        .expect("static bands are valid")
+    }
+
+    /// The bands in order.
+    pub fn bands(&self) -> &[DistanceBand] {
+        &self.bands
+    }
+
+    /// Index and name of the band containing `distance`, or `None` when
+    /// the distance exceeds a bounded last band (or is NaN/negative).
+    pub fn classify(&self, distance: f64) -> Option<(usize, &str)> {
+        if distance < 0.0 || distance.is_nan() {
+            return None;
+        }
+        self.bands
+            .iter()
+            .position(|b| distance < b.upper)
+            .map(|i| (i, self.bands[i].name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scheme_classification() {
+        let s = DistanceScheme::very_close_close_far(100.0, 1000.0);
+        assert_eq!(s.classify(0.0), Some((0, "veryClose")));
+        assert_eq!(s.classify(99.9), Some((0, "veryClose")));
+        assert_eq!(s.classify(100.0), Some((1, "close")));
+        assert_eq!(s.classify(999.0), Some((1, "close")));
+        assert_eq!(s.classify(1000.0), Some((2, "far")));
+        assert_eq!(s.classify(1e9), Some((2, "far")));
+    }
+
+    #[test]
+    fn bounded_last_band() {
+        let s = DistanceScheme::new(vec![("near", 10.0), ("mid", 20.0)]).unwrap();
+        assert_eq!(s.classify(5.0), Some((0, "near")));
+        assert_eq!(s.classify(15.0), Some((1, "mid")));
+        assert_eq!(s.classify(25.0), None);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert_eq!(
+            DistanceScheme::new(Vec::<(&str, f64)>::new()),
+            Err(DistanceSchemeError::Empty)
+        );
+        assert_eq!(
+            DistanceScheme::new(vec![("a", 10.0), ("b", 5.0)]),
+            Err(DistanceSchemeError::NotIncreasing { index: 1 })
+        );
+        assert_eq!(
+            DistanceScheme::new(vec![("a", 0.0)]),
+            Err(DistanceSchemeError::NotIncreasing { index: 0 })
+        );
+        assert_eq!(
+            DistanceScheme::new(vec![("a", 10.0), ("a", 20.0)]),
+            Err(DistanceSchemeError::DuplicateName { name: "a".into() })
+        );
+    }
+
+    #[test]
+    fn degenerate_distances() {
+        let s = DistanceScheme::very_close_close_far(1.0, 2.0);
+        assert_eq!(s.classify(-1.0), None);
+        assert_eq!(s.classify(f64::NAN), None);
+    }
+}

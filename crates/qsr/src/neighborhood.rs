@@ -1,0 +1,122 @@
+//! The conceptual neighborhood graph of RCC8.
+//!
+//! Two base relations are *conceptual neighbors* when one can transform
+//! continuously into the other (by deforming or moving the regions) without
+//! passing through a third relation. The graph distance between relations
+//! measures how "semantically far" two qualitative observations are — used
+//! e.g. to assess how much two predicate sets over the same feature type
+//! differ.
+
+use crate::rcc8::Rcc8;
+
+/// Edges of the RCC8 conceptual neighborhood graph (Randell/Cohn).
+pub const NEIGHBOR_EDGES: [(Rcc8, Rcc8); 8] = [
+    (Rcc8::Dc, Rcc8::Ec),
+    (Rcc8::Ec, Rcc8::Po),
+    (Rcc8::Po, Rcc8::Tpp),
+    (Rcc8::Po, Rcc8::Tppi),
+    (Rcc8::Tpp, Rcc8::Ntpp),
+    (Rcc8::Tppi, Rcc8::Ntppi),
+    (Rcc8::Tpp, Rcc8::Eq),
+    (Rcc8::Tppi, Rcc8::Eq),
+];
+
+/// True when `a` and `b` are conceptual neighbors (or equal).
+pub fn are_neighbors(a: Rcc8, b: Rcc8) -> bool {
+    a == b
+        || NEIGHBOR_EDGES
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+}
+
+/// Graph distance in the conceptual neighborhood graph (0 for identical
+/// relations). The graph is connected, so a distance always exists.
+pub fn neighborhood_distance(a: Rcc8, b: Rcc8) -> u32 {
+    if a == b {
+        return 0;
+    }
+    // BFS over 8 nodes.
+    let mut dist = [u32::MAX; 8];
+    dist[a as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(a);
+    while let Some(cur) = queue.pop_front() {
+        for r in Rcc8::ALL {
+            if dist[r as usize] == u32::MAX && are_neighbors(cur, r) && cur != r {
+                dist[r as usize] = dist[cur as usize] + 1;
+                if r == b {
+                    return dist[r as usize];
+                }
+                queue.push_back(r);
+            }
+        }
+    }
+    unreachable!("the conceptual neighborhood graph is connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_membership() {
+        assert!(are_neighbors(Rcc8::Dc, Rcc8::Ec));
+        assert!(are_neighbors(Rcc8::Ec, Rcc8::Dc));
+        assert!(are_neighbors(Rcc8::Po, Rcc8::Tpp));
+        assert!(!are_neighbors(Rcc8::Dc, Rcc8::Po));
+        assert!(!are_neighbors(Rcc8::Dc, Rcc8::Eq));
+        assert!(are_neighbors(Rcc8::Eq, Rcc8::Eq));
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(neighborhood_distance(Rcc8::Dc, Rcc8::Dc), 0);
+        assert_eq!(neighborhood_distance(Rcc8::Dc, Rcc8::Ec), 1);
+        assert_eq!(neighborhood_distance(Rcc8::Dc, Rcc8::Po), 2);
+        assert_eq!(neighborhood_distance(Rcc8::Dc, Rcc8::Ntpp), 4);
+        assert_eq!(neighborhood_distance(Rcc8::Dc, Rcc8::Eq), 4);
+        // A touch is one deformation away from an overlap; containment is
+        // further.
+        assert!(neighborhood_distance(Rcc8::Ec, Rcc8::Po) < neighborhood_distance(Rcc8::Ec, Rcc8::Ntpp));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        for a in Rcc8::ALL {
+            for b in Rcc8::ALL {
+                assert_eq!(
+                    neighborhood_distance(a, b),
+                    neighborhood_distance(b, a),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_respects_converse() {
+        // The graph is symmetric under converse: d(a,b) = d(conv a, conv b).
+        for a in Rcc8::ALL {
+            for b in Rcc8::ALL {
+                assert_eq!(
+                    neighborhood_distance(a, b),
+                    neighborhood_distance(a.converse(), b.converse())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        for a in Rcc8::ALL {
+            for b in Rcc8::ALL {
+                for c in Rcc8::ALL {
+                    assert!(
+                        neighborhood_distance(a, c)
+                            <= neighborhood_distance(a, b) + neighborhood_distance(b, c)
+                    );
+                }
+            }
+        }
+    }
+}

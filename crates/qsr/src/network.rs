@@ -1,0 +1,202 @@
+//! Qualitative constraint networks over RCC8 and path consistency.
+//!
+//! A constraint network assigns to every ordered pair of variables a set of
+//! admissible RCC8 base relations. Path consistency (the algebraic-closure
+//! algorithm) repeatedly tightens `R(i,k)` with `R(i,j) ∘ R(j,k)`; an empty
+//! constraint proves the network inconsistent. For the mining pipeline this
+//! provides a sanity check over extracted predicates — a set of qualitative
+//! observations that is not path-consistent indicates an extraction bug or
+//! corrupted data.
+
+use crate::rcc8::{Rcc8, Rcc8Set};
+
+/// A complete binary constraint network over `n` variables.
+#[derive(Debug, Clone)]
+pub struct ConstraintNetwork {
+    n: usize,
+    /// Row-major `n × n` matrix of constraints; `c[i][j]` constrains
+    /// variable `i` against variable `j`. Kept converse-consistent.
+    constraints: Vec<Rcc8Set>,
+}
+
+/// Result of enforcing path consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// A fixpoint was reached with every constraint non-empty.
+    PathConsistent,
+    /// Some constraint became empty: the network has no solution.
+    Inconsistent,
+}
+
+impl ConstraintNetwork {
+    /// Creates a network of `n` variables with universal constraints.
+    pub fn new(n: usize) -> ConstraintNetwork {
+        let mut constraints = vec![Rcc8Set::UNIVERSAL; n * n];
+        for i in 0..n {
+            constraints[i * n + i] = Rcc8Set::of(Rcc8::Eq);
+        }
+        ConstraintNetwork { n, constraints }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the network has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The constraint between `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> Rcc8Set {
+        self.constraints[i * self.n + j]
+    }
+
+    /// Constrains `i R j`, intersecting with any existing constraint and
+    /// keeping the converse direction in sync.
+    pub fn constrain(&mut self, i: usize, j: usize, r: Rcc8Set) {
+        let cur = self.get(i, j);
+        let tightened = cur.intersect(r);
+        self.constraints[i * self.n + j] = tightened;
+        self.constraints[j * self.n + i] = tightened.converse();
+    }
+
+    /// Constrains `i` to a single base relation against `j`.
+    pub fn constrain_base(&mut self, i: usize, j: usize, r: Rcc8) {
+        self.constrain(i, j, Rcc8Set::of(r));
+    }
+
+    /// Enforces path consistency (algebraic closure) to a fixpoint.
+    ///
+    /// O(n³) per sweep, iterated until stable. Returns whether the network
+    /// survived with all constraints non-empty. Note that path consistency
+    /// is complete for deciding consistency of RCC8 networks whose
+    /// constraints are base relations (atomic networks).
+    pub fn path_consistency(&mut self) -> Consistency {
+        let n = self.n;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    for k in 0..n {
+                        if k == i || k == j {
+                            continue;
+                        }
+                        let composed = self.get(i, k).compose(self.get(k, j));
+                        let cur = self.get(i, j);
+                        let tightened = cur.intersect(composed);
+                        if tightened != cur {
+                            if tightened.is_empty() {
+                                self.constraints[i * n + j] = tightened;
+                                return Consistency::Inconsistent;
+                            }
+                            self.constraints[i * n + j] = tightened;
+                            self.constraints[j * n + i] = tightened.converse();
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        Consistency::PathConsistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_network_is_consistent() {
+        let mut net = ConstraintNetwork::new(3);
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+        assert_eq!(net.get(0, 0), Rcc8Set::of(Rcc8::Eq));
+        assert_eq!(net.get(0, 1), Rcc8Set::UNIVERSAL);
+    }
+
+    #[test]
+    fn containment_chain_propagates() {
+        // a NTPP b, b NTPP c ⟹ a NTPP c.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_base(0, 1, Rcc8::Ntpp);
+        net.constrain_base(1, 2, Rcc8::Ntpp);
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+        assert_eq!(net.get(0, 2), Rcc8Set::of(Rcc8::Ntpp));
+        // And the converse direction is maintained.
+        assert_eq!(net.get(2, 0), Rcc8Set::of(Rcc8::Ntppi));
+    }
+
+    #[test]
+    fn inconsistent_cycle_detected() {
+        // a NTPP b, b NTPP c, c NTPP a is impossible.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_base(0, 1, Rcc8::Ntpp);
+        net.constrain_base(1, 2, Rcc8::Ntpp);
+        net.constrain_base(2, 0, Rcc8::Ntpp);
+        assert_eq!(net.path_consistency(), Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn disjoint_parts_inconsistent() {
+        // a and b both well inside c, but a contains b while also DC b?
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_base(0, 2, Rcc8::Ntpp);
+        net.constrain_base(1, 2, Rcc8::Ntpp);
+        // a DC b is fine so far.
+        net.constrain_base(0, 1, Rcc8::Dc);
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+
+        // But a EC c while a NTPP c is immediately contradictory through
+        // composition with any third variable.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain(0, 2, Rcc8Set::of(Rcc8::Ntpp));
+        net.constrain(0, 2, Rcc8Set::of(Rcc8::Ec));
+        assert!(net.get(0, 2).is_empty());
+        assert_eq!(net.path_consistency(), Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn tightening_through_intermediate() {
+        // a TPP b and b DC c forces a DC c.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_base(0, 1, Rcc8::Tpp);
+        net.constrain_base(1, 2, Rcc8::Dc);
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+        assert_eq!(net.get(0, 2), Rcc8Set::of(Rcc8::Dc));
+    }
+
+    #[test]
+    fn the_paper_scenario_is_consistent() {
+        // District Nonoai touches slum180, covers slum183, overlaps
+        // slum174 and contains slum159 — mutually consistent if the slums
+        // are pairwise disjoint or overlapping appropriately.
+        let mut net = ConstraintNetwork::new(5);
+        let district = 0;
+        net.constrain_base(district, 1, Rcc8::Ec); // touches slum180
+        net.constrain_base(district, 2, Rcc8::Tppi); // covers slum183
+        net.constrain_base(district, 3, Rcc8::Po); // overlaps slum174
+        net.constrain_base(district, 4, Rcc8::Ntppi); // contains slum159
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+        // Slum180 (outside, touching) cannot contain slum159 (well inside).
+        assert!(!net.get(1, 4).contains(Rcc8::Ntppi));
+    }
+
+    #[test]
+    fn path_consistency_never_removes_from_consistent_scenario() {
+        // Fix a concrete scenario (a inside b, b overlaps c, a disjoint c);
+        // algebraic closure must keep every asserted base relation.
+        let mut net = ConstraintNetwork::new(3);
+        net.constrain_base(0, 1, Rcc8::Ntpp);
+        net.constrain_base(1, 2, Rcc8::Po);
+        net.constrain_base(0, 2, Rcc8::Dc);
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+        assert_eq!(net.get(0, 1), Rcc8Set::of(Rcc8::Ntpp));
+        assert_eq!(net.get(1, 2), Rcc8Set::of(Rcc8::Po));
+        assert_eq!(net.get(0, 2), Rcc8Set::of(Rcc8::Dc));
+    }
+}

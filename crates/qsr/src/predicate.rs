@@ -1,0 +1,131 @@
+//! Spatial predicates: the "items" of frequent geographic pattern mining.
+//!
+//! At feature-type granularity (the level the paper mines at), a predicate
+//! is a qualitative relation paired with the *type* of the relevant
+//! feature — `contains_slum`, `touches_school`, `closeTo_policeCenter` —
+//! regardless of which instance produced it. The KC+ filter's "same feature
+//! type" test compares the [`SpatialPredicate::feature_type`] fields of two
+//! predicates.
+
+use crate::direction::CardinalDirection;
+use crate::topological::TopologicalRelation;
+use std::fmt;
+
+/// Any qualitative spatial relation usable in a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QualitativeRelation {
+    /// A topological relation of the 9-intersection model.
+    Topological(TopologicalRelation),
+    /// A named qualitative distance band (`veryClose`, `close`, `far`, …).
+    Distance(String),
+    /// A cone-based cardinal direction.
+    Direction(CardinalDirection),
+}
+
+impl QualitativeRelation {
+    /// The relation name as it appears in predicate labels.
+    pub fn label(&self) -> String {
+        match self {
+            QualitativeRelation::Topological(t) => t.name().to_string(),
+            QualitativeRelation::Distance(band) => {
+                // `close` reads as `closeTo_…` in the paper's notation.
+                format!("{band}To")
+            }
+            QualitativeRelation::Direction(d) => format!("{}Of", d.name()),
+        }
+    }
+}
+
+impl fmt::Display for QualitativeRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A spatial predicate at feature-type granularity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpatialPredicate {
+    /// The qualitative relation.
+    pub relation: QualitativeRelation,
+    /// The relevant feature type (e.g. `"slum"`, `"school"`).
+    pub feature_type: String,
+}
+
+impl SpatialPredicate {
+    /// Topological predicate, e.g. `contains_slum`.
+    pub fn topological(rel: TopologicalRelation, feature_type: impl Into<String>) -> Self {
+        SpatialPredicate {
+            relation: QualitativeRelation::Topological(rel),
+            feature_type: feature_type.into(),
+        }
+    }
+
+    /// Distance predicate, e.g. `closeTo_policeCenter`.
+    pub fn distance(band: impl Into<String>, feature_type: impl Into<String>) -> Self {
+        SpatialPredicate {
+            relation: QualitativeRelation::Distance(band.into()),
+            feature_type: feature_type.into(),
+        }
+    }
+
+    /// Direction predicate, e.g. `northOf_river`.
+    pub fn direction(dir: CardinalDirection, feature_type: impl Into<String>) -> Self {
+        SpatialPredicate {
+            relation: QualitativeRelation::Direction(dir),
+            feature_type: feature_type.into(),
+        }
+    }
+
+    /// True when two predicates concern the same relevant feature type —
+    /// the condition under which the KC+ filter removes their pair.
+    pub fn same_feature_type(&self, other: &SpatialPredicate) -> bool {
+        self.feature_type == other.feature_type
+    }
+}
+
+impl fmt::Display for SpatialPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.relation.label(), self.feature_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = SpatialPredicate::topological(TopologicalRelation::Contains, "slum");
+        assert_eq!(p.to_string(), "contains_slum");
+        let p = SpatialPredicate::topological(TopologicalRelation::CoveredBy, "district");
+        assert_eq!(p.to_string(), "coveredBy_district");
+        let p = SpatialPredicate::distance("close", "policeCenter");
+        assert_eq!(p.to_string(), "closeTo_policeCenter");
+        let p = SpatialPredicate::distance("far", "policeCenter");
+        assert_eq!(p.to_string(), "farTo_policeCenter");
+        let p = SpatialPredicate::direction(CardinalDirection::North, "river");
+        assert_eq!(p.to_string(), "northOf_river");
+    }
+
+    #[test]
+    fn same_feature_type_check() {
+        let a = SpatialPredicate::topological(TopologicalRelation::Contains, "slum");
+        let b = SpatialPredicate::topological(TopologicalRelation::Touches, "slum");
+        let c = SpatialPredicate::topological(TopologicalRelation::Touches, "school");
+        let d = SpatialPredicate::distance("close", "slum");
+        assert!(a.same_feature_type(&b));
+        assert!(!a.same_feature_type(&c));
+        // Same feature type across different relation families still counts.
+        assert!(a.same_feature_type(&d));
+    }
+
+    #[test]
+    fn predicates_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SpatialPredicate::topological(TopologicalRelation::Contains, "slum"));
+        set.insert(SpatialPredicate::topological(TopologicalRelation::Contains, "slum"));
+        set.insert(SpatialPredicate::topological(TopologicalRelation::Touches, "slum"));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! The Region Connection Calculus RCC8: relations, converse, composition.
+//!
+//! RCC8 is the standard qualitative spatial algebra over regions. The eight
+//! base relations are jointly exhaustive and pairwise disjoint; reasoning
+//! proceeds over *sets* of base relations ([`Rcc8Set`], a bitmask) with
+//! converse and (weak) composition, which this module provides together
+//! with the mapping from the Egenhofer relations computed by
+//! [`crate::topological`].
+
+use crate::topological::TopologicalRelation;
+use std::fmt;
+
+/// The eight RCC8 base relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rcc8 {
+    /// Disconnected.
+    Dc = 0,
+    /// Externally connected (touching).
+    Ec = 1,
+    /// Partially overlapping.
+    Po = 2,
+    /// Tangential proper part (inside, touching the border).
+    Tpp = 3,
+    /// Non-tangential proper part (strictly inside).
+    Ntpp = 4,
+    /// Converse of TPP.
+    Tppi = 5,
+    /// Converse of NTPP.
+    Ntppi = 6,
+    /// Equal.
+    Eq = 7,
+}
+
+impl Rcc8 {
+    /// All eight base relations, in bit order.
+    pub const ALL: [Rcc8; 8] = [
+        Rcc8::Dc,
+        Rcc8::Ec,
+        Rcc8::Po,
+        Rcc8::Tpp,
+        Rcc8::Ntpp,
+        Rcc8::Tppi,
+        Rcc8::Ntppi,
+        Rcc8::Eq,
+    ];
+
+    /// Conventional name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rcc8::Dc => "DC",
+            Rcc8::Ec => "EC",
+            Rcc8::Po => "PO",
+            Rcc8::Tpp => "TPP",
+            Rcc8::Ntpp => "NTPP",
+            Rcc8::Tppi => "TPPi",
+            Rcc8::Ntppi => "NTPPi",
+            Rcc8::Eq => "EQ",
+        }
+    }
+
+    /// The converse base relation.
+    pub fn converse(self) -> Rcc8 {
+        match self {
+            Rcc8::Tpp => Rcc8::Tppi,
+            Rcc8::Tppi => Rcc8::Tpp,
+            Rcc8::Ntpp => Rcc8::Ntppi,
+            Rcc8::Ntppi => Rcc8::Ntpp,
+            other => other,
+        }
+    }
+
+    /// Maps a region/region Egenhofer relation onto RCC8.
+    ///
+    /// Returns `None` for `crosses`, which has no region/region reading.
+    pub fn from_topological(t: TopologicalRelation) -> Option<Rcc8> {
+        use TopologicalRelation::*;
+        Some(match t {
+            Disjoint => Rcc8::Dc,
+            Touches => Rcc8::Ec,
+            Overlaps => Rcc8::Po,
+            CoveredBy => Rcc8::Tpp,
+            Within => Rcc8::Ntpp,
+            Covers => Rcc8::Tppi,
+            Contains => Rcc8::Ntppi,
+            Equals => Rcc8::Eq,
+            Crosses => return None,
+        })
+    }
+
+    /// The corresponding Egenhofer region relation.
+    pub fn to_topological(self) -> TopologicalRelation {
+        use TopologicalRelation::*;
+        match self {
+            Rcc8::Dc => Disjoint,
+            Rcc8::Ec => Touches,
+            Rcc8::Po => Overlaps,
+            Rcc8::Tpp => CoveredBy,
+            Rcc8::Ntpp => Within,
+            Rcc8::Tppi => Covers,
+            Rcc8::Ntppi => Contains,
+            Rcc8::Eq => Equals,
+        }
+    }
+}
+
+impl fmt::Display for Rcc8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A set of RCC8 base relations, represented as an 8-bit mask.
+///
+/// The constraint-network machinery in [`crate::network`] works entirely
+/// over these sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rcc8Set(pub u8);
+
+impl Rcc8Set {
+    /// The empty set (an inconsistent constraint).
+    pub const EMPTY: Rcc8Set = Rcc8Set(0);
+    /// The universal set (no information).
+    pub const UNIVERSAL: Rcc8Set = Rcc8Set(0xFF);
+
+    /// Singleton set.
+    pub fn of(r: Rcc8) -> Rcc8Set {
+        Rcc8Set(1 << r as u8)
+    }
+
+    /// Set from a list of base relations.
+    pub fn from_relations(rs: &[Rcc8]) -> Rcc8Set {
+        let mut s = Rcc8Set::EMPTY;
+        for &r in rs {
+            s = s.union(Rcc8Set::of(r));
+        }
+        s
+    }
+
+    /// True when the set contains `r`.
+    pub fn contains(self, r: Rcc8) -> bool {
+        self.0 & (1 << r as u8) != 0
+    }
+
+    /// Number of base relations in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True for the empty (inconsistent) set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: Rcc8Set) -> Rcc8Set {
+        Rcc8Set(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: Rcc8Set) -> Rcc8Set {
+        Rcc8Set(self.0 & other.0)
+    }
+
+    /// True when `self ⊆ other`.
+    pub fn is_subset_of(self, other: Rcc8Set) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates the base relations in the set.
+    pub fn iter(self) -> impl Iterator<Item = Rcc8> {
+        Rcc8::ALL.into_iter().filter(move |&r| self.contains(r))
+    }
+
+    /// Converse of every member.
+    pub fn converse(self) -> Rcc8Set {
+        let mut out = Rcc8Set::EMPTY;
+        for r in self.iter() {
+            out = out.union(Rcc8Set::of(r.converse()));
+        }
+        out
+    }
+
+    /// Weak composition: the set of base relations consistent with
+    /// `x R y ∧ y S z` for some `R ∈ self`, `S ∈ other`.
+    pub fn compose(self, other: Rcc8Set) -> Rcc8Set {
+        let mut out = Rcc8Set::EMPTY;
+        for r in self.iter() {
+            for s in other.iter() {
+                out = out.union(compose_base(r, s));
+            }
+            if out == Rcc8Set::UNIVERSAL {
+                return out;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rcc8Set {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+// Shorthand bitmasks for the composition table.
+const DC: u8 = 1 << Rcc8::Dc as u8;
+const EC: u8 = 1 << Rcc8::Ec as u8;
+const PO: u8 = 1 << Rcc8::Po as u8;
+const TPP: u8 = 1 << Rcc8::Tpp as u8;
+const NTPP: u8 = 1 << Rcc8::Ntpp as u8;
+const TPPI: u8 = 1 << Rcc8::Tppi as u8;
+const NTPPI: u8 = 1 << Rcc8::Ntppi as u8;
+const EQ: u8 = 1 << Rcc8::Eq as u8;
+const ALL: u8 = 0xFF;
+
+/// The RCC8 weak-composition table (Randell, Cui & Cohn 1992).
+/// `COMPOSITION[r][s]` is the mask of relations possible between `x` and
+/// `z` given `x r y` and `y s z`.
+const COMPOSITION: [[u8; 8]; 8] = [
+    // DC ; _
+    [
+        ALL,                        // DC;DC
+        DC | EC | PO | TPP | NTPP,  // DC;EC
+        DC | EC | PO | TPP | NTPP,  // DC;PO
+        DC | EC | PO | TPP | NTPP,  // DC;TPP
+        DC | EC | PO | TPP | NTPP,  // DC;NTPP
+        DC,                         // DC;TPPi
+        DC,                         // DC;NTPPi
+        DC,                         // DC;EQ
+    ],
+    // EC ; _
+    [
+        DC | EC | PO | TPPI | NTPPI,     // EC;DC
+        DC | EC | PO | TPP | TPPI | EQ,  // EC;EC
+        DC | EC | PO | TPP | NTPP,       // EC;PO
+        EC | PO | TPP | NTPP,            // EC;TPP
+        PO | TPP | NTPP,                 // EC;NTPP
+        DC | EC,                         // EC;TPPi
+        DC,                              // EC;NTPPi
+        EC,                              // EC;EQ
+    ],
+    // PO ; _
+    [
+        DC | EC | PO | TPPI | NTPPI, // PO;DC
+        DC | EC | PO | TPPI | NTPPI, // PO;EC
+        ALL,                         // PO;PO
+        PO | TPP | NTPP,             // PO;TPP
+        PO | TPP | NTPP,             // PO;NTPP
+        DC | EC | PO | TPPI | NTPPI, // PO;TPPi
+        DC | EC | PO | TPPI | NTPPI, // PO;NTPPi
+        PO,                          // PO;EQ
+    ],
+    // TPP ; _
+    [
+        DC,                              // TPP;DC
+        DC | EC,                         // TPP;EC
+        DC | EC | PO | TPP | NTPP,       // TPP;PO
+        TPP | NTPP,                      // TPP;TPP
+        NTPP,                            // TPP;NTPP
+        DC | EC | PO | TPP | TPPI | EQ,  // TPP;TPPi
+        DC | EC | PO | TPPI | NTPPI,     // TPP;NTPPi
+        TPP,                             // TPP;EQ
+    ],
+    // NTPP ; _
+    [
+        DC,                        // NTPP;DC
+        DC,                        // NTPP;EC
+        DC | EC | PO | TPP | NTPP, // NTPP;PO
+        NTPP,                      // NTPP;TPP
+        NTPP,                      // NTPP;NTPP
+        DC | EC | PO | TPP | NTPP, // NTPP;TPPi
+        ALL,                       // NTPP;NTPPi
+        NTPP,                      // NTPP;EQ
+    ],
+    // TPPi ; _
+    [
+        DC | EC | PO | TPPI | NTPPI, // TPPi;DC
+        EC | PO | TPPI | NTPPI,      // TPPi;EC
+        PO | TPPI | NTPPI,           // TPPi;PO
+        PO | TPP | TPPI | EQ,        // TPPi;TPP
+        PO | TPP | NTPP,             // TPPi;NTPP
+        TPPI | NTPPI,                // TPPi;TPPi
+        NTPPI,                       // TPPi;NTPPi
+        TPPI,                        // TPPi;EQ
+    ],
+    // NTPPi ; _
+    [
+        DC | EC | PO | TPPI | NTPPI,             // NTPPi;DC
+        PO | TPPI | NTPPI,                       // NTPPi;EC
+        PO | TPPI | NTPPI,                       // NTPPi;PO
+        PO | TPPI | NTPPI,                       // NTPPi;TPP
+        PO | TPP | NTPP | TPPI | NTPPI | EQ,     // NTPPi;NTPP
+        NTPPI,                                   // NTPPi;TPPi
+        NTPPI,                                   // NTPPi;NTPPi
+        NTPPI,                                   // NTPPi;EQ
+    ],
+    // EQ ; _
+    [DC, EC, PO, TPP, NTPP, TPPI, NTPPI, EQ],
+];
+
+/// Composition of two base relations.
+pub fn compose_base(r: Rcc8, s: Rcc8) -> Rcc8Set {
+    Rcc8Set(COMPOSITION[r as usize][s as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converse_involution() {
+        for r in Rcc8::ALL {
+            assert_eq!(r.converse().converse(), r);
+        }
+        assert_eq!(Rcc8::Tpp.converse(), Rcc8::Tppi);
+        assert_eq!(Rcc8::Eq.converse(), Rcc8::Eq);
+    }
+
+    #[test]
+    fn eq_is_identity_for_composition() {
+        for r in Rcc8::ALL {
+            assert_eq!(compose_base(Rcc8::Eq, r), Rcc8Set::of(r), "EQ;{r}");
+            assert_eq!(compose_base(r, Rcc8::Eq), Rcc8Set::of(r), "{r};EQ");
+        }
+    }
+
+    #[test]
+    fn composition_converse_symmetry() {
+        // conv(R ; S) == conv(S) ; conv(R) — a structural identity every
+        // correct composition table satisfies. This cross-checks all 64
+        // entries against each other.
+        for r in Rcc8::ALL {
+            for s in Rcc8::ALL {
+                let lhs = compose_base(r, s).converse();
+                let rhs = compose_base(s.converse(), r.converse());
+                assert_eq!(lhs, rhs, "converse symmetry failed for {r};{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn composition_identity_membership() {
+        // r ; conv(r) must contain EQ (choose z = x).
+        for r in Rcc8::ALL {
+            assert!(
+                compose_base(r, r.converse()).contains(Rcc8::Eq),
+                "{r};conv({r}) must admit EQ"
+            );
+        }
+    }
+
+    #[test]
+    fn known_entries() {
+        assert_eq!(compose_base(Rcc8::Tpp, Rcc8::Ntpp), Rcc8Set::of(Rcc8::Ntpp));
+        assert_eq!(compose_base(Rcc8::Ntpp, Rcc8::Ntppi), Rcc8Set::UNIVERSAL);
+        assert_eq!(compose_base(Rcc8::Dc, Rcc8::Dc), Rcc8Set::UNIVERSAL);
+        assert_eq!(
+            compose_base(Rcc8::Ec, Rcc8::Ntpp),
+            Rcc8Set::from_relations(&[Rcc8::Po, Rcc8::Tpp, Rcc8::Ntpp])
+        );
+        assert_eq!(compose_base(Rcc8::Ntpp, Rcc8::Dc), Rcc8Set::of(Rcc8::Dc));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Rcc8Set::from_relations(&[Rcc8::Dc, Rcc8::Ec]);
+        let b = Rcc8Set::from_relations(&[Rcc8::Ec, Rcc8::Po]);
+        assert_eq!(a.intersect(b), Rcc8Set::of(Rcc8::Ec));
+        assert_eq!(a.union(b).len(), 3);
+        assert!(Rcc8Set::of(Rcc8::Ec).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(Rcc8Set::EMPTY.is_empty());
+        assert_eq!(Rcc8Set::UNIVERSAL.len(), 8);
+        assert_eq!(a.to_string(), "{DC,EC}");
+    }
+
+    #[test]
+    fn set_composition_distributes() {
+        let a = Rcc8Set::from_relations(&[Rcc8::Tpp, Rcc8::Ntpp]);
+        let b = Rcc8Set::of(Rcc8::Ntpp);
+        let composed = a.compose(b);
+        assert_eq!(
+            composed,
+            compose_base(Rcc8::Tpp, Rcc8::Ntpp).union(compose_base(Rcc8::Ntpp, Rcc8::Ntpp))
+        );
+        assert_eq!(composed, Rcc8Set::of(Rcc8::Ntpp));
+    }
+
+    #[test]
+    fn topological_mapping_roundtrip() {
+        for r in Rcc8::ALL {
+            assert_eq!(Rcc8::from_topological(r.to_topological()), Some(r));
+        }
+        assert_eq!(Rcc8::from_topological(TopologicalRelation::Crosses), None);
+        // Converse commutes with the mapping.
+        for r in Rcc8::ALL {
+            assert_eq!(r.to_topological().converse(), r.converse().to_topological());
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_composition_is_empty() {
+        assert_eq!(Rcc8Set::EMPTY.compose(Rcc8Set::UNIVERSAL), Rcc8Set::EMPTY);
+        assert_eq!(Rcc8Set::UNIVERSAL.compose(Rcc8Set::EMPTY), Rcc8Set::EMPTY);
+    }
+
+    #[test]
+    fn universal_composition_short_circuits_correctly() {
+        // DC;DC alone is universal, so any superset is too.
+        let s = Rcc8Set::from_relations(&[Rcc8::Dc, Rcc8::Eq]);
+        assert_eq!(s.compose(s), Rcc8Set::UNIVERSAL);
+    }
+
+    #[test]
+    fn set_iteration_round_trips() {
+        for bits in 0u8..=255 {
+            let s = Rcc8Set(bits);
+            let rebuilt = Rcc8Set::from_relations(&s.iter().collect::<Vec<_>>());
+            assert_eq!(s, rebuilt);
+            assert_eq!(s.len() as usize, s.iter().count());
+        }
+    }
+
+    #[test]
+    fn composition_monotone_in_both_arguments() {
+        // R ⊆ R' and S ⊆ S' ⟹ R;S ⊆ R';S'.
+        let small = Rcc8Set::of(Rcc8::Tpp);
+        let big = Rcc8Set::from_relations(&[Rcc8::Tpp, Rcc8::Ntpp]);
+        let s = Rcc8Set::of(Rcc8::Ec);
+        assert!(small.compose(s).is_subset_of(big.compose(s)));
+        assert!(s.compose(small).is_subset_of(s.compose(big)));
+    }
+}

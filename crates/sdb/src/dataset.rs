@@ -1,0 +1,252 @@
+//! Spatial datasets: a reference layer plus relevant layers, with a plain
+//! text serialisation format.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # free-form comments
+//! layer district reference
+//! Nonoai|POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))|murderRate=high;theftRate=high
+//! layer slum
+//! slum159|POLYGON ((...))|
+//! ```
+//!
+//! Exactly one layer must be marked `reference`. Attributes are
+//! `key=value` pairs separated by `;` (the trailing field may be empty).
+
+use crate::feature::{Feature, Layer};
+use geopattern_geom::{from_wkt, to_wkt, GeomError};
+use std::fmt;
+
+/// A complete mining input: one reference layer plus relevant layers.
+#[derive(Debug)]
+pub struct SpatialDataset {
+    /// The reference feature type (the paper's rows/transactions).
+    pub reference: Layer,
+    /// The relevant feature types.
+    pub relevant: Vec<Layer>,
+}
+
+/// Errors reading the dataset format.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Line was not parseable.
+    Syntax { line: usize, message: String },
+    /// A feature's WKT failed to parse or validate.
+    Geometry { line: usize, source: GeomError },
+    /// No (or more than one) reference layer.
+    ReferenceLayer(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            DatasetError::Geometry { line, source } => write!(f, "line {line}: {source}"),
+            DatasetError::ReferenceLayer(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl SpatialDataset {
+    /// Builds a dataset from layers.
+    pub fn new(reference: Layer, relevant: Vec<Layer>) -> SpatialDataset {
+        SpatialDataset { reference, relevant }
+    }
+
+    /// Borrowed view of the relevant layers (the shape `extract` wants).
+    pub fn relevant_refs(&self) -> Vec<&Layer> {
+        self.relevant.iter().collect()
+    }
+
+    /// Serialises the dataset to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# geopattern dataset v1\n");
+        write_layer(&mut out, &self.reference, true);
+        for l in &self.relevant {
+            write_layer(&mut out, l, false);
+        }
+        out
+    }
+
+    /// Parses a dataset from the text format.
+    pub fn from_text(input: &str) -> Result<SpatialDataset, DatasetError> {
+        let mut layers: Vec<(String, bool, Vec<Feature>)> = Vec::new();
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = lineno + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("layer ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| DatasetError::Syntax {
+                        line: lineno,
+                        message: "layer needs a name".into(),
+                    })?
+                    .to_string();
+                let is_ref = match parts.next() {
+                    None => false,
+                    Some("reference") => true,
+                    Some(other) => {
+                        return Err(DatasetError::Syntax {
+                            line: lineno,
+                            message: format!("unexpected token {other:?} after layer name"),
+                        })
+                    }
+                };
+                if let Some(extra) = parts.next() {
+                    return Err(DatasetError::Syntax {
+                        line: lineno,
+                        message: format!("unexpected token {extra:?} after layer header"),
+                    });
+                }
+                layers.push((name, is_ref, Vec::new()));
+                continue;
+            }
+            let (_, _, features) = layers.last_mut().ok_or_else(|| DatasetError::Syntax {
+                line: lineno,
+                message: "feature line before any `layer` header".into(),
+            })?;
+            let mut fields = line.splitn(3, '|');
+            let id = fields
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| DatasetError::Syntax {
+                    line: lineno,
+                    message: "missing feature id".into(),
+                })?;
+            let wkt = fields.next().ok_or_else(|| DatasetError::Syntax {
+                line: lineno,
+                message: "missing WKT field".into(),
+            })?;
+            let attrs = fields.next().unwrap_or("");
+            let geometry =
+                from_wkt(wkt).map_err(|source| DatasetError::Geometry { line: lineno, source })?;
+            let mut feature = Feature::new(id, geometry);
+            for pair in attrs.split(';').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or_else(|| DatasetError::Syntax {
+                    line: lineno,
+                    message: format!("attribute {pair:?} is not key=value"),
+                })?;
+                feature.attributes.insert(k.trim().to_string(), v.trim().to_string());
+            }
+            features.push(feature);
+        }
+
+        let ref_count = layers.iter().filter(|(_, r, _)| *r).count();
+        if ref_count != 1 {
+            return Err(DatasetError::ReferenceLayer(format!(
+                "expected exactly one reference layer, found {ref_count}"
+            )));
+        }
+        let mut reference = None;
+        let mut relevant = Vec::new();
+        for (name, is_ref, features) in layers {
+            let layer = Layer::new(name, features);
+            if is_ref {
+                reference = Some(layer);
+            } else {
+                relevant.push(layer);
+            }
+        }
+        Ok(SpatialDataset { reference: reference.expect("checked above"), relevant })
+    }
+}
+
+fn write_layer(out: &mut String, layer: &Layer, is_ref: bool) {
+    out.push_str("layer ");
+    out.push_str(&layer.feature_type);
+    if is_ref {
+        out.push_str(" reference");
+    }
+    out.push('\n');
+    for f in layer.features() {
+        out.push_str(&f.id);
+        out.push('|');
+        out.push_str(&to_wkt(&f.geometry));
+        out.push('|');
+        let attrs: Vec<String> = f.attributes.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&attrs.join(";"));
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopattern_geom::{coord, Point, Polygon};
+
+    fn sample() -> SpatialDataset {
+        let reference = Layer::new(
+            "district",
+            vec![Feature::new(
+                "D1",
+                Polygon::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap().into(),
+            )
+            .with_attribute("murderRate", "high")
+            .with_attribute("theftRate", "low")],
+        );
+        let schools = Layer::new(
+            "school",
+            vec![Feature::new("s1", Point::xy(5.0, 5.0).unwrap().into())],
+        );
+        SpatialDataset::new(reference, vec![schools])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample();
+        let text = ds.to_text();
+        let parsed = SpatialDataset::from_text(&text).unwrap();
+        assert_eq!(parsed.reference.feature_type, "district");
+        assert_eq!(parsed.reference.len(), 1);
+        assert_eq!(parsed.relevant.len(), 1);
+        let d1 = &parsed.reference.features()[0];
+        assert_eq!(d1.id, "D1");
+        assert_eq!(d1.attributes.get("murderRate").map(String::as_str), Some("high"));
+        assert_eq!(d1.attributes.len(), 2);
+        // Second roundtrip is stable.
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\nlayer d reference\nx|POINT (1 2)|\n# another\nlayer s\ny|POINT (3 4)|a=b\n";
+        let ds = SpatialDataset::from_text(text).unwrap();
+        assert_eq!(ds.reference.feature_type, "d");
+        assert_eq!(ds.relevant[0].features()[0].attributes.get("a").map(String::as_str), Some("b"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            SpatialDataset::from_text("x|POINT (1 2)|"),
+            Err(DatasetError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            SpatialDataset::from_text("layer d\nx|POINT (1 2)|"),
+            Err(DatasetError::ReferenceLayer(_))
+        ));
+        assert!(matches!(
+            SpatialDataset::from_text("layer d reference\nlayer e reference\n"),
+            Err(DatasetError::ReferenceLayer(_))
+        ));
+        assert!(matches!(
+            SpatialDataset::from_text("layer d reference\nx|NOT WKT|"),
+            Err(DatasetError::Geometry { line: 2, .. })
+        ));
+        assert!(matches!(
+            SpatialDataset::from_text("layer d reference\nx|POINT (1 2)|badattr"),
+            Err(DatasetError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            SpatialDataset::from_text("layer d reference extra\n"),
+            Err(DatasetError::Syntax { line: 1, .. })
+        ));
+    }
+}

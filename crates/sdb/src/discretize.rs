@@ -1,0 +1,228 @@
+//! Numeric-attribute discretization.
+//!
+//! The paper mines categorical predicates (`murderRate=high`), but source
+//! attributes are usually numeric rates. This module bins numeric
+//! attribute values into named categories — equal-width or quantile
+//! (equal-frequency) — rewriting a layer's features in place, so the
+//! extraction step sees clean categorical predicates.
+
+use crate::feature::Layer;
+use std::fmt;
+
+/// Binning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinningStrategy {
+    /// Bins of equal value width between the observed min and max.
+    EqualWidth,
+    /// Bins of (approximately) equal population.
+    Quantile,
+}
+
+/// Errors during discretization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscretizeError {
+    /// No feature carries the attribute with a parseable numeric value.
+    NoNumericValues { attribute: String },
+    /// Need at least one label.
+    NoLabels,
+    /// All observed values are identical: width-based binning is undefined
+    /// for more than one bin.
+    ConstantValues { attribute: String },
+}
+
+impl fmt::Display for DiscretizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscretizeError::NoNumericValues { attribute } => {
+                write!(f, "attribute {attribute:?} has no numeric values")
+            }
+            DiscretizeError::NoLabels => write!(f, "at least one bin label is required"),
+            DiscretizeError::ConstantValues { attribute } => {
+                write!(f, "attribute {attribute:?} is constant; cannot split into bins")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscretizeError {}
+
+/// Discretizes `attribute` across all features of `layer` into
+/// `labels.len()` bins (labels ordered low → high). Features whose value
+/// is missing or non-numeric are left untouched. Returns the bin
+/// boundaries used (upper bounds of all but the last bin).
+pub fn discretize_attribute(
+    layer: &mut Layer,
+    attribute: &str,
+    labels: &[&str],
+    strategy: BinningStrategy,
+) -> Result<Vec<f64>, DiscretizeError> {
+    if labels.is_empty() {
+        return Err(DiscretizeError::NoLabels);
+    }
+    let mut values: Vec<f64> = layer
+        .features()
+        .iter()
+        .filter_map(|f| f.attributes.get(attribute))
+        .filter_map(|v| v.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .collect();
+    if values.is_empty() {
+        return Err(DiscretizeError::NoNumericValues { attribute: attribute.to_string() });
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let bounds: Vec<f64> = match strategy {
+        BinningStrategy::EqualWidth => {
+            let (lo, hi) = (values[0], values[values.len() - 1]);
+            if labels.len() > 1 && lo == hi {
+                return Err(DiscretizeError::ConstantValues { attribute: attribute.to_string() });
+            }
+            let width = (hi - lo) / labels.len() as f64;
+            (1..labels.len()).map(|i| lo + width * i as f64).collect()
+        }
+        BinningStrategy::Quantile => (1..labels.len())
+            .map(|i| {
+                let rank = i * values.len() / labels.len();
+                values[rank.min(values.len() - 1)]
+            })
+            .collect(),
+    };
+
+    // Rewrite values (layers expose features immutably; rebuild).
+    let rebuilt: Vec<crate::feature::Feature> = layer
+        .features()
+        .iter()
+        .map(|f| {
+            let mut f = f.clone();
+            if let Some(raw) = f.attributes.get(attribute) {
+                if let Ok(v) = raw.parse::<f64>() {
+                    if v.is_finite() {
+                        let bin = bounds.iter().take_while(|&&b| v >= b).count();
+                        f.attributes
+                            .insert(attribute.to_string(), labels[bin.min(labels.len() - 1)].to_string());
+                    }
+                }
+            }
+            f
+        })
+        .collect();
+    *layer = Layer::new(layer.feature_type.clone(), rebuilt);
+    Ok(bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+    use geopattern_geom::Point;
+
+    fn layer_with_rates(rates: &[f64]) -> Layer {
+        let features = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                Feature::new(format!("d{i}"), Point::xy(i as f64, 0.0).unwrap().into())
+                    .with_attribute("murderRate", format!("{r}"))
+            })
+            .collect();
+        Layer::new("district", features)
+    }
+
+    fn values(layer: &Layer) -> Vec<String> {
+        layer
+            .features()
+            .iter()
+            .map(|f| f.attributes.get("murderRate").unwrap().clone())
+            .collect()
+    }
+
+    #[test]
+    fn equal_width_binning() {
+        let mut layer = layer_with_rates(&[0.0, 1.0, 5.0, 9.0, 10.0]);
+        let bounds =
+            discretize_attribute(&mut layer, "murderRate", &["low", "high"], BinningStrategy::EqualWidth)
+                .unwrap();
+        assert_eq!(bounds, vec![5.0]);
+        assert_eq!(values(&layer), vec!["low", "low", "high", "high", "high"]);
+    }
+
+    #[test]
+    fn quantile_binning_balances_population() {
+        // Skewed distribution: equal-width would put almost everything in
+        // the lowest bin; quantiles split 50/50.
+        let mut layer = layer_with_rates(&[1.0, 1.1, 1.2, 1.3, 90.0, 95.0, 99.0, 100.0]);
+        discretize_attribute(&mut layer, "murderRate", &["low", "high"], BinningStrategy::Quantile)
+            .unwrap();
+        let v = values(&layer);
+        assert_eq!(v.iter().filter(|s| *s == "low").count(), 4);
+        assert_eq!(v.iter().filter(|s| *s == "high").count(), 4);
+    }
+
+    #[test]
+    fn three_bins() {
+        let mut layer = layer_with_rates(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        discretize_attribute(
+            &mut layer,
+            "murderRate",
+            &["low", "medium", "high"],
+            BinningStrategy::Quantile,
+        )
+        .unwrap();
+        let v = values(&layer);
+        assert_eq!(v.iter().filter(|s| *s == "low").count(), 2);
+        assert_eq!(v.iter().filter(|s| *s == "medium").count(), 2);
+        assert_eq!(v.iter().filter(|s| *s == "high").count(), 2);
+    }
+
+    #[test]
+    fn missing_and_nonnumeric_left_alone() {
+        let mut layer = layer_with_rates(&[1.0, 2.0, 3.0, 4.0]);
+        layer.push(
+            Feature::new("odd", Point::xy(99.0, 0.0).unwrap().into())
+                .with_attribute("murderRate", "unknown"),
+        );
+        layer.push(Feature::new("bare", Point::xy(98.0, 0.0).unwrap().into()));
+        discretize_attribute(&mut layer, "murderRate", &["low", "high"], BinningStrategy::Quantile)
+            .unwrap();
+        let raw: Vec<Option<&str>> = layer
+            .features()
+            .iter()
+            .map(|f| f.attributes.get("murderRate").map(String::as_str))
+            .collect();
+        assert_eq!(raw[4], Some("unknown"));
+        assert_eq!(raw[5], None);
+        assert!(raw[..4].iter().all(|v| matches!(v, Some("low") | Some("high"))));
+    }
+
+    #[test]
+    fn errors() {
+        let mut empty = Layer::new("d", vec![]);
+        assert!(matches!(
+            discretize_attribute(&mut empty, "x", &["a"], BinningStrategy::EqualWidth),
+            Err(DiscretizeError::NoNumericValues { .. })
+        ));
+        let mut layer = layer_with_rates(&[1.0, 2.0]);
+        assert!(matches!(
+            discretize_attribute(&mut layer, "murderRate", &[], BinningStrategy::EqualWidth),
+            Err(DiscretizeError::NoLabels)
+        ));
+        let mut constant = layer_with_rates(&[5.0, 5.0, 5.0]);
+        assert!(matches!(
+            discretize_attribute(&mut constant, "murderRate", &["a", "b"], BinningStrategy::EqualWidth),
+            Err(DiscretizeError::ConstantValues { .. })
+        ));
+        // A single label is fine even for constants.
+        let mut constant = layer_with_rates(&[5.0, 5.0]);
+        assert!(discretize_attribute(&mut constant, "murderRate", &["all"], BinningStrategy::EqualWidth)
+            .is_ok());
+    }
+
+    #[test]
+    fn single_feature() {
+        let mut layer = layer_with_rates(&[7.0]);
+        discretize_attribute(&mut layer, "murderRate", &["low", "high"], BinningStrategy::Quantile)
+            .unwrap();
+        // One value lands in some bin; no panic, deterministic.
+        assert!(matches!(values(&layer)[0].as_str(), "low" | "high"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Qualitative predicate extraction.
+//!
+//! For every reference feature (e.g. each district), computes the
+//! qualitative spatial relationships with every relevant feature
+//! (slums, schools, police centers, …) and records them *at feature-type
+//! granularity* as rows of a [`PredicateTable`]. This is the step the
+//! paper identifies as the computational cost centre of spatial frequent
+//! pattern mining; the layer's R-tree prunes the candidate pairs for
+//! topological relations.
+
+use crate::feature::Layer;
+use crate::predicate_table::{Predicate, PredicateTable};
+use geopattern_geom::geometry_distance;
+use geopattern_qsr::{
+    geometry_direction, topological_relation, DistanceScheme, SpatialPredicate,
+    TopologicalRelation,
+};
+
+/// What to extract.
+#[derive(Debug, Clone)]
+pub struct ExtractionConfig {
+    /// Compute topological predicates (via DE-9IM classification).
+    pub topological: bool,
+    /// Include `disjoint` as a predicate. Almost every feature pair is
+    /// disjoint, so the paper's experiments leave it out; off by default.
+    pub include_disjoint: bool,
+    /// Distance bands to quantise feature distances into, if any.
+    /// Distance predicates apply to *non-intersecting* pairs only when
+    /// `distance_excludes_intersecting` is set (the common reading: a
+    /// district is not "far from" a police center it contains).
+    pub distance: Option<DistanceScheme>,
+    /// Skip distance predicates for pairs that already intersect.
+    pub distance_excludes_intersecting: bool,
+    /// Compute cone-based cardinal-direction predicates
+    /// (`northOf_river`, …) — the paper's *order* relations \[11\]. Like
+    /// distance predicates, they apply to non-intersecting pairs when
+    /// `distance_excludes_intersecting` is set.
+    pub direction: bool,
+    /// Include the reference features' non-spatial attributes as
+    /// `attribute=value` predicates.
+    pub nonspatial_attributes: bool,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            topological: true,
+            include_disjoint: false,
+            distance: None,
+            distance_excludes_intersecting: true,
+            direction: false,
+            nonspatial_attributes: true,
+        }
+    }
+}
+
+impl ExtractionConfig {
+    /// Topological predicates plus non-spatial attributes (the paper's
+    /// first experiment setting).
+    pub fn topological_only() -> ExtractionConfig {
+        ExtractionConfig::default()
+    }
+
+    /// Adds a distance scheme.
+    pub fn with_distance(mut self, scheme: DistanceScheme) -> ExtractionConfig {
+        self.distance = Some(scheme);
+        self
+    }
+
+    /// Enables cardinal-direction predicates.
+    pub fn with_direction(mut self) -> ExtractionConfig {
+        self.direction = true;
+        self
+    }
+}
+
+/// Counters describing an extraction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionStats {
+    /// Candidate pairs whose envelopes intersected (exact relate computed).
+    pub candidate_pairs: usize,
+    /// Pairs pruned by the R-tree envelope filter (no relate computed).
+    pub pruned_pairs: usize,
+    /// Spatial predicates emitted (row-level occurrences).
+    pub spatial_predicates: usize,
+}
+
+/// Extracts a predicate table from a reference layer and relevant layers.
+pub fn extract(
+    reference: &Layer,
+    relevant: &[&Layer],
+    config: &ExtractionConfig,
+) -> (PredicateTable, ExtractionStats) {
+    let mut table = PredicateTable::new();
+    let mut stats = ExtractionStats::default();
+
+    for ref_feature in reference.features() {
+        let mut codes: Vec<u32> = Vec::new();
+
+        if config.nonspatial_attributes {
+            for (attribute, value) in &ref_feature.attributes {
+                codes.push(table.intern(Predicate::NonSpatial {
+                    attribute: attribute.clone(),
+                    value: value.clone(),
+                }));
+            }
+        }
+
+        for layer in relevant {
+            let ft = layer.feature_type.as_str();
+
+            if config.topological {
+                // Envelope prefilter: only envelope-intersecting pairs can
+                // have a non-disjoint topological relation.
+                let candidates = layer.query_envelope(&ref_feature.envelope());
+                stats.pruned_pairs += layer.len() - candidates.len();
+                let mut disjoint_count = layer.len() - candidates.len();
+                for ci in candidates {
+                    let rel_feature = &layer.features()[ci];
+                    stats.candidate_pairs += 1;
+                    let rel = topological_relation(&ref_feature.geometry, &rel_feature.geometry);
+                    if rel == TopologicalRelation::Disjoint {
+                        disjoint_count += 1;
+                        continue;
+                    }
+                    codes.push(table.intern(Predicate::Spatial(SpatialPredicate::topological(rel, ft))));
+                    stats.spatial_predicates += 1;
+                }
+                if config.include_disjoint && disjoint_count > 0 {
+                    codes.push(table.intern(Predicate::Spatial(SpatialPredicate::topological(
+                        TopologicalRelation::Disjoint,
+                        ft,
+                    ))));
+                    stats.spatial_predicates += 1;
+                }
+            }
+
+            if config.distance.is_some() || config.direction {
+                for rel_feature in layer.features() {
+                    let d = geometry_distance(&ref_feature.geometry, &rel_feature.geometry);
+                    if d == 0.0 && config.distance_excludes_intersecting {
+                        continue;
+                    }
+                    if let Some(scheme) = &config.distance {
+                        if let Some((_, band)) = scheme.classify(d) {
+                            codes.push(table.intern(Predicate::Spatial(
+                                SpatialPredicate::distance(band, ft),
+                            )));
+                            stats.spatial_predicates += 1;
+                        }
+                    }
+                    if config.direction {
+                        let dir = geometry_direction(&ref_feature.geometry, &rel_feature.geometry);
+                        codes.push(table.intern(Predicate::Spatial(SpatialPredicate::direction(
+                            dir, ft,
+                        ))));
+                        stats.spatial_predicates += 1;
+                    }
+                }
+            }
+        }
+
+        table.push_row(ref_feature.id.clone(), codes);
+    }
+
+    (table, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+    use geopattern_geom::{coord, Point, Polygon};
+
+    /// One district containing a slum and a school point, touching another
+    /// slum, with a police center far away.
+    fn toy_layers() -> (Layer, Layer, Layer, Layer) {
+        let district = Layer::new(
+            "district",
+            vec![Feature::new(
+                "D1",
+                Polygon::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap().into(),
+            )
+            .with_attribute("murderRate", "high")],
+        );
+        let slums = Layer::new(
+            "slum",
+            vec![
+                Feature::new(
+                    "slum1",
+                    Polygon::rect(coord(2.0, 2.0), coord(4.0, 4.0)).unwrap().into(),
+                ),
+                Feature::new(
+                    "slum2",
+                    Polygon::rect(coord(10.0, 0.0), coord(12.0, 2.0)).unwrap().into(),
+                ),
+            ],
+        );
+        let schools = Layer::new(
+            "school",
+            vec![Feature::new("school1", Point::xy(5.0, 5.0).unwrap().into())],
+        );
+        let police = Layer::new(
+            "policeCenter",
+            vec![Feature::new("pc1", Point::xy(100.0, 100.0).unwrap().into())],
+        );
+        (district, slums, schools, police)
+    }
+
+    #[test]
+    fn topological_extraction() {
+        let (district, slums, schools, police) = toy_layers();
+        let (table, stats) = extract(
+            &district,
+            &[&slums, &schools, &police],
+            &ExtractionConfig::topological_only(),
+        );
+        assert_eq!(table.num_rows(), 1);
+        let row_preds: Vec<String> = table.rows()[0]
+            .1
+            .iter()
+            .map(|&c| table.predicate(c).to_string())
+            .collect();
+        assert!(row_preds.contains(&"murderRate=high".to_string()));
+        assert!(row_preds.contains(&"contains_slum".to_string()));
+        assert!(row_preds.contains(&"touches_slum".to_string()));
+        assert!(row_preds.contains(&"contains_school".to_string()));
+        // Police center is disjoint: no predicate by default.
+        assert!(!row_preds.iter().any(|p| p.contains("policeCenter")));
+        // Envelope pruning skipped the faraway police center.
+        assert!(stats.pruned_pairs >= 1);
+        assert_eq!(stats.spatial_predicates, 3);
+    }
+
+    #[test]
+    fn disjoint_opt_in() {
+        let (district, slums, _schools, police) = toy_layers();
+        let config = ExtractionConfig { include_disjoint: true, ..Default::default() };
+        let (table, _) = extract(&district, &[&slums, &police], &config);
+        let row_preds: Vec<String> = table.rows()[0]
+            .1
+            .iter()
+            .map(|&c| table.predicate(c).to_string())
+            .collect();
+        assert!(row_preds.contains(&"disjoint_policeCenter".to_string()));
+    }
+
+    #[test]
+    fn distance_extraction() {
+        let (district, _slums, _schools, police) = toy_layers();
+        let config = ExtractionConfig::topological_only()
+            .with_distance(DistanceScheme::very_close_close_far(50.0, 200.0));
+        let (table, _) = extract(&district, &[&police], &config);
+        let row_preds: Vec<String> = table.rows()[0]
+            .1
+            .iter()
+            .map(|&c| table.predicate(c).to_string())
+            .collect();
+        // Distance from the district boundary to (100,100) ≈ 127.3 → close.
+        assert!(row_preds.contains(&"closeTo_policeCenter".to_string()));
+    }
+
+    #[test]
+    fn distance_skips_intersecting_by_default() {
+        let (district, slums, _schools, _police) = toy_layers();
+        let config = ExtractionConfig::topological_only()
+            .with_distance(DistanceScheme::very_close_close_far(50.0, 200.0));
+        let (table, _) = extract(&district, &[&slums], &config);
+        let row_preds: Vec<String> = table.rows()[0]
+            .1
+            .iter()
+            .map(|&c| table.predicate(c).to_string())
+            .collect();
+        // slum1 (contained) and slum2 (touching) are both at distance 0.
+        assert!(!row_preds.iter().any(|p| p.starts_with("veryCloseTo_slum")));
+        assert!(row_preds.contains(&"contains_slum".to_string()));
+    }
+
+    #[test]
+    fn direction_extraction() {
+        let (district, _slums, _schools, police) = toy_layers();
+        let config = ExtractionConfig::topological_only().with_direction();
+        let (table, _) = extract(&district, &[&police], &config);
+        let row_preds: Vec<String> = table.rows()[0]
+            .1
+            .iter()
+            .map(|&c| table.predicate(c).to_string())
+            .collect();
+        // Police center at (100, 100) is northeast of the district.
+        assert!(row_preds.contains(&"northEastOf_policeCenter".to_string()), "{row_preds:?}");
+    }
+
+    #[test]
+    fn direction_skips_intersecting_pairs() {
+        let (district, slums, _schools, _police) = toy_layers();
+        let config = ExtractionConfig::topological_only().with_direction();
+        let (table, _) = extract(&district, &[&slums], &config);
+        let row_preds: Vec<String> = table.rows()[0]
+            .1
+            .iter()
+            .map(|&c| table.predicate(c).to_string())
+            .collect();
+        // Both slums intersect the district (contained / touching), so no
+        // direction predicates are emitted for them.
+        assert!(!row_preds.iter().any(|p| p.contains("Of_slum")), "{row_preds:?}");
+    }
+
+    #[test]
+    fn multiple_instances_same_type_collapse() {
+        // Two contained slums produce one `contains_slum` predicate
+        // occurrence per row (feature-type granularity).
+        let district = Layer::new(
+            "district",
+            vec![Feature::new(
+                "D1",
+                Polygon::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap().into(),
+            )],
+        );
+        let slums = Layer::new(
+            "slum",
+            vec![
+                Feature::new(
+                    "s1",
+                    Polygon::rect(coord(1.0, 1.0), coord(2.0, 2.0)).unwrap().into(),
+                ),
+                Feature::new(
+                    "s2",
+                    Polygon::rect(coord(3.0, 3.0), coord(4.0, 4.0)).unwrap().into(),
+                ),
+            ],
+        );
+        let (table, _) = extract(&district, &[&slums], &ExtractionConfig::topological_only());
+        assert_eq!(table.rows()[0].1.len(), 1);
+        assert_eq!(table.predicate(table.rows()[0].1[0]).to_string(), "contains_slum");
+    }
+}

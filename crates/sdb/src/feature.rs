@@ -1,0 +1,148 @@
+//! Features, feature types and layers.
+//!
+//! A *feature* is a geographic object instance: a geometry plus non-spatial
+//! attributes. A *layer* groups all instances of one feature type
+//! (`district`, `slum`, `school`, …) and owns a lazily built R-tree index
+//! over their envelopes.
+
+use crate::rtree::RTree;
+use geopattern_geom::{Geometry, Rect};
+use std::collections::BTreeMap;
+
+/// A geographic object instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// Identifier, unique within its layer (e.g. `"Nonoai"`, `"slum159"`).
+    pub id: String,
+    /// The feature geometry.
+    pub geometry: Geometry,
+    /// Categorical non-spatial attributes (`murderRate → high`). Sorted map
+    /// so iteration (and therefore item numbering) is deterministic.
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl Feature {
+    /// Creates a feature without attributes.
+    pub fn new(id: impl Into<String>, geometry: Geometry) -> Feature {
+        Feature { id: id.into(), geometry, attributes: BTreeMap::new() }
+    }
+
+    /// Adds a categorical attribute (builder style).
+    pub fn with_attribute(mut self, name: impl Into<String>, value: impl Into<String>) -> Feature {
+        self.attributes.insert(name.into(), value.into());
+        self
+    }
+
+    /// The feature's envelope.
+    pub fn envelope(&self) -> Rect {
+        self.geometry.envelope()
+    }
+}
+
+/// All instances of one feature type.
+#[derive(Debug)]
+pub struct Layer {
+    /// The feature-type name (`"district"`, `"slum"`, …).
+    pub feature_type: String,
+    features: Vec<Feature>,
+    index: RTree,
+}
+
+impl Layer {
+    /// Builds a layer, bulk-loading the spatial index.
+    pub fn new(feature_type: impl Into<String>, features: Vec<Feature>) -> Layer {
+        let envelopes: Vec<Rect> = features.iter().map(|f| f.envelope()).collect();
+        Layer {
+            feature_type: feature_type.into(),
+            index: RTree::bulk_load(&envelopes),
+            features,
+        }
+    }
+
+    /// The features in the layer.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the layer holds no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Adds a feature, updating the index.
+    pub fn push(&mut self, feature: Feature) {
+        self.index.insert(feature.envelope());
+        self.features.push(feature);
+    }
+
+    /// Indices of features whose envelope intersects `query`.
+    pub fn query_envelope(&self, query: &Rect) -> Vec<usize> {
+        self.index.query_rect(query)
+    }
+
+    /// The spatial index (for callers needing raw access).
+    pub fn index(&self) -> &RTree {
+        &self.index
+    }
+
+    /// Union envelope of the layer.
+    pub fn envelope(&self) -> Rect {
+        self.features
+            .iter()
+            .fold(Rect::EMPTY, |acc, f| acc.union(&f.envelope()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopattern_geom::{coord, Point, Polygon};
+
+    fn point_feature(id: &str, x: f64, y: f64) -> Feature {
+        Feature::new(id, Point::xy(x, y).unwrap().into())
+    }
+
+    #[test]
+    fn feature_attributes() {
+        let f = Feature::new(
+            "Nonoai",
+            Polygon::rect(coord(0.0, 0.0), coord(2.0, 2.0)).unwrap().into(),
+        )
+        .with_attribute("murderRate", "high")
+        .with_attribute("theftRate", "high");
+        assert_eq!(f.attributes.get("murderRate").map(String::as_str), Some("high"));
+        assert_eq!(f.attributes.len(), 2);
+        assert_eq!(f.envelope().max, coord(2.0, 2.0));
+    }
+
+    #[test]
+    fn layer_query_uses_index() {
+        let features: Vec<Feature> = (0..100)
+            .map(|i| point_feature(&format!("p{i}"), (i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0))
+            .collect();
+        let layer = Layer::new("school", features);
+        assert_eq!(layer.len(), 100);
+        let hits = layer.query_envelope(&Rect::new(coord(-1.0, -1.0), coord(11.0, 11.0)));
+        assert_eq!(hits.len(), 4); // (0,0), (10,0), (0,10), (10,10)
+        for i in hits {
+            let env = layer.features()[i].envelope();
+            assert!(env.min.x <= 11.0 && env.min.y <= 11.0);
+        }
+    }
+
+    #[test]
+    fn layer_push_updates_index() {
+        let mut layer = Layer::new("school", vec![]);
+        assert!(layer.is_empty());
+        layer.push(point_feature("a", 5.0, 5.0));
+        layer.push(point_feature("b", 50.0, 50.0));
+        let hits = layer.query_envelope(&Rect::new(coord(0.0, 0.0), coord(10.0, 10.0)));
+        assert_eq!(hits, vec![0]);
+        assert_eq!(layer.envelope().max, coord(50.0, 50.0));
+    }
+}

@@ -1,0 +1,129 @@
+//! Spatial joins between layers.
+//!
+//! A spatial join pairs features of two layers by a topological relation —
+//! the instance-level operation underlying predicate extraction, exposed
+//! directly for applications that need the pairs themselves (e.g. "which
+//! slum instances does each district contain?"). Uses the right layer's
+//! R-tree to prune candidates.
+
+use crate::feature::Layer;
+use geopattern_qsr::{topological_relation, TopologicalRelation};
+
+/// One joined pair: indices into the left and right layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPair {
+    pub left: usize,
+    pub right: usize,
+    pub relation: TopologicalRelation,
+}
+
+/// Joins two layers on a specific topological relation.
+pub fn spatial_join(left: &Layer, right: &Layer, relation: TopologicalRelation) -> Vec<JoinPair> {
+    join_filtered(left, right, |r| r == relation)
+}
+
+/// Joins two layers keeping every non-disjoint pair, annotated with its
+/// relation.
+pub fn spatial_join_intersecting(left: &Layer, right: &Layer) -> Vec<JoinPair> {
+    join_filtered(left, right, |r| r != TopologicalRelation::Disjoint)
+}
+
+fn join_filtered<F: Fn(TopologicalRelation) -> bool>(
+    left: &Layer,
+    right: &Layer,
+    keep: F,
+) -> Vec<JoinPair> {
+    let mut out = Vec::new();
+    for (li, lf) in left.features().iter().enumerate() {
+        for ri in right.query_envelope(&lf.envelope()) {
+            let rf = &right.features()[ri];
+            let rel = topological_relation(&lf.geometry, &rf.geometry);
+            if keep(rel) {
+                out.push(JoinPair { left: li, right: ri, relation: rel });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::Feature;
+    use geopattern_geom::{coord, Point, Polygon};
+
+    fn layers() -> (Layer, Layer) {
+        let districts = Layer::new(
+            "district",
+            vec![
+                Feature::new("D1", Polygon::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap().into()),
+                Feature::new(
+                    "D2",
+                    Polygon::rect(coord(10.0, 0.0), coord(20.0, 10.0)).unwrap().into(),
+                ),
+            ],
+        );
+        let pois = Layer::new(
+            "poi",
+            vec![
+                Feature::new("inside_d1", Point::xy(5.0, 5.0).unwrap().into()),
+                Feature::new("inside_d2", Point::xy(15.0, 5.0).unwrap().into()),
+                Feature::new("on_shared_edge", Point::xy(10.0, 5.0).unwrap().into()),
+                Feature::new("outside", Point::xy(50.0, 50.0).unwrap().into()),
+            ],
+        );
+        (districts, pois)
+    }
+
+    #[test]
+    fn contains_join() {
+        let (districts, pois) = layers();
+        let pairs = spatial_join(&districts, &pois, TopologicalRelation::Contains);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&JoinPair { left: 0, right: 0, relation: TopologicalRelation::Contains }));
+        assert!(pairs.contains(&JoinPair { left: 1, right: 1, relation: TopologicalRelation::Contains }));
+    }
+
+    #[test]
+    fn touches_join_finds_boundary_points() {
+        let (districts, pois) = layers();
+        let pairs = spatial_join(&districts, &pois, TopologicalRelation::Touches);
+        // The shared-edge point touches both districts.
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.right == 2));
+    }
+
+    #[test]
+    fn intersecting_join_excludes_outsiders() {
+        let (districts, pois) = layers();
+        let pairs = spatial_join_intersecting(&districts, &pois);
+        assert_eq!(pairs.len(), 4); // 2 contains + 2 touches
+        assert!(pairs.iter().all(|p| p.right != 3), "the far point joins nothing");
+    }
+
+    #[test]
+    fn polygon_polygon_join() {
+        let (districts, _) = layers();
+        let slums = Layer::new(
+            "slum",
+            vec![
+                Feature::new("s1", Polygon::rect(coord(2.0, 2.0), coord(4.0, 4.0)).unwrap().into()),
+                // Straddles D1/D2.
+                Feature::new("s2", Polygon::rect(coord(8.0, 4.0), coord(12.0, 6.0)).unwrap().into()),
+            ],
+        );
+        let contains = spatial_join(&districts, &slums, TopologicalRelation::Contains);
+        assert_eq!(contains, vec![JoinPair { left: 0, right: 0, relation: TopologicalRelation::Contains }]);
+        let overlaps = spatial_join(&districts, &slums, TopologicalRelation::Overlaps);
+        assert_eq!(overlaps.len(), 2);
+        assert!(overlaps.iter().all(|p| p.right == 1));
+    }
+
+    #[test]
+    fn empty_layers() {
+        let (districts, _) = layers();
+        let empty = Layer::new("nothing", vec![]);
+        assert!(spatial_join(&districts, &empty, TopologicalRelation::Contains).is_empty());
+        assert!(spatial_join(&empty, &districts, TopologicalRelation::Contains).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Background knowledge: the `Φ` input of Apriori-KC / Apriori-KC+.
+//!
+//! `Φ` is a set of *well-known geographic dependencies* — pairs of
+//! predicates whose co-occurrence is mandated by how geography works
+//! (streets lie in districts, illumination points sit on streets) and
+//! therefore carries no novel information. Apriori-KC removes these pairs
+//! from the candidate set `C₂`.
+//!
+//! Dependencies can be declared at two levels:
+//! * **feature-type level** — every pair of predicates over the two types
+//!   is a dependency (`district` × `street`);
+//! * **predicate level** — one exact pair of predicate labels.
+
+use crate::predicate_table::PredicateTable;
+use std::collections::HashSet;
+
+/// The knowledge-constraint set `Φ`.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    /// Unordered feature-type pairs that are geographically dependent.
+    type_pairs: HashSet<(String, String)>,
+    /// Unordered exact predicate-label pairs.
+    label_pairs: HashSet<(String, String)>,
+}
+
+impl KnowledgeBase {
+    /// Empty knowledge base (Apriori-KC degenerates to plain Apriori).
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase::default()
+    }
+
+    /// Declares every predicate pair between two feature types dependent.
+    pub fn add_type_dependency(&mut self, a: impl Into<String>, b: impl Into<String>) -> &mut Self {
+        self.type_pairs.insert(normalize(a.into(), b.into()));
+        self
+    }
+
+    /// Declares one exact predicate-label pair dependent
+    /// (labels as rendered by `Predicate::to_string`, e.g.
+    /// `"contains_street"`).
+    pub fn add_predicate_dependency(
+        &mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+    ) -> &mut Self {
+        self.label_pairs.insert(normalize(a.into(), b.into()));
+        self
+    }
+
+    /// Number of declared dependencies (both levels).
+    pub fn len(&self) -> usize {
+        self.type_pairs.len() + self.label_pairs.len()
+    }
+
+    /// True when no dependencies are declared.
+    pub fn is_empty(&self) -> bool {
+        self.type_pairs.is_empty() && self.label_pairs.is_empty()
+    }
+
+    /// Expands `Φ` against a predicate table into concrete code pairs to
+    /// remove from `C₂`.
+    pub fn dependency_pairs(&self, table: &PredicateTable) -> Vec<(u32, u32)> {
+        let preds = table.predicates();
+        let mut out = Vec::new();
+        for i in 0..preds.len() {
+            for j in (i + 1)..preds.len() {
+                let pi = &preds[i];
+                let pj = &preds[j];
+                let type_hit = match (pi.feature_type(), pj.feature_type()) {
+                    (Some(a), Some(b)) => {
+                        self.type_pairs.contains(&normalize(a.to_string(), b.to_string()))
+                    }
+                    _ => false,
+                };
+                let label_hit = self
+                    .label_pairs
+                    .contains(&normalize(pi.to_string(), pj.to_string()));
+                if type_hit || label_hit {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn normalize(a: String, b: String) -> (String, String) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate_table::Predicate;
+    use geopattern_qsr::{SpatialPredicate, TopologicalRelation as T};
+
+    fn table_with(preds: &[Predicate]) -> PredicateTable {
+        let mut t = PredicateTable::new();
+        for p in preds {
+            t.intern(p.clone());
+        }
+        t
+    }
+
+    fn sp(rel: T, ft: &str) -> Predicate {
+        Predicate::Spatial(SpatialPredicate::topological(rel, ft))
+    }
+
+    #[test]
+    fn type_level_dependency_expands_to_all_pairs() {
+        let table = table_with(&[
+            sp(T::Contains, "street"),
+            sp(T::Crosses, "street"),
+            sp(T::Contains, "illuminationPoint"),
+            Predicate::NonSpatial { attribute: "pop".into(), value: "high".into() },
+        ]);
+        let mut kb = KnowledgeBase::new();
+        kb.add_type_dependency("street", "illuminationPoint");
+        let pairs = kb.dependency_pairs(&table);
+        // contains_street × contains_illuminationPoint and
+        // crosses_street × contains_illuminationPoint.
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn predicate_level_dependency_is_exact() {
+        let table = table_with(&[
+            sp(T::Contains, "street"),
+            sp(T::Crosses, "street"),
+            sp(T::Contains, "illuminationPoint"),
+        ]);
+        let mut kb = KnowledgeBase::new();
+        kb.add_predicate_dependency("contains_street", "contains_illuminationPoint");
+        let pairs = kb.dependency_pairs(&table);
+        assert_eq!(pairs, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let table = table_with(&[sp(T::Contains, "a"), sp(T::Contains, "b")]);
+        let mut kb1 = KnowledgeBase::new();
+        kb1.add_type_dependency("a", "b");
+        let mut kb2 = KnowledgeBase::new();
+        kb2.add_type_dependency("b", "a");
+        assert_eq!(kb1.dependency_pairs(&table), kb2.dependency_pairs(&table));
+        assert_eq!(kb1.len(), 1);
+    }
+
+    #[test]
+    fn empty_knowledge_base() {
+        let table = table_with(&[sp(T::Contains, "a"), sp(T::Touches, "a")]);
+        let kb = KnowledgeBase::new();
+        assert!(kb.is_empty());
+        assert!(kb.dependency_pairs(&table).is_empty());
+    }
+
+    #[test]
+    fn nonspatial_predicates_never_match_type_pairs() {
+        let table = table_with(&[
+            Predicate::NonSpatial { attribute: "street".into(), value: "street".into() },
+            sp(T::Contains, "street"),
+        ]);
+        let mut kb = KnowledgeBase::new();
+        kb.add_type_dependency("street", "street");
+        assert!(kb.dependency_pairs(&table).is_empty());
+    }
+}

@@ -1,0 +1,480 @@
+//! An R-tree spatial index.
+//!
+//! Supports Sort-Tile-Recursive (STR) bulk loading for static layers and
+//! incremental insertion (least-enlargement descent with quadratic split)
+//! for growing ones. The predicate-extraction engine uses envelope queries
+//! to prune the candidate (reference, relevant) feature pairs before any
+//! exact DE-9IM computation — the cost centre the paper identifies
+//! ("the computational cost relies on the spatial predicate extraction").
+
+use geopattern_geom::{Coord, Rect};
+
+/// Maximum number of entries per node.
+const MAX_ENTRIES: usize = 8;
+/// Minimum fill after a split.
+const MIN_ENTRIES: usize = 3;
+
+/// Anything indexable: it must expose an envelope.
+pub trait HasEnvelope {
+    /// The envelope used as the index key.
+    fn envelope(&self) -> Rect;
+}
+
+impl HasEnvelope for Rect {
+    fn envelope(&self) -> Rect {
+        *self
+    }
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf { entries: Vec<usize>, bbox: Rect },
+    Inner { children: Vec<Node>, bbox: Rect },
+}
+
+impl Node {
+    fn bbox(&self) -> Rect {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => *bbox,
+        }
+    }
+}
+
+/// An R-tree over a slice of items. The tree stores item *indices*; the
+/// items themselves stay owned by the caller's collection, so building an
+/// index never clones geometry.
+#[derive(Debug)]
+pub struct RTree {
+    root: Option<Node>,
+    bboxes: Vec<Rect>,
+    len: usize,
+}
+
+impl RTree {
+    /// Empty tree.
+    pub fn new() -> RTree {
+        RTree { root: None, bboxes: Vec::new(), len: 0 }
+    }
+
+    /// Bulk loads a tree over `items` with STR packing.
+    pub fn bulk_load<T: HasEnvelope>(items: &[T]) -> RTree {
+        let bboxes: Vec<Rect> = items.iter().map(|t| t.envelope()).collect();
+        let mut tree = RTree { root: None, bboxes, len: items.len() };
+        if items.is_empty() {
+            return tree;
+        }
+        // STR: sort by centre x, slice into vertical strips, sort each strip
+        // by centre y, pack leaves of MAX_ENTRIES.
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        idx.sort_by(|&a, &b| {
+            tree.bboxes[a]
+                .center()
+                .x
+                .partial_cmp(&tree.bboxes[b].center().x)
+                .expect("finite envelope")
+        });
+        let leaf_count = items.len().div_ceil(MAX_ENTRIES);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = items.len().div_ceil(strip_count);
+
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for strip in idx.chunks(per_strip.max(1)) {
+            let mut strip: Vec<usize> = strip.to_vec();
+            strip.sort_by(|&a, &b| {
+                tree.bboxes[a]
+                    .center()
+                    .y
+                    .partial_cmp(&tree.bboxes[b].center().y)
+                    .expect("finite envelope")
+            });
+            for chunk in strip.chunks(MAX_ENTRIES) {
+                let bbox = chunk
+                    .iter()
+                    .fold(Rect::EMPTY, |acc, &i| acc.union(&tree.bboxes[i]));
+                leaves.push(Node::Leaf { entries: chunk.to_vec(), bbox });
+            }
+        }
+        // Pack upper levels until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<Node> = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            let mut iter = level.into_iter().peekable();
+            let mut group: Vec<Node> = Vec::with_capacity(MAX_ENTRIES);
+            while let Some(n) = iter.next() {
+                group.push(n);
+                if group.len() == MAX_ENTRIES || iter.peek().is_none() {
+                    let bbox = group.iter().fold(Rect::EMPTY, |acc, n| acc.union(&n.bbox()));
+                    next.push(Node::Inner { children: std::mem::take(&mut group), bbox });
+                }
+            }
+            level = next;
+        }
+        tree.root = level.pop();
+        tree
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an item with the given envelope; returns its index
+    /// (contiguous with the bulk-loaded items).
+    pub fn insert(&mut self, envelope: Rect) -> usize {
+        let id = self.bboxes.len();
+        self.bboxes.push(envelope);
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf { entries: vec![id], bbox: envelope });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = Self::insert_rec(&self.bboxes, &mut root, id, envelope) {
+                    let bbox = root.bbox().union(&sibling.bbox());
+                    self.root = Some(Node::Inner { children: vec![root, sibling], bbox });
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+        id
+    }
+
+    fn insert_rec(bboxes: &[Rect], node: &mut Node, id: usize, env: Rect) -> Option<Node> {
+        match node {
+            Node::Leaf { entries, bbox } => {
+                entries.push(id);
+                *bbox = bbox.union(&env);
+                if entries.len() > MAX_ENTRIES {
+                    Some(Self::split_leaf(bboxes, entries, bbox))
+                } else {
+                    None
+                }
+            }
+            Node::Inner { children, bbox } => {
+                *bbox = bbox.union(&env);
+                // Least-enlargement child, ties broken by smaller area.
+                let best = children
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let ea = a.bbox().enlargement(&env);
+                        let eb = b.bbox().enlargement(&env);
+                        ea.partial_cmp(&eb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| {
+                                a.bbox()
+                                    .area()
+                                    .partial_cmp(&b.bbox().area())
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                    })
+                    .map(|(i, _)| i)
+                    .expect("inner nodes are never empty");
+                if let Some(new_child) = Self::insert_rec(bboxes, &mut children[best], id, env) {
+                    children.push(new_child);
+                    if children.len() > MAX_ENTRIES {
+                        return Some(Self::split_inner(children, bbox));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(bboxes: &[Rect], entries: &mut Vec<usize>, bbox: &mut Rect) -> Node {
+        let items = std::mem::take(entries);
+        let rects: Vec<Rect> = items.iter().map(|&i| bboxes[i]).collect();
+        let (ga, gb) = quadratic_split(&rects);
+        let left: Vec<usize> = ga.iter().map(|&p| items[p]).collect();
+        let right: Vec<usize> = gb.iter().map(|&p| items[p]).collect();
+        let lbox = left.iter().fold(Rect::EMPTY, |acc, &i| acc.union(&bboxes[i]));
+        let rbox = right.iter().fold(Rect::EMPTY, |acc, &i| acc.union(&bboxes[i]));
+        *entries = left;
+        *bbox = lbox;
+        Node::Leaf { entries: right, bbox: rbox }
+    }
+
+    fn split_inner(children: &mut Vec<Node>, bbox: &mut Rect) -> Node {
+        let items = std::mem::take(children);
+        let rects: Vec<Rect> = items.iter().map(|n| n.bbox()).collect();
+        let (ga, gb) = quadratic_split(&rects);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (i, n) in items.into_iter().enumerate() {
+            if ga.contains(&i) {
+                left.push(n);
+            } else {
+                debug_assert!(gb.contains(&i));
+                right.push(n);
+            }
+        }
+        let lbox = left.iter().fold(Rect::EMPTY, |acc, n| acc.union(&n.bbox()));
+        let rbox = right.iter().fold(Rect::EMPTY, |acc, n| acc.union(&n.bbox()));
+        *children = left;
+        *bbox = lbox;
+        Node::Inner { children: right, bbox: rbox }
+    }
+
+    /// All item indices whose envelope intersects `query`.
+    pub fn query_rect(&self, query: &Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.query_rec(root, query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn query_rec(&self, node: &Node, query: &Rect, out: &mut Vec<usize>) {
+        if !node.bbox().intersects(query) {
+            return;
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for &i in entries {
+                    if self.bboxes[i].intersects(query) {
+                        out.push(i);
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                for c in children {
+                    self.query_rec(c, query, out);
+                }
+            }
+        }
+    }
+
+    /// All item indices whose envelope lies within `max_dist` of `point`.
+    pub fn query_within_distance(&self, point: Coord, max_dist: f64) -> Vec<usize> {
+        let query = Rect::of_point(point).buffered(max_dist);
+        self.query_rect(&query)
+            .into_iter()
+            .filter(|&i| self.bboxes[i].distance_to_point(point) <= max_dist)
+            .collect()
+    }
+
+    /// The envelope stored for item `i`.
+    pub fn envelope_of(&self, i: usize) -> Rect {
+        self.bboxes[i]
+    }
+
+    /// Height of the tree (0 when empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Inner { children, .. } => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        self.root.as_ref().map(depth).unwrap_or(0)
+    }
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+/// Guttman's quadratic split: picks the pair of seeds wasting the most
+/// area, then assigns each remaining rect to the group whose bbox grows
+/// least, respecting the minimum fill.
+fn quadratic_split(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(rects.len() >= 2);
+    // Seed selection.
+    let mut worst = (0, 1, f64::NEG_INFINITY);
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst.2 {
+                worst = (i, j, waste);
+            }
+        }
+    }
+    let mut ga = vec![worst.0];
+    let mut gb = vec![worst.1];
+    let mut boxa = rects[worst.0];
+    let mut boxb = rects[worst.1];
+    let mut remaining: Vec<usize> = (0..rects.len()).filter(|&i| i != worst.0 && i != worst.1).collect();
+
+    while let Some(pos) = pick_next(&remaining, &boxa, &boxb, rects) {
+        let i = remaining.swap_remove(pos);
+        let need_a = MIN_ENTRIES.saturating_sub(ga.len());
+        let need_b = MIN_ENTRIES.saturating_sub(gb.len());
+        let to_a = if remaining.len() + 1 == need_a {
+            true
+        } else if remaining.len() + 1 == need_b {
+            false
+        } else {
+            let da = boxa.enlargement(&rects[i]);
+            let db = boxb.enlargement(&rects[i]);
+            da < db || (da == db && ga.len() <= gb.len())
+        };
+        if to_a {
+            ga.push(i);
+            boxa = boxa.union(&rects[i]);
+        } else {
+            gb.push(i);
+            boxb = boxb.union(&rects[i]);
+        }
+    }
+    (ga, gb)
+}
+
+fn pick_next(remaining: &[usize], boxa: &Rect, boxb: &Rect, rects: &[Rect]) -> Option<usize> {
+    remaining
+        .iter()
+        .enumerate()
+        .max_by(|(_, &i), (_, &j)| {
+            let di = (boxa.enlargement(&rects[i]) - boxb.enlargement(&rects[i])).abs();
+            let dj = (boxa.enlargement(&rects[j]) - boxb.enlargement(&rects[j])).abs();
+            di.partial_cmp(&dj).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(pos, _)| pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geopattern_geom::coord;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(coord(x0, y0), coord(x1, y1))
+    }
+
+    fn grid(n: usize) -> Vec<Rect> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let x = i as f64 * 10.0;
+                let y = j as f64 * 10.0;
+                out.push(rect(x, y, x + 5.0, y + 5.0));
+            }
+        }
+        out
+    }
+
+    fn brute_force(items: &[Rect], query: &Rect) -> Vec<usize> {
+        items
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(query))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.query_rect(&rect(0.0, 0.0, 100.0, 100.0)), Vec::<usize>::new());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_brute_force() {
+        let items = grid(12); // 144 items, multiple levels
+        let t = RTree::bulk_load(&items);
+        assert_eq!(t.len(), 144);
+        assert!(t.height() >= 2);
+        let queries = [
+            rect(0.0, 0.0, 25.0, 25.0),
+            rect(50.0, 50.0, 55.0, 55.0),
+            rect(-10.0, -10.0, -1.0, -1.0),
+            rect(0.0, 0.0, 1000.0, 1000.0),
+            rect(33.0, 33.0, 34.0, 34.0),
+        ];
+        for q in queries {
+            assert_eq!(t.query_rect(&q), brute_force(&items, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_brute_force() {
+        let items = grid(10);
+        let mut t = RTree::new();
+        for r in &items {
+            t.insert(*r);
+        }
+        assert_eq!(t.len(), 100);
+        let queries = [
+            rect(0.0, 0.0, 25.0, 25.0),
+            rect(45.0, 45.0, 60.0, 60.0),
+            rect(200.0, 200.0, 300.0, 300.0),
+        ];
+        for q in queries {
+            assert_eq!(t.query_rect(&q), brute_force(&items, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_bulk_and_insert() {
+        let base = grid(6);
+        let mut t = RTree::bulk_load(&base);
+        let extra = rect(1000.0, 1000.0, 1001.0, 1001.0);
+        let id = t.insert(extra);
+        assert_eq!(id, base.len());
+        assert_eq!(t.query_rect(&rect(999.0, 999.0, 1002.0, 1002.0)), vec![id]);
+        // Old items still findable.
+        assert_eq!(
+            t.query_rect(&rect(0.0, 0.0, 4.0, 4.0)),
+            brute_force(&base, &rect(0.0, 0.0, 4.0, 4.0))
+        );
+    }
+
+    #[test]
+    fn query_within_distance() {
+        let items = grid(5);
+        let t = RTree::bulk_load(&items);
+        // Point at origin; items are 10 apart with 5x5 boxes.
+        let near = t.query_within_distance(coord(0.0, 0.0), 6.0);
+        assert!(near.contains(&0)); // the (0,0) cell, distance 0
+        for &i in &near {
+            assert!(t.envelope_of(i).distance_to_point(coord(0.0, 0.0)) <= 6.0);
+        }
+        // Brute-force cross-check.
+        let expected: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.distance_to_point(coord(0.0, 0.0)) <= 6.0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut near_sorted = near.clone();
+        near_sorted.sort_unstable();
+        assert_eq!(near_sorted, expected);
+    }
+
+    #[test]
+    fn degenerate_point_rectangles() {
+        let items: Vec<Rect> = (0..50)
+            .map(|i| Rect::of_point(coord(i as f64, (i * 7 % 13) as f64)))
+            .collect();
+        let t = RTree::bulk_load(&items);
+        let q = rect(10.0, 0.0, 20.0, 20.0);
+        assert_eq!(t.query_rect(&q), brute_force(&items, &q));
+    }
+
+    #[test]
+    fn overlapping_items() {
+        // Heavily overlapping rectangles stress the split heuristics.
+        let items: Vec<Rect> = (0..80)
+            .map(|i| {
+                let f = i as f64;
+                rect(f * 0.5, f * 0.25, f * 0.5 + 20.0, f * 0.25 + 20.0)
+            })
+            .collect();
+        let mut t = RTree::new();
+        for r in &items {
+            t.insert(*r);
+        }
+        let q = rect(10.0, 5.0, 12.0, 6.0);
+        assert_eq!(t.query_rect(&q), brute_force(&items, &q));
+    }
+}

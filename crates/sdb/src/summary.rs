@@ -1,0 +1,161 @@
+//! Descriptive statistics over predicate tables.
+//!
+//! The paper repeatedly characterises datasets by aggregate numbers — how
+//! many predicates, how many same-feature-type pairs, how many rows hold a
+//! given predicate. [`PredicateTableSummary`] computes those in one pass,
+//! for dataset inspection, the experiments harness, and support-threshold
+//! selection.
+
+use crate::predicate_table::PredicateTable;
+use std::fmt;
+
+/// Aggregate statistics of a predicate table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateTableSummary {
+    /// Number of rows (reference features / transactions).
+    pub rows: usize,
+    /// Number of distinct predicates.
+    pub predicates: usize,
+    /// Number of distinct *spatial* predicates.
+    pub spatial_predicates: usize,
+    /// Number of distinct relevant feature types among spatial predicates.
+    pub feature_types: usize,
+    /// Number of unordered same-feature-type predicate pairs.
+    pub same_type_pairs: usize,
+    /// Per-predicate support counts, indexed by predicate code.
+    pub support: Vec<usize>,
+    /// Mean row length (predicates per reference feature).
+    pub mean_row_len: f64,
+    /// Maximum row length.
+    pub max_row_len: usize,
+}
+
+/// Computes the summary of a table.
+pub fn summarize(table: &PredicateTable) -> PredicateTableSummary {
+    let mut support = vec![0usize; table.num_predicates()];
+    let mut total_len = 0usize;
+    let mut max_row_len = 0usize;
+    for (_, codes) in table.rows() {
+        total_len += codes.len();
+        max_row_len = max_row_len.max(codes.len());
+        for &c in codes {
+            support[c as usize] += 1;
+        }
+    }
+    let mut types: Vec<&str> = table
+        .predicates()
+        .iter()
+        .filter_map(|p| p.feature_type())
+        .collect();
+    types.sort_unstable();
+    types.dedup();
+
+    PredicateTableSummary {
+        rows: table.num_rows(),
+        predicates: table.num_predicates(),
+        spatial_predicates: table.predicates().iter().filter(|p| p.is_spatial()).count(),
+        feature_types: types.len(),
+        same_type_pairs: table.same_feature_type_pairs().len(),
+        support,
+        mean_row_len: if table.num_rows() == 0 {
+            0.0
+        } else {
+            total_len as f64 / table.num_rows() as f64
+        },
+        max_row_len,
+    }
+}
+
+impl PredicateTableSummary {
+    /// The support of predicate `code` as a fraction of rows.
+    pub fn support_fraction(&self, code: u32) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.support[code as usize] as f64 / self.rows as f64
+        }
+    }
+
+    /// Predicates frequent at the given fractional threshold.
+    pub fn frequent_predicates(&self, min_support: f64) -> Vec<u32> {
+        (0..self.predicates as u32)
+            .filter(|&c| self.support_fraction(c) >= min_support)
+            .collect()
+    }
+}
+
+impl fmt::Display for PredicateTableSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rows × {} predicates ({} spatial over {} feature types, {} same-type pairs); \
+             row length mean {:.1} / max {}",
+            self.rows,
+            self.predicates,
+            self.spatial_predicates,
+            self.feature_types,
+            self.same_type_pairs,
+            self.mean_row_len,
+            self.max_row_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate_table::Predicate;
+    use geopattern_qsr::{SpatialPredicate, TopologicalRelation as T};
+
+    fn table() -> PredicateTable {
+        let mut t = PredicateTable::new();
+        let a = t.intern(Predicate::NonSpatial { attribute: "crime".into(), value: "high".into() });
+        let b = t.intern(Predicate::Spatial(SpatialPredicate::topological(T::Contains, "slum")));
+        let c = t.intern(Predicate::Spatial(SpatialPredicate::topological(T::Touches, "slum")));
+        let d = t.intern(Predicate::Spatial(SpatialPredicate::topological(T::Contains, "school")));
+        t.push_row("D1", vec![a, b, c, d]);
+        t.push_row("D2", vec![b, d]);
+        t.push_row("D3", vec![a, b]);
+        t
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&table());
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.predicates, 4);
+        assert_eq!(s.spatial_predicates, 3);
+        assert_eq!(s.feature_types, 2);
+        assert_eq!(s.same_type_pairs, 1);
+        assert_eq!(s.support, vec![2, 3, 1, 2]);
+        assert!((s.mean_row_len - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_row_len, 4);
+    }
+
+    #[test]
+    fn support_fractions_and_frequency() {
+        let s = summarize(&table());
+        assert!((s.support_fraction(1) - 1.0).abs() < 1e-12);
+        assert!((s.support_fraction(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.frequent_predicates(0.5), vec![0, 1, 3]);
+        assert_eq!(s.frequent_predicates(1.0), vec![1]);
+        assert_eq!(s.frequent_predicates(0.0).len(), 4);
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = summarize(&PredicateTable::new());
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.mean_row_len, 0.0);
+        assert!(s.frequent_predicates(0.5).is_empty());
+    }
+
+    #[test]
+    fn display_reads_well() {
+        let s = summarize(&table());
+        let text = s.to_string();
+        assert!(text.contains("3 rows"));
+        assert!(text.contains("4 predicates"));
+        assert!(text.contains("1 same-type pairs"));
+    }
+}

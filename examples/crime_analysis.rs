@@ -1,0 +1,83 @@
+//! Crime analysis on a synthetic city: the paper's motivating scenario,
+//! end to end through the geometric pipeline.
+//!
+//! Generates a city (districts, slums, schools, police centers, streets,
+//! illumination points, rivers), extracts qualitative topological
+//! predicates per district via R-tree-pruned DE-9IM classification, and
+//! mines for associations between crime rates and the relevant features —
+//! comparing Apriori, Apriori-KC (with the street ↔ illumination-point
+//! dependency as background knowledge `Φ`) and Apriori-KC+.
+//!
+//! ```text
+//! cargo run --release -p geopattern-examples --bin crime_analysis
+//! ```
+
+use geopattern::{Algorithm, MiningPipeline, MinSupport};
+use geopattern_datagen::{default_knowledge, generate_city, CityConfig};
+
+fn main() {
+    let config = CityConfig { grid: 8, seed: 7, ..Default::default() };
+    let city = generate_city(&config);
+    println!(
+        "Synthetic city: {} districts; relevant layers: {}",
+        city.reference.len(),
+        city.relevant
+            .iter()
+            .map(|l| format!("{} ({})", l.feature_type, l.len()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let base = MiningPipeline::new()
+        .min_support(MinSupport::Fraction(0.25))
+        .min_confidence(0.7)
+        .knowledge(default_knowledge());
+
+    println!("\nMining district transactions at 25% minimum support:\n");
+    let mut reports = Vec::new();
+    for alg in [Algorithm::Apriori, Algorithm::AprioriKc, Algorithm::AprioriKcPlus] {
+        let report = base.clone().algorithm(alg).run(&city);
+        println!("  {}", report.summary());
+        reports.push(report);
+    }
+    let kcp = reports.pop().expect("three runs");
+
+    if let Some(stats) = &kcp.extraction_stats {
+        println!(
+            "\nExtraction: {} candidate pairs related exactly, {} pruned by the R-tree, {} spatial predicates emitted",
+            stats.candidate_pairs, stats.pruned_pairs, stats.spatial_predicates
+        );
+    }
+
+    println!("\nCrime-related rules surviving the KC+ filter:");
+    let mut shown = 0;
+    for rule in &kcp.rules {
+        let rendered = rule.render(&kcp.transactions.catalog);
+        if rendered.contains("murderRate") || rendered.contains("theftRate") {
+            println!("  {rendered}");
+            shown += 1;
+            if shown == 15 {
+                break;
+            }
+        }
+    }
+    if shown == 0 {
+        println!("  (none at this support/confidence — try lower thresholds)");
+    }
+
+    // The paper's point, demonstrated: the filter removed the noise without
+    // touching the hypothesis patterns.
+    let catalog = &kcp.transactions.catalog;
+    let slum = catalog.id_of("contains_slum");
+    let murder = catalog.id_of("murderRate=high");
+    if let (Some(slum), Some(murder)) = (slum, murder) {
+        let hypothesis_alive = kcp
+            .result
+            .all()
+            .any(|f| f.items.contains(&slum) && f.items.contains(&murder));
+        println!(
+            "\nHypothesis pattern {{contains_slum, murderRate=high}} survives filtering: {}",
+            if hypothesis_alive { "yes" } else { "no (below support)" }
+        );
+    }
+}

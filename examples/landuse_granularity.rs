@@ -1,0 +1,107 @@
+//! Multi-level mining with a feature-type taxonomy.
+//!
+//! The paper mines at *feature-type granularity*; real schemas are
+//! hierarchical. This example builds a land-use taxonomy
+//! (`slum`/`industrialArea` *is_a* `builtArea`, `park` *is_a* `greenArea`)
+//! and mines the same dataset at two granularity levels. At the coarser
+//! level, predicates over sibling types merge — creating *new*
+//! same-feature-type pairs that only Apriori-KC+ removes.
+//!
+//! ```text
+//! cargo run -p geopattern-examples --bin landuse_granularity
+//! ```
+
+use geopattern::{
+    Algorithm, Feature, FeatureTypeTaxonomy, Layer, MiningPipeline, MinSupport, SpatialDataset,
+};
+use geopattern_geom::from_wkt;
+
+fn district(id: &str, x: f64, y: f64, crime: &str) -> Feature {
+    let wkt = format!(
+        "POLYGON (({x} {y}, {x1} {y}, {x1} {y1}, {x} {y1}, {x} {y}))",
+        x1 = x + 100.0,
+        y1 = y + 100.0
+    );
+    Feature::new(id, from_wkt(&wkt).unwrap()).with_attribute("crimeRate", crime)
+}
+
+fn block(id: &str, x: f64, y: f64, w: f64, h: f64) -> Feature {
+    let wkt = format!(
+        "POLYGON (({x} {y}, {x1} {y}, {x1} {y1}, {x} {y1}, {x} {y}))",
+        x1 = x + w,
+        y1 = y + h
+    );
+    Feature::new(id, from_wkt(&wkt).unwrap())
+}
+
+fn main() {
+    // Four districts in a row; slums, industrial areas and parks placed so
+    // that several districts contain a slum and touch an industrial area.
+    let districts = Layer::new(
+        "district",
+        vec![
+            district("D1", 0.0, 0.0, "high"),
+            district("D2", 100.0, 0.0, "high"),
+            district("D3", 200.0, 0.0, "low"),
+            district("D4", 300.0, 0.0, "low"),
+        ],
+    );
+    let slums = Layer::new(
+        "slum",
+        vec![
+            block("slum1", 20.0, 20.0, 20.0, 20.0),   // inside D1
+            block("slum2", 120.0, 60.0, 20.0, 20.0),  // inside D2
+        ],
+    );
+    let industry = Layer::new(
+        "industrialArea",
+        vec![
+            // Straddles the D1/D2 border: overlaps both.
+            block("ind1", 90.0, 30.0, 20.0, 20.0),
+            // Inside D3.
+            block("ind2", 220.0, 20.0, 30.0, 30.0),
+        ],
+    );
+    let parks = Layer::new(
+        "park",
+        vec![
+            block("park1", 320.0, 20.0, 40.0, 40.0), // inside D4
+            block("park2", 250.0, 60.0, 30.0, 30.0), // inside D3
+        ],
+    );
+    let dataset = SpatialDataset::new(districts, vec![slums, industry, parks]);
+
+    let mut taxonomy = FeatureTypeTaxonomy::new();
+    taxonomy.add_is_a("slum", "builtArea").unwrap();
+    taxonomy.add_is_a("industrialArea", "builtArea").unwrap();
+    taxonomy.add_is_a("park", "greenArea").unwrap();
+    taxonomy.add_is_a("builtArea", "landUse").unwrap();
+    taxonomy.add_is_a("greenArea", "landUse").unwrap();
+
+    for (label, levels) in [("fine (level 0)", 0usize), ("coarse (level 1: builtArea/greenArea)", 1)] {
+        println!("=== granularity: {label} ===");
+        for alg in [Algorithm::Apriori, Algorithm::AprioriKcPlus] {
+            let mut pipeline = MiningPipeline::new()
+                .algorithm(alg)
+                .min_support(MinSupport::Fraction(0.5))
+                .min_confidence(0.9);
+            if levels > 0 {
+                pipeline = pipeline.granularity(taxonomy.clone(), levels);
+            }
+            let report = pipeline.run(&dataset);
+            println!("  {}", report.summary());
+            if alg == Algorithm::AprioriKcPlus {
+                for s in report.frequent_itemsets(2) {
+                    println!("     {s}");
+                }
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "At level 1, contains_slum and overlaps_industrialArea become predicates over\n\
+         builtArea — a brand-new same-feature-type pair that only KC+ recognises and\n\
+         removes; the crime associations survive at both levels."
+    );
+}

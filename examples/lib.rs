@@ -1,0 +1,1 @@
+//! Example applications for geopattern; see the binary targets in Cargo.toml.

@@ -1,0 +1,104 @@
+//! Reproduces the paper's evaluation tables and figures in one run.
+//!
+//! A thin wrapper over the same library calls as the
+//! `geopattern-bench` `experiments` binary; kept as an example so that the
+//! reproduction entry point ships with the library itself.
+//!
+//! ```text
+//! cargo run --release -p geopattern-examples --bin paper_experiments
+//! ```
+
+use geopattern::{Algorithm, MiningPipeline, MinSupport};
+use geopattern_datagen::{experiments, table1};
+use geopattern_mining::{itemset_count_lower_bound, minimal_gain, table3};
+
+fn main() {
+    table2();
+    table3_and_fig3();
+    fig4();
+    fig6();
+    formula();
+}
+
+fn mine_at(alg: Algorithm, sup: f64, e: &experiments::Experiment) -> usize {
+    MiningPipeline::new()
+        .algorithm(alg)
+        .min_support(MinSupport::Fraction(sup))
+        .run_filtered(e.data.clone(), e.dependencies.clone(), e.same_type.clone())
+        .result
+        .num_frequent_min2()
+}
+
+fn table2() {
+    println!("== Table 2: frequent itemsets of Table 1 at minsup 50% ==");
+    let plain = MiningPipeline::new()
+        .algorithm(Algorithm::Apriori)
+        .min_support(MinSupport::Fraction(0.5))
+        .run_transactions(table1::transactions());
+    let kcp = MiningPipeline::new()
+        .algorithm(Algorithm::AprioriKcPlus)
+        .min_support(MinSupport::Fraction(0.5))
+        .run_transactions(table1::transactions());
+    println!(
+        "Apriori: {} itemsets (size ≥ 2), largest size {} (paper's printed table claims 60; see EXPERIMENTS.md)",
+        plain.result.num_frequent_min2(),
+        plain.result.max_size()
+    );
+    println!("Apriori-KC+: {} itemsets survive", kcp.result.num_frequent_min2());
+    println!(
+        "lower bound Σ C(m,i) with m={}: {}\n",
+        plain.result.max_size(),
+        itemset_count_lower_bound(plain.result.max_size() as u64)
+    );
+}
+
+fn table3_and_fig3() {
+    println!("== Table 3 / Figure 3: minimal gain for u=1, t1=1..8, n=1..10 ==");
+    for (i, row) in table3(8, 10).iter().enumerate() {
+        println!(
+            "n={:<2} {}",
+            i + 1,
+            row.iter().map(|v| format!("{v:>7}")).collect::<String>()
+        );
+    }
+    println!();
+}
+
+fn fig4() {
+    println!("== Figure 4: Experiment 1, frequent-set counts ==");
+    let e = experiments::experiment1(42);
+    println!("{:>7} {:>9} {:>11} {:>11}", "minsup", "Apriori", "Apriori-KC", "AprioriKC+");
+    for pct in [5, 10, 15] {
+        let sup = pct as f64 / 100.0;
+        let plain = mine_at(Algorithm::Apriori, sup, &e);
+        let kc = mine_at(Algorithm::AprioriKc, sup, &e);
+        let kcp = mine_at(Algorithm::AprioriKcPlus, sup, &e);
+        println!("{pct:>6}% {plain:>9} {kc:>11} {kcp:>11}");
+    }
+    println!();
+}
+
+fn fig6() {
+    println!("== Figure 6: Experiment 2, frequent-set counts ==");
+    let e = experiments::experiment2(42);
+    println!("{:>7} {:>9} {:>11}", "minsup", "Apriori", "AprioriKC+");
+    for pct in [5, 8, 11, 14, 17] {
+        let sup = pct as f64 / 100.0;
+        let plain = mine_at(Algorithm::Apriori, sup, &e);
+        let kcp = mine_at(Algorithm::AprioriKcPlus, sup, &e);
+        println!("{pct:>6}% {plain:>9} {kcp:>11}");
+    }
+    println!();
+}
+
+fn formula() {
+    println!("== §4.2 Formula 1 cross-checks ==");
+    println!(
+        "m=8, u=3, t=(2,2,2), n=2 → minimal gain {} (paper: 148)",
+        minimal_gain(&[2, 2, 2], 2)
+    );
+    println!(
+        "m=7, u=3, t=(2,2,2), n=1 → minimal gain {} (paper: 74)",
+        minimal_gain(&[2, 2, 2], 1)
+    );
+}

@@ -1,0 +1,1 @@
+// integration test helpers

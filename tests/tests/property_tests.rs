@@ -1,0 +1,416 @@
+//! Property-based tests of the system invariants listed in DESIGN.md §8.
+
+use geopattern_geom::{coord, relate, Coord, Geometry, Polygon, Rect, Segment};
+use geopattern_mining::{
+    mine, mine_fp, AprioriConfig, FpGrowthConfig, ItemCatalog, MinSupport, PairFilter,
+    TransactionSet,
+};
+use geopattern_qsr::{
+    classify, Consistency, ConstraintNetwork, Rcc8, Rcc8Set, TopologicalRelation,
+};
+use geopattern_sdb::RTree;
+use proptest::prelude::*;
+
+// ---------- geometry ----------
+
+fn arb_rect_polygon() -> impl Strategy<Value = Polygon> {
+    (0i32..40, 0i32..40, 1i32..20, 1i32..20).prop_map(|(x, y, w, h)| {
+        Polygon::rect(
+            coord(x as f64, y as f64),
+            coord((x + w) as f64, (y + h) as f64),
+        )
+        .expect("positive extent")
+    })
+}
+
+proptest! {
+    /// relate(a, b) is always the transpose of relate(b, a).
+    #[test]
+    fn relate_transpose(a in arb_rect_polygon(), b in arb_rect_polygon()) {
+        let ga: Geometry = a.into();
+        let gb: Geometry = b.into();
+        prop_assert_eq!(relate(&ga, &gb), relate(&gb, &ga).transposed());
+    }
+
+    /// The Egenhofer classification of two regions is a converse pair, and
+    /// classifying (a, a) yields Equals.
+    #[test]
+    fn egenhofer_converse(a in arb_rect_polygon(), b in arb_rect_polygon()) {
+        let ga: Geometry = a.into();
+        let gb: Geometry = b.into();
+        let ab = classify(&relate(&ga, &gb), ga.dimension(), gb.dimension());
+        let ba = classify(&relate(&gb, &ga), gb.dimension(), ga.dimension());
+        prop_assert_eq!(ab.converse(), ba);
+        let aa = classify(&relate(&ga, &ga), ga.dimension(), ga.dimension());
+        prop_assert_eq!(aa, TopologicalRelation::Equals);
+    }
+
+    /// Geometrically realised RCC8 scenarios are always path-consistent:
+    /// compute the pairwise relations of random rectangles and check that
+    /// algebraic closure accepts them. Exercises relate, the topological
+    /// classification, the RCC8 mapping and the composition table at once.
+    #[test]
+    fn geometric_scenarios_are_path_consistent(
+        polys in prop::collection::vec(arb_rect_polygon(), 3..6)
+    ) {
+        let geoms: Vec<Geometry> = polys.into_iter().map(Geometry::from).collect();
+        let mut net = ConstraintNetwork::new(geoms.len());
+        for i in 0..geoms.len() {
+            for j in (i + 1)..geoms.len() {
+                let rel = classify(
+                    &relate(&geoms[i], &geoms[j]),
+                    geoms[i].dimension(),
+                    geoms[j].dimension(),
+                );
+                let rcc = Rcc8::from_topological(rel).expect("region relation");
+                net.constrain(i, j, Rcc8Set::of(rcc));
+            }
+        }
+        prop_assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+    }
+
+    /// Segment intersection is symmetric and agrees with the distance
+    /// predicate (zero distance ⇔ intersecting).
+    #[test]
+    fn segment_intersection_symmetry(
+        ax in -20i32..20, ay in -20i32..20, bx in -20i32..20, by in -20i32..20,
+        cx in -20i32..20, cy in -20i32..20, dx in -20i32..20, dy in -20i32..20,
+    ) {
+        let s1 = Segment::new(coord(ax as f64, ay as f64), coord(bx as f64, by as f64));
+        let s2 = Segment::new(coord(cx as f64, cy as f64), coord(dx as f64, dy as f64));
+        use geopattern_geom::SegSegIntersection as I;
+        let r12 = s1.intersect(&s2);
+        let r21 = s2.intersect(&s1);
+        prop_assert_eq!(
+            matches!(r12, I::None),
+            matches!(r21, I::None),
+            "existence must be symmetric: {:?} vs {:?}", r12, r21
+        );
+        let d = s1.distance_to_segment(&s2);
+        prop_assert_eq!(d == 0.0, !matches!(r12, I::None));
+    }
+
+    /// Point location agrees with envelope containment for rectangles.
+    #[test]
+    fn rect_polygon_locate(
+        p in arb_rect_polygon(),
+        px in -5i32..50, py in -5i32..50,
+    ) {
+        use geopattern_geom::PointLocation::*;
+        let pt = coord(px as f64, py as f64);
+        let env = p.envelope();
+        match p.locate(pt) {
+            Inside => prop_assert!(env.contains_point(pt)),
+            OnBoundary => prop_assert!(env.contains_point(pt)),
+            Outside => {} // can be inside the envelope only for non-rectangles; rectangles: must be outside
+        }
+        if !env.contains_point(pt) {
+            prop_assert_eq!(p.locate(pt), Outside);
+        }
+    }
+}
+
+fn arb_triangle() -> impl Strategy<Value = Polygon> {
+    (0i32..30, 0i32..30, 1i32..30, 0i32..30, 0i32..30, 1i32..30).prop_filter_map(
+        "non-degenerate triangle",
+        |(ax, ay, bx, by, cx, cy)| {
+            let pts = [
+                coord(ax as f64, ay as f64),
+                coord((ax + bx) as f64, by as f64),
+                coord(cx as f64, (ay + cy) as f64),
+            ];
+            geopattern_geom::Ring::new(pts.to_vec())
+                .ok()
+                .map(Polygon::from_exterior)
+        },
+    )
+}
+
+proptest! {
+    /// Transpose and converse hold for triangles (concavity-free but
+    /// non-axis-aligned boundaries exercise the general relate paths).
+    #[test]
+    fn relate_triangles(a in arb_triangle(), b in arb_triangle()) {
+        let ga: Geometry = a.into();
+        let gb: Geometry = b.into();
+        let m = relate(&ga, &gb);
+        prop_assert_eq!(m, relate(&gb, &ga).transposed());
+        let ab = classify(&m, ga.dimension(), gb.dimension());
+        let ba = classify(&m.transposed(), gb.dimension(), ga.dimension());
+        prop_assert_eq!(ab.converse(), ba);
+        // Self-relation is always Equals.
+        prop_assert_eq!(
+            classify(&relate(&ga, &ga), ga.dimension(), ga.dimension()),
+            TopologicalRelation::Equals
+        );
+    }
+
+    /// Triangle × rectangle mixes diagonal and axis-aligned edges.
+    #[test]
+    fn relate_triangle_vs_rect(t in arb_triangle(), r in arb_rect_polygon()) {
+        let gt: Geometry = t.into();
+        let gr: Geometry = r.into();
+        prop_assert_eq!(relate(&gt, &gr), relate(&gr, &gt).transposed());
+        // Classified relation must be one of the region relations (never
+        // crosses, which needs mixed dimensions).
+        let rel = classify(&relate(&gt, &gr), gt.dimension(), gr.dimension());
+        prop_assert!(rel != TopologicalRelation::Crosses);
+    }
+}
+
+// ---------- R-tree ----------
+
+proptest! {
+    /// R-tree envelope queries always equal the brute-force scan, for both
+    /// bulk-loaded and incrementally built trees.
+    #[test]
+    fn rtree_matches_brute_force(
+        rects in prop::collection::vec((0i32..100, 0i32..100, 1i32..15, 1i32..15), 0..60),
+        q in (0i32..100, 0i32..100, 1i32..40, 1i32..40),
+    ) {
+        let items: Vec<Rect> = rects
+            .iter()
+            .map(|&(x, y, w, h)| {
+                Rect::new(coord(x as f64, y as f64), coord((x + w) as f64, (y + h) as f64))
+            })
+            .collect();
+        let query = Rect::new(
+            coord(q.0 as f64, q.1 as f64),
+            coord((q.0 + q.2) as f64, (q.1 + q.3) as f64),
+        );
+        let expected: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+
+        let bulk = RTree::bulk_load(&items);
+        prop_assert_eq!(bulk.query_rect(&query), expected.clone());
+
+        let mut incremental = RTree::new();
+        for r in &items {
+            incremental.insert(*r);
+        }
+        prop_assert_eq!(incremental.query_rect(&query), expected);
+    }
+}
+
+proptest! {
+    /// The plane-sweep intersection finder agrees with the all-pairs
+    /// oracle on random segment soups.
+    #[test]
+    fn sweep_matches_bruteforce(
+        raw in prop::collection::vec((0i32..50, 0i32..50, 0i32..50, 0i32..50), 0..40)
+    ) {
+        use geopattern_geom::algorithms::sweep::intersecting_pairs;
+        use geopattern_geom::SegSegIntersection;
+        let segs: Vec<Segment> = raw
+            .iter()
+            .map(|&(ax, ay, bx, by)| {
+                Segment::new(coord(ax as f64, ay as f64), coord(bx as f64, by as f64))
+            })
+            .collect();
+        let mut swept: Vec<(usize, usize)> =
+            intersecting_pairs(&segs).into_iter().map(|(i, j, _)| (i, j)).collect();
+        swept.sort_unstable();
+        let mut brute = Vec::new();
+        for i in 0..segs.len() {
+            for j in (i + 1)..segs.len() {
+                if segs[i].intersect(&segs[j]) != SegSegIntersection::None {
+                    brute.push((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(swept, brute);
+    }
+}
+
+// ---------- mining ----------
+
+/// Random small transaction databases with items assigned to feature-type
+/// groups.
+fn arb_transactions() -> impl Strategy<Value = (TransactionSet, PairFilter)> {
+    let row = prop::collection::vec(0u32..10, 0..6);
+    prop::collection::vec(row, 1..25).prop_map(|rows| {
+        let mut catalog = ItemCatalog::new();
+        // Items 0..4 belong to two feature types (two relations each plus
+        // one), items 5..9 are non-spatial.
+        for (i, (label, ft)) in [
+            ("contains_slum", Some("slum")),
+            ("touches_slum", Some("slum")),
+            ("overlaps_slum", Some("slum")),
+            ("contains_school", Some("school")),
+            ("touches_school", Some("school")),
+            ("a=1", None),
+            ("b=1", None),
+            ("c=1", None),
+            ("d=1", None),
+            ("e=1", None),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let id = match ft {
+                Some(ft) => catalog.intern_spatial(label, ft),
+                None => catalog.intern_attribute(label),
+            };
+            assert_eq!(id, i as u32);
+        }
+        let same = PairFilter::same_feature_type(&catalog);
+        let mut ts = TransactionSet::new(catalog);
+        for row in rows {
+            ts.push(row);
+        }
+        (ts, same)
+    })
+}
+
+proptest! {
+    /// All four mining strategies (Apriori, FP-Growth, Eclat, AprioriTid)
+    /// agree exactly, with and without filters.
+    #[test]
+    fn four_miners_agree((ts, same) in arb_transactions(), sup in 1u64..5) {
+        use geopattern_mining::{mine_apriori_tid, mine_eclat, AprioriTidConfig, EclatConfig};
+        let sorted = |r: &geopattern_mining::MiningResult| {
+            let mut v: Vec<(Vec<u32>, u64)> =
+                r.all().map(|f| (f.items.clone(), f.support)).collect();
+            v.sort();
+            v
+        };
+        let support = MinSupport::Count(sup);
+        let ap = sorted(&mine(&ts, &AprioriConfig::apriori(support)));
+        prop_assert_eq!(&ap, &sorted(&mine_fp(&ts, &FpGrowthConfig::new(support))));
+        prop_assert_eq!(&ap, &sorted(&mine_eclat(&ts, &EclatConfig::new(support))));
+        prop_assert_eq!(&ap, &sorted(&mine_apriori_tid(&ts, &AprioriTidConfig::new(support))));
+
+        let apf = sorted(&mine(
+            &ts,
+            &AprioriConfig::apriori_kc_plus(support, PairFilter::none(), same.clone()),
+        ));
+        prop_assert_eq!(
+            &apf,
+            &sorted(&mine_fp(&ts, &FpGrowthConfig::new(support).with_filter(same.clone())))
+        );
+        prop_assert_eq!(
+            &apf,
+            &sorted(&mine_eclat(&ts, &EclatConfig::new(support).with_filter(same.clone())))
+        );
+        prop_assert_eq!(
+            &apf,
+            &sorted(&mine_apriori_tid(
+                &ts,
+                &AprioriTidConfig::new(support).with_filter(same.clone())
+            ))
+        );
+    }
+
+    /// Downward closure holds for every mined result, and both counting
+    /// backends agree.
+    #[test]
+    fn downward_closure_and_backends((ts, _) in arb_transactions(), sup in 1u64..5) {
+        use geopattern_mining::CountingStrategy;
+        let hash = mine(
+            &ts,
+            &AprioriConfig::apriori(MinSupport::Count(sup))
+                .with_counting(CountingStrategy::HashSubset),
+        );
+        let trie = mine(
+            &ts,
+            &AprioriConfig::apriori(MinSupport::Count(sup))
+                .with_counting(CountingStrategy::PrefixTrie),
+        );
+        prop_assert!(hash.check_downward_closure());
+        let h: Vec<_> = hash.all().map(|f| (f.items.clone(), f.support)).collect();
+        let t: Vec<_> = trie.all().map(|f| (f.items.clone(), f.support)).collect();
+        prop_assert_eq!(h, t);
+    }
+
+    /// KC+ is lossless modulo blocked pairs: its output equals plain
+    /// Apriori's minus exactly the itemsets containing a blocked pair.
+    #[test]
+    fn kc_plus_losslessness((ts, same) in arb_transactions(), sup in 1u64..5) {
+        let plain = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(sup)));
+        let kcp = mine(
+            &ts,
+            &AprioriConfig::apriori_kc_plus(MinSupport::Count(sup), PairFilter::none(), same.clone()),
+        );
+        let expected: Vec<_> = plain
+            .all()
+            .filter(|f| !same.blocks_set(&f.items))
+            .map(|f| (f.items.clone(), f.support))
+            .collect();
+        let got: Vec<_> = kcp.all().map(|f| (f.items.clone(), f.support)).collect();
+        prop_assert_eq!(expected, got);
+    }
+
+    /// Closed ⊆ frequent, maximal ⊆ closed, and every frequent itemset's
+    /// support is recoverable from a closed superset.
+    #[test]
+    fn closed_maximal_invariants((ts, _) in arb_transactions(), sup in 1u64..5) {
+        use geopattern_mining::{closed_itemsets, maximal_itemsets};
+        let r = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(sup)));
+        let closed = closed_itemsets(&r);
+        let maximal = maximal_itemsets(&r);
+        prop_assert!(maximal.len() <= closed.len());
+        prop_assert!(closed.len() <= r.num_frequent());
+        for m in &maximal {
+            prop_assert!(closed.iter().any(|c| c.items == m.items));
+        }
+        for f in r.all() {
+            let recoverable = closed.iter().any(|c| {
+                c.support == f.support && f.items.iter().all(|i| c.items.contains(i))
+            });
+            prop_assert!(recoverable, "support of {:?} not recoverable", f.items);
+        }
+    }
+}
+
+// ---------- gain formula ----------
+
+proptest! {
+    /// Formula 1 equals the brute-force count of same-type-pair-containing
+    /// subsets for arbitrary small shapes.
+    #[test]
+    fn minimal_gain_matches_bruteforce(
+        t in prop::collection::vec(1u64..4, 0..3),
+        n in 0u64..4,
+    ) {
+        use geopattern_mining::minimal_gain;
+        let m: u64 = t.iter().sum::<u64>() + n;
+        prop_assume!(m <= 12);
+        let mut brute: u128 = 0;
+        for mask in 0u32..(1u32 << m) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let mut offset = 0u64;
+            let mut has_pair = false;
+            for &tk in &t {
+                let group = (mask >> offset) & ((1u32 << tk) - 1);
+                if group.count_ones() >= 2 {
+                    has_pair = true;
+                }
+                offset += tk;
+            }
+            if has_pair {
+                brute += 1;
+            }
+        }
+        prop_assert_eq!(minimal_gain(&t, n), brute);
+    }
+}
+
+// ---------- WKT ----------
+
+proptest! {
+    /// WKT serialisation roundtrips for rectangles and points.
+    #[test]
+    fn wkt_roundtrip(p in arb_rect_polygon(), px in -100i32..100, py in -100i32..100) {
+        use geopattern_geom::{from_wkt, to_wkt, Point};
+        let g: Geometry = p.into();
+        prop_assert_eq!(&from_wkt(&to_wkt(&g)).unwrap(), &g);
+        let pt: Geometry = Point::new(Coord::new(px as f64, py as f64)).unwrap().into();
+        prop_assert_eq!(&from_wkt(&to_wkt(&pt)).unwrap(), &pt);
+    }
+}
