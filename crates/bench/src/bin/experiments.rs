@@ -3,20 +3,38 @@
 //! ```text
 //! cargo run --release -p geopattern-bench --bin experiments -- [--all|--table1|--table2|
 //!     --table3|--fig3|--fig4|--fig5|--fig6|--fig7|--formula|--city]
+//! cargo run --release -p geopattern-bench --bin experiments -- scaling [--grid N]
 //! ```
 //!
 //! Counts (Tables 1–3, Figures 3, 4, 6, the formula cross-checks) are
 //! exact and deterministic; the timing figures (5 and 7) print wall-clock
-//! medians here and are additionally covered by the Criterion benches
-//! `fig5_experiment1` / `fig7_experiment2`.
+//! medians. The `scaling` subcommand benchmarks the parallel runtime:
+//! serial vs N-thread wall-clock for predicate extraction and support
+//! counting on a large generated city, with outputs verified identical.
+//! It is excluded from `--all` because of its size.
 
-use geopattern::{Algorithm, MiningPipeline, MinSupport, PairFilter};
+use geopattern::{Algorithm, MiningPipeline, MinSupport, PairFilter, Threads};
 use geopattern_datagen::{experiments, generate_city, table1, CityConfig};
-use geopattern_mining::{itemset_count_lower_bound, minimal_gain, table3, TransactionSet};
+use geopattern_mining::{
+    itemset_count_lower_bound, mine, mine_eclat, minimal_gain, table3, AprioriConfig,
+    CountingStrategy, EclatConfig, TransactionSet,
+};
+use geopattern_qsr::DistanceScheme;
+use geopattern_sdb::{extract, ExtractionConfig};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "scaling" || a == "--scaling") {
+        let grid: usize = args
+            .iter()
+            .position(|a| a == "--grid")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(45);
+        print_scaling(grid);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
 
@@ -130,9 +148,14 @@ fn reduction(base: usize, v: usize) -> f64 {
 }
 
 /// Median of repeated wall-clock timings, in microseconds.
-fn time_us<F: FnMut()>(mut f: F) -> u128 {
+fn time_us<F: FnMut()>(f: F) -> u128 {
+    time_us_n(7, f)
+}
+
+/// Median of `reps` wall-clock timings, in microseconds.
+fn time_us_n<F: FnMut()>(reps: usize, mut f: F) -> u128 {
     let mut samples = Vec::new();
-    for _ in 0..7 {
+    for _ in 0..reps {
         let t = Instant::now();
         f();
         samples.push(t.elapsed().as_micros());
@@ -143,7 +166,7 @@ fn time_us<F: FnMut()>(mut f: F) -> u128 {
 
 fn print_fig4_fig5() {
     header("Figures 4 & 5 — Experiment 1: Apriori vs Apriori-KC vs Apriori-KC+");
-    let e = experiments::experiment1(42);
+    let e = experiments::experiment1(32);
     println!(
         "dataset: {} rows, {} predicates ({} same-type pairs, {} dependency pairs)",
         e.data.len(),
@@ -221,7 +244,7 @@ fn print_fig4_fig5() {
 
 fn print_fig6_fig7() {
     header("Figures 6 & 7 — Experiment 2: Apriori vs Apriori-KC+");
-    let e = experiments::experiment2(42);
+    let e = experiments::experiment2(32);
     println!(
         "dataset: {} rows, {} predicates ({} same-type pairs, no dependencies)",
         e.data.len(),
@@ -269,7 +292,7 @@ fn print_fig6_fig7() {
 
 fn print_formula_crosschecks() {
     header("§4.2 formula cross-checks (Formula 1 vs mined gain on Experiment 2)");
-    let e = experiments::experiment2(42);
+    let e = experiments::experiment2(32);
 
     for (sup, expect_m) in [(0.05, 8usize), (0.17, 7usize)] {
         let plain = MiningPipeline::new()
@@ -319,6 +342,141 @@ fn print_formula_crosschecks() {
         minimal_gain(&[2, 2, 2], 2),
         minimal_gain(&[2, 2, 2], 1)
     );
+}
+
+/// `scaling`: serial vs N-thread wall-clock for the two hot paths —
+/// predicate extraction over reference features and Apriori/Eclat support
+/// counting over transactions — on a generated city, verifying that every
+/// parallel run produces byte-identical output.
+fn print_scaling(grid: usize) {
+    header("Thread scaling — extraction & counting on the in-tree pool");
+    let ds = generate_city(&CityConfig { grid, ..Default::default() });
+    let relevant_count: usize = ds.relevant.iter().map(|l| l.len()).sum();
+    println!(
+        "city: grid {grid} → {} reference features, {} relevant features in {} layers",
+        ds.reference.len(),
+        relevant_count,
+        ds.relevant.len()
+    );
+    let threads = [1usize, 2, 4, 8];
+    println!(
+        "host parallelism: {} (timings with more threads than cores measure overhead only)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // Extraction: topological + a bounded distance scheme, so both the
+    // envelope prefilter and the buffered window query are exercised.
+    let cell = CityConfig::default().cell;
+    let config = ExtractionConfig::topological_only().with_distance(
+        DistanceScheme::new(vec![("veryCloseTo", 0.6 * cell), ("closeTo", 1.5 * cell)])
+            .expect("bounded scheme"),
+    );
+    let refs = ds.relevant_refs();
+    let (serial_table, serial_stats) =
+        extract(&ds.reference, &refs, &config.clone().with_threads(Threads::Serial));
+    println!(
+        "\nextraction workload: {} rows, {} predicates, {} exact pairs, {} pruned",
+        serial_table.num_rows(),
+        serial_table.predicates().len(),
+        serial_stats.candidate_pairs,
+        serial_stats.pruned_pairs
+    );
+    println!("{:>22} {:>12} {:>9}", "stage", "median µs", "speedup");
+    let mut extract_us = Vec::new();
+    for &n in &threads {
+        let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
+        let cfg = config.clone().with_threads(t);
+        let mut out = None;
+        let us = time_us_n(3, || out = Some(extract(&ds.reference, &refs, &cfg)));
+        let (table, stats) = out.expect("timed at least once");
+        assert_eq!(table.predicates(), serial_table.predicates(), "{n}-thread predicates differ");
+        assert_eq!(table.rows(), serial_table.rows(), "{n}-thread rows differ");
+        assert_eq!(stats, serial_stats, "{n}-thread stats differ");
+        extract_us.push(us);
+        println!(
+            "{:>22} {:>12} {:>8.2}x",
+            format!("extract ({n} thr)"),
+            us,
+            extract_us[0] as f64 / us as f64
+        );
+    }
+
+    // Counting: a synthetic transactional workload with controlled lattice
+    // depth. (Tiling the extracted city table does not work here: its rows
+    // are near-duplicates, so at any usable support whole rows become
+    // frequent itemsets and candidate enumeration explodes combinatorially.)
+    let data = experiments::ExperimentSpec {
+        relations_per_type: vec![3, 3, 2, 2, 2, 1],
+        nonspatial_values: 4,
+        dependencies: Vec::new(),
+        rows: 60_000,
+        seed: 42,
+        type_presence: 0.33,
+        rel_given_present: 0.90,
+        rel_noise: 0.04,
+        dependency_strength: 0.0,
+        core_patterns: vec![(vec![0, 1, 2, 6, 13], 0.20), (vec![3, 4, 5, 10, 14], 0.13)],
+    }
+    .generate()
+    .data;
+    let minsup = MinSupport::Fraction(0.15);
+    println!(
+        "\ncounting workload: {} transactions ({} items), minsup 15%",
+        data.len(),
+        data.catalog.len()
+    );
+    for (label, runner) in [
+        (
+            "hash-subset",
+            Box::new(|t: Threads| {
+                mine(
+                    &data,
+                    &AprioriConfig::apriori(minsup)
+                        .with_counting(CountingStrategy::HashSubset)
+                        .with_threads(t),
+                )
+            }) as Box<dyn Fn(Threads) -> geopattern_mining::MiningResult>,
+        ),
+        (
+            "prefix-trie",
+            Box::new(|t: Threads| {
+                mine(
+                    &data,
+                    &AprioriConfig::apriori(minsup)
+                        .with_counting(CountingStrategy::PrefixTrie)
+                        .with_threads(t),
+                )
+            }),
+        ),
+        (
+            "eclat",
+            Box::new(|t: Threads| mine_eclat(&data, &EclatConfig::new(minsup).with_threads(t))),
+        ),
+    ] {
+        let mut serial_sets: Option<Vec<_>> = None;
+        let mut base_us = 0u128;
+        for &n in &threads {
+            let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
+            let mut result = None;
+            let us = time_us_n(3, || result = Some(runner(t)));
+            let sets: Vec<_> =
+                result.expect("timed at least once").all().map(|f| (f.items.clone(), f.support)).collect();
+            match &serial_sets {
+                None => serial_sets = Some(sets),
+                Some(s) => assert_eq!(&sets, s, "{label} differs at {n} threads"),
+            }
+            if n == 1 {
+                base_us = us;
+            }
+            println!(
+                "{:>22} {:>12} {:>8.2}x",
+                format!("{label} ({n} thr)"),
+                us,
+                base_us as f64 / us as f64
+            );
+        }
+    }
+    println!("\nall parallel outputs verified identical to serial");
 }
 
 fn print_city_pipeline() {

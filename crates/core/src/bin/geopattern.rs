@@ -3,7 +3,7 @@
 //! ```text
 //! geopattern mine <dataset.gpd> [--minsup 0.3] [--minconf 0.7]
 //!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+]
-//!                 [--dep TYPE_A TYPE_B]... [--itemsets] [--rules]
+//!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
 //! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd]
 //! geopattern relate <WKT_A> <WKT_B>
 //! geopattern gain --t 2,2,2 --n 2
@@ -12,7 +12,7 @@
 //! Dataset files use the text format of `geopattern_sdb::dataset` (see
 //! `generate-city --out` for a sample).
 
-use geopattern::{Algorithm, KnowledgeBase, MiningPipeline, MinSupport, SpatialDataset};
+use geopattern::{Algorithm, KnowledgeBase, MiningPipeline, MinSupport, SpatialDataset, Threads};
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_geom::from_wkt;
 use geopattern_mining::minimal_gain;
@@ -46,7 +46,7 @@ fn print_usage() {
         "geopattern — frequent geographic pattern mining with QSR filters\n\n\
          USAGE:\n  \
          geopattern mine <dataset.gpd> [--minsup F] [--minconf F] [--algorithm A]\n                  \
-         [--dep TYPE_A TYPE_B]... [--itemsets] [--rules]\n  \
+         [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]\n  \
          geopattern generate-city [--grid N] [--seed S] [--out FILE]\n  \
          geopattern relate <WKT_A> <WKT_B>\n  \
          geopattern gain --t T1,T2,... --n N\n\n\
@@ -105,6 +105,10 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .map(|v| parse_algorithm(&v))
         .transpose()?
         .unwrap_or(Algorithm::AprioriKcPlus);
+    let threads = take_flag(&mut args, "--threads")?
+        .map(|v| Threads::parse(&v))
+        .transpose()?
+        .unwrap_or(Threads::Auto);
     let show_itemsets = take_switch(&mut args, "--itemsets");
     let show_rules = take_switch(&mut args, "--rules");
 
@@ -132,6 +136,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .min_support(MinSupport::Fraction(minsup))
         .min_confidence(minconf)
         .knowledge(knowledge)
+        .threads(threads)
         .run(&dataset);
 
     println!("{}", report.summary());

@@ -72,6 +72,7 @@ pub use report::PatternReport;
 pub use geopattern_datagen as datagen;
 pub use geopattern_geom as geom;
 pub use geopattern_mining as mining;
+pub use geopattern_par as par;
 pub use geopattern_qsr as qsr;
 pub use geopattern_sdb as sdb;
 
@@ -80,6 +81,7 @@ pub use geopattern_mining::{
     closed_itemsets, maximal_itemsets, minimal_gain, AssociationRule, FrequentItemset,
     MiningResult, MinSupport, PairFilter, TransactionSet,
 };
+pub use geopattern_par::Threads;
 pub use geopattern_qsr::{SpatialPredicate, TopologicalRelation};
 pub use geopattern_sdb::{
     ExtractionConfig, Feature, FeatureTypeTaxonomy, KnowledgeBase, Layer, Predicate,

@@ -13,6 +13,7 @@ use geopattern_mining::{
     AprioriTidConfig, CountingStrategy, EclatConfig, FpGrowthConfig, MinSupport, PairFilter,
     TransactionSet,
 };
+use geopattern_par::Threads;
 use geopattern_sdb::{
     extract, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase, SpatialDataset,
 };
@@ -70,6 +71,7 @@ pub struct MiningPipeline {
     knowledge: KnowledgeBase,
     counting: CountingStrategy,
     taxonomy: Option<(FeatureTypeTaxonomy, usize)>,
+    threads: Threads,
 }
 
 impl Default for MiningPipeline {
@@ -82,6 +84,7 @@ impl Default for MiningPipeline {
             knowledge: KnowledgeBase::new(),
             counting: CountingStrategy::default(),
             taxonomy: None,
+            threads: Threads::Serial,
         }
     }
 }
@@ -129,6 +132,14 @@ impl MiningPipeline {
         self
     }
 
+    /// Sets the worker-thread policy for predicate extraction and support
+    /// counting. Results are identical for every setting; threads only
+    /// change wall-clock. `Threads::Auto` honours `GEOPATTERN_THREADS`.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Mines at a coarser feature-type granularity: extracted predicates
     /// are generalised `levels` steps up the taxonomy before mining
     /// (geometric inputs only).
@@ -139,7 +150,8 @@ impl MiningPipeline {
 
     /// Runs the full pipeline on a geometric dataset.
     pub fn run(&self, dataset: &SpatialDataset) -> PatternReport {
-        let (table, stats) = extract(&dataset.reference, &dataset.relevant_refs(), &self.extraction);
+        let extraction = self.extraction.clone().with_threads(self.threads);
+        let (table, stats) = extract(&dataset.reference, &dataset.relevant_refs(), &extraction);
         let table = match &self.taxonomy {
             Some((taxonomy, levels)) => taxonomy.generalize_table(&table, *levels),
             None => table,
@@ -180,16 +192,21 @@ impl MiningPipeline {
         let result = match self.algorithm {
             Algorithm::Apriori => mine(
                 &transactions,
-                &AprioriConfig::apriori(self.min_support).with_counting(self.counting),
+                &AprioriConfig::apriori(self.min_support)
+                    .with_counting(self.counting)
+                    .with_threads(self.threads),
             ),
             Algorithm::AprioriKc => mine(
                 &transactions,
-                &AprioriConfig::apriori_kc(self.min_support, deps).with_counting(self.counting),
+                &AprioriConfig::apriori_kc(self.min_support, deps)
+                    .with_counting(self.counting)
+                    .with_threads(self.threads),
             ),
             Algorithm::AprioriKcPlus => mine(
                 &transactions,
                 &AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
-                    .with_counting(self.counting),
+                    .with_counting(self.counting)
+                    .with_threads(self.threads),
             ),
             Algorithm::FpGrowth => {
                 mine_fp(&transactions, &FpGrowthConfig::new(self.min_support))
@@ -198,10 +215,15 @@ impl MiningPipeline {
                 &transactions,
                 &FpGrowthConfig::new(self.min_support).with_filter(deps.union(&same)),
             ),
-            Algorithm::Eclat => mine_eclat(&transactions, &EclatConfig::new(self.min_support)),
+            Algorithm::Eclat => mine_eclat(
+                &transactions,
+                &EclatConfig::new(self.min_support).with_threads(self.threads),
+            ),
             Algorithm::EclatKcPlus => mine_eclat(
                 &transactions,
-                &EclatConfig::new(self.min_support).with_filter(deps.union(&same)),
+                &EclatConfig::new(self.min_support)
+                    .with_filter(deps.union(&same))
+                    .with_threads(self.threads),
             ),
             Algorithm::AprioriTid => {
                 mine_apriori_tid(&transactions, &AprioriTidConfig::new(self.min_support))

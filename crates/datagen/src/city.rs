@@ -27,8 +27,7 @@
 
 use geopattern_geom::{coord, Coord, LineString, Point, Polygon};
 use geopattern_sdb::{Feature, KnowledgeBase, Layer, SpatialDataset};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use geopattern_testkit::Rng;
 
 /// Configuration of the synthetic city.
 #[derive(Debug, Clone)]
@@ -78,7 +77,7 @@ impl Default for CityConfig {
 pub fn generate_city(config: &CityConfig) -> SpatialDataset {
     let g = config.grid;
     let c = config.cell;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     let mut slums: Vec<Feature> = Vec::new();
     let mut schools: Vec<Feature> = Vec::new();
@@ -97,7 +96,7 @@ pub fn generate_city(config: &CityConfig) -> SpatialDataset {
             let y0 = j as f64 * c;
             let d = j * g + i;
 
-            if rng.random::<f64>() < config.p_slum_contained {
+            if rng.chance(config.p_slum_contained) {
                 slums.push(Feature::new(
                     format!("slum{}", slums.len()),
                     rect(x0 + 0.20 * c, y0 + 0.55 * c, x0 + 0.40 * c, y0 + 0.80 * c).into(),
@@ -106,7 +105,7 @@ pub fn generate_city(config: &CityConfig) -> SpatialDataset {
             }
             // Straddles the right edge: overlaps this district and its
             // right neighbour.
-            if i + 1 < g && rng.random::<f64>() < config.p_slum_overlap {
+            if i + 1 < g && rng.chance(config.p_slum_overlap) {
                 slums.push(Feature::new(
                     format!("slum{}", slums.len()),
                     rect(x0 + 0.88 * c, y0 + 0.30 * c, x0 + 1.12 * c, y0 + 0.48 * c).into(),
@@ -116,26 +115,26 @@ pub fn generate_city(config: &CityConfig) -> SpatialDataset {
             }
             // Flush against the bottom edge: this district covers it; the
             // district below touches it.
-            if j > 0 && rng.random::<f64>() < config.p_slum_covers {
+            if j > 0 && rng.chance(config.p_slum_covers) {
                 slums.push(Feature::new(
                     format!("slum{}", slums.len()),
                     rect(x0 + 0.55 * c, y0, x0 + 0.75 * c, y0 + 0.18 * c).into(),
                 ));
                 slum_counts[d] += 1;
             }
-            if rng.random::<f64>() < config.p_school {
+            if rng.chance(config.p_school) {
                 schools.push(Feature::new(
                     format!("school{}", schools.len()),
                     pt(x0 + 0.62 * c, y0 + 0.33 * c).into(),
                 ));
             }
-            if rng.random::<f64>() < config.p_school_touch {
+            if rng.chance(config.p_school_touch) {
                 schools.push(Feature::new(
                     format!("school{}", schools.len()),
                     pt(x0, y0 + 0.5 * c).into(), // on the left boundary
                 ));
             }
-            if rng.random::<f64>() < config.p_police {
+            if rng.chance(config.p_police) {
                 police.push(Feature::new(
                     format!("police{}", police.len()),
                     pt(x0 + 0.5 * c, y0 + 0.12 * c).into(),
@@ -184,10 +183,9 @@ pub fn generate_city(config: &CityConfig) -> SpatialDataset {
             let x0 = i as f64 * c;
             let y0 = j as f64 * c;
             let d = j * g + i;
-            let noisy = rng.random::<f64>() < 0.12;
+            let noisy = rng.chance(0.12);
             let murder_high = (slum_counts[d] >= 2) ^ noisy;
-            let theft_high = (slum_counts[d] >= 1 && !police_flags[d])
-                ^ (rng.random::<f64>() < 0.12);
+            let theft_high = (slum_counts[d] >= 1 && !police_flags[d]) ^ rng.chance(0.12);
             districts.push(
                 Feature::new(format!("district_{i}_{j}"), rect(x0, y0, x0 + c, y0 + c).into())
                     .with_attribute("murderRate", if murder_high { "high" } else { "low" })

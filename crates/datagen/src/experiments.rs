@@ -21,8 +21,7 @@
 //! makes same-feature-type pairs frequent and the KC+ filter effective.
 
 use geopattern_mining::{ItemCatalog, ItemId, PairFilter, TransactionSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use geopattern_testkit::Rng;
 
 /// Relation-name pool used for synthetic spatial predicates.
 const RELATIONS: [&str; 5] = ["contains", "touches", "overlaps", "covers", "crosses"];
@@ -98,7 +97,7 @@ impl ExperimentSpec {
     pub fn generate(&self) -> Experiment {
         let catalog = self.catalog();
         let num_spatial: usize = self.relations_per_type.iter().sum();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut data = TransactionSet::new(catalog);
 
         let dep_items: Vec<(ItemId, ItemId)> = self
@@ -111,7 +110,7 @@ impl ExperimentSpec {
             let mut items: Vec<ItemId> = Vec::new();
 
             // Core-pattern injection (exclusive bands of the unit interval).
-            let roll: f64 = rng.random();
+            let roll: f64 = rng.f64();
             let mut acc = 0.0;
             for (pattern, frac) in &self.core_patterns {
                 if roll >= acc && roll < acc + frac {
@@ -126,13 +125,13 @@ impl ExperimentSpec {
             // feature types with each other, so multi-type itemsets stay
             // frequent at higher support thresholds — as they do in real
             // cities, where dense districts host everything at once.
-            let activity: f64 = 0.45 + 1.10 * rng.random::<f64>();
+            let activity: f64 = 0.45 + 1.10 * rng.f64();
             let mut item = 0u32;
             for &t in &self.relations_per_type {
-                let present = rng.random::<f64>() < (self.type_presence * activity).min(1.0);
+                let present = rng.chance((self.type_presence * activity).min(1.0));
                 for _ in 0..t {
                     let p = if present { self.rel_given_present } else { self.rel_noise };
-                    if rng.random::<f64>() < p {
+                    if rng.chance(p) {
                         items.push(item);
                     }
                     item += 1;
@@ -142,14 +141,14 @@ impl ExperimentSpec {
             // Dependencies: a well-known pattern means the partner
             // predicate frequently co-occurs.
             for &(a, b) in &dep_items {
-                if items.contains(&a) && rng.random::<f64>() < self.dependency_strength {
+                if items.contains(&a) && rng.chance(self.dependency_strength) {
                     items.push(b);
                 }
             }
 
             // Exactly one value of the non-spatial attribute per row.
             if self.nonspatial_values > 0 {
-                let v = rng.random_range(0..self.nonspatial_values) as u32;
+                let v = rng.below_usize(self.nonspatial_values) as u32;
                 items.push(num_spatial as u32 + v);
             }
 

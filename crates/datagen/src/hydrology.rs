@@ -12,8 +12,7 @@
 
 use geopattern_geom::{coord, LineString, Polygon};
 use geopattern_sdb::{Feature, Layer, SpatialDataset};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use geopattern_testkit::Rng;
 
 /// Configuration for the hydrology scenario.
 #[derive(Debug, Clone)]
@@ -51,13 +50,13 @@ impl Default for HydrologyConfig {
 
 /// Generates the scenario: reference layer `city`, relevant layer `river`.
 pub fn generate_hydrology(config: &HydrologyConfig) -> SpatialDataset {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let grid = (config.cities as f64).sqrt().ceil() as usize;
     let pitch = config.city_size + config.gap;
 
     // Which columns carry a main river.
     let river_cols: Vec<bool> =
-        (0..grid).map(|_| rng.random::<f64>() < config.p_river_column).collect();
+        (0..grid).map(|_| rng.chance(config.p_river_column)).collect();
 
     let mut cities: Vec<Feature> = Vec::new();
     let mut rivers: Vec<Feature> = Vec::new();
@@ -87,7 +86,7 @@ pub fn generate_hydrology(config: &HydrologyConfig) -> SpatialDataset {
 
         let mut contains_trib = false;
         let mut touched_by_creek = false;
-        if crossed && rng.random::<f64>() < config.p_tributary {
+        if crossed && rng.chance(config.p_tributary) {
             // A tributary wholly inside the city, feeding the main river.
             rivers.push(Feature::new(
                 format!("river{}", rivers.len()),
@@ -101,7 +100,7 @@ pub fn generate_hydrology(config: &HydrologyConfig) -> SpatialDataset {
             ));
             contains_trib = true;
         }
-        if crossed && rng.random::<f64>() < config.p_creek {
+        if crossed && rng.chance(config.p_creek) {
             // A creek running outside along the city's east border,
             // touching it at one point.
             rivers.push(Feature::new(
@@ -119,9 +118,8 @@ pub fn generate_hydrology(config: &HydrologyConfig) -> SpatialDataset {
 
         // Attributes correlated with the river relations (with noise), per
         // the paper's example rules.
-        let noise = |p: f64, rng: &mut StdRng| rng.random::<f64>() < p;
-        let pollution_high = (crossed || contains_trib) ^ noise(0.1, &mut rng);
-        let exportation_high = (crossed || touched_by_creek) ^ noise(0.15, &mut rng);
+        let pollution_high = (crossed || contains_trib) ^ rng.chance(0.1);
+        let exportation_high = (crossed || touched_by_creek) ^ rng.chance(0.15);
 
         cities.push(
             Feature::new(

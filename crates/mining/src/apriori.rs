@@ -12,10 +12,17 @@
 //! (Agrawal & Srikant 1994). Two support-counting backends are provided
 //! for the ablation benchmarks: per-transaction subset enumeration against
 //! a hashed candidate set, and a candidate prefix-trie walk.
+//!
+//! Both backends parallelise over transaction chunks on the in-tree
+//! [`geopattern_par`] pool: the candidate index (hash map or trie) is
+//! built once and shared read-only, each worker accumulates a private
+//! count vector, and the vectors are reduced by summation — commutative,
+//! so the counts are identical to a serial run for any thread count.
 
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use geopattern_par::{par_map_reduce, Threads};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -41,6 +48,9 @@ pub struct AprioriConfig {
     pub same_type: PairFilter,
     /// Counting backend.
     pub counting: CountingStrategy,
+    /// Worker threads for support counting. Counts are identical for
+    /// every setting; this only changes wall-clock.
+    pub threads: Threads,
 }
 
 impl AprioriConfig {
@@ -51,6 +61,7 @@ impl AprioriConfig {
             dependencies: PairFilter::none(),
             same_type: PairFilter::none(),
             counting: CountingStrategy::default(),
+            threads: Threads::Serial,
         }
     }
 
@@ -71,6 +82,12 @@ impl AprioriConfig {
     /// Selects the counting backend (builder style).
     pub fn with_counting(mut self, counting: CountingStrategy) -> AprioriConfig {
         self.counting = counting;
+        self
+    }
+
+    /// Sets the worker-thread policy (builder style).
+    pub fn with_threads(mut self, threads: Threads) -> AprioriConfig {
+        self.threads = threads;
         self
     }
 
@@ -130,8 +147,12 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
         }
 
         let counts = match config.counting {
-            CountingStrategy::HashSubset => count_hash_subset(data, &candidates, k),
-            CountingStrategy::PrefixTrie => count_prefix_trie(data, &candidates, k),
+            CountingStrategy::HashSubset => {
+                count_hash_subset(data, &candidates, k, config.threads)
+            }
+            CountingStrategy::PrefixTrie => {
+                count_prefix_trie(data, &candidates, k, config.threads)
+            }
         };
 
         let lk: Vec<FrequentItemset> = candidates
@@ -200,31 +221,62 @@ pub fn apriori_gen(prev: &[&[ItemId]]) -> Vec<Vec<ItemId>> {
     out
 }
 
+/// Sums per-worker count vectors over transaction chunks. Summation is
+/// commutative, so the totals match the serial scan exactly.
+fn count_chunked(
+    data: &TransactionSet,
+    num_candidates: usize,
+    threads: Threads,
+    count_chunk: impl Fn(&[Vec<ItemId>], &mut [u64]) + Sync,
+) -> Vec<u64> {
+    par_map_reduce(
+        threads,
+        data.transactions(),
+        |_, chunk| {
+            let mut counts = vec![0u64; num_candidates];
+            count_chunk(chunk, &mut counts);
+            counts
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![0u64; num_candidates])
+}
+
 /// Counting backend 1: enumerate each transaction's k-subsets over the
 /// items appearing in any candidate, probing a hash map.
-fn count_hash_subset(data: &TransactionSet, candidates: &[Vec<ItemId>], k: usize) -> Vec<u64> {
+fn count_hash_subset(
+    data: &TransactionSet,
+    candidates: &[Vec<ItemId>],
+    k: usize,
+    threads: Threads,
+) -> Vec<u64> {
     let mut index: HashMap<&[ItemId], usize> = HashMap::with_capacity(candidates.len());
     let mut live_items: HashSet<ItemId> = HashSet::new();
     for (pos, c) in candidates.iter().enumerate() {
         index.insert(c.as_slice(), pos);
         live_items.extend(c.iter().copied());
     }
-    let mut counts = vec![0u64; candidates.len()];
-    let mut filtered: Vec<ItemId> = Vec::new();
-    let mut subset: Vec<ItemId> = Vec::with_capacity(k);
-    for t in data.transactions() {
-        filtered.clear();
-        filtered.extend(t.iter().copied().filter(|i| live_items.contains(i)));
-        if filtered.len() < k {
-            continue;
-        }
-        enumerate_subsets(&filtered, k, &mut subset, 0, &mut |s| {
-            if let Some(&pos) = index.get(s) {
-                counts[pos] += 1;
+    count_chunked(data, candidates.len(), threads, |chunk, counts| {
+        let mut filtered: Vec<ItemId> = Vec::new();
+        let mut subset: Vec<ItemId> = Vec::with_capacity(k);
+        for t in chunk {
+            filtered.clear();
+            filtered.extend(t.iter().copied().filter(|i| live_items.contains(i)));
+            if filtered.len() < k {
+                continue;
             }
-        });
-    }
-    counts
+            enumerate_subsets(&filtered, k, &mut subset, 0, &mut |s| {
+                if let Some(&pos) = index.get(s) {
+                    counts[pos] += 1;
+                }
+            });
+        }
+    })
 }
 
 fn enumerate_subsets(
@@ -256,7 +308,12 @@ struct TrieNode {
 
 /// Counting backend 2: walk a prefix trie of candidates along each
 /// (sorted) transaction.
-fn count_prefix_trie(data: &TransactionSet, candidates: &[Vec<ItemId>], _k: usize) -> Vec<u64> {
+fn count_prefix_trie(
+    data: &TransactionSet,
+    candidates: &[Vec<ItemId>],
+    _k: usize,
+    threads: Threads,
+) -> Vec<u64> {
     let mut root = TrieNode::default();
     for (pos, c) in candidates.iter().enumerate() {
         let mut node = &mut root;
@@ -265,11 +322,11 @@ fn count_prefix_trie(data: &TransactionSet, candidates: &[Vec<ItemId>], _k: usiz
         }
         node.leaf = Some(pos);
     }
-    let mut counts = vec![0u64; candidates.len()];
-    for t in data.transactions() {
-        walk_trie(&root, t, &mut counts);
-    }
-    counts
+    count_chunked(data, candidates.len(), threads, |chunk, counts| {
+        for t in chunk {
+            walk_trie(&root, t, counts);
+        }
+    })
 }
 
 fn walk_trie(node: &TrieNode, suffix: &[ItemId], counts: &mut [u64]) {
@@ -415,6 +472,38 @@ mod tests {
         let refs: Vec<&[u32]> = l1.iter().map(|v| v.as_slice()).collect();
         let c2 = apriori_gen(&refs);
         assert_eq!(c2, vec![vec![0, 2], vec![0, 5], vec![2, 5]]);
+    }
+
+    #[test]
+    fn parallel_counting_matches_serial() {
+        // A larger synthetic set so several chunks actually form.
+        let mut c = ItemCatalog::new();
+        for i in 0..12 {
+            c.intern_attribute(format!("i{i}"));
+        }
+        let mut ts = TransactionSet::new(c);
+        for t in 0..500u32 {
+            let items: Vec<u32> =
+                (0..12).filter(|&i| (t.wrapping_mul(31).wrapping_add(i * 7)) % 3 != 0).collect();
+            ts.push(items);
+        }
+        for counting in [CountingStrategy::HashSubset, CountingStrategy::PrefixTrie] {
+            let serial = mine(
+                &ts,
+                &AprioriConfig::apriori(MinSupport::Fraction(0.2)).with_counting(counting),
+            );
+            for n in [2usize, 8] {
+                let parallel = mine(
+                    &ts,
+                    &AprioriConfig::apriori(MinSupport::Fraction(0.2))
+                        .with_counting(counting)
+                        .with_threads(Threads::Fixed(n)),
+                );
+                let s: Vec<_> = serial.all().collect();
+                let p: Vec<_> = parallel.all().collect();
+                assert_eq!(s, p, "{counting:?} at {n} threads");
+            }
+        }
     }
 
     #[test]

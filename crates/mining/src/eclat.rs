@@ -11,6 +11,7 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use geopattern_par::{par_map, Threads};
 use std::time::Instant;
 
 /// Eclat configuration.
@@ -20,17 +21,26 @@ pub struct EclatConfig {
     pub min_support: MinSupport,
     /// Pairs no mined itemset may contain.
     pub filter: PairFilter,
+    /// Worker threads for the per-prefix equivalence-class search. The
+    /// mined itemsets are identical for every setting.
+    pub threads: Threads,
 }
 
 impl EclatConfig {
     /// Unfiltered Eclat.
     pub fn new(min_support: MinSupport) -> EclatConfig {
-        EclatConfig { min_support, filter: PairFilter::none() }
+        EclatConfig { min_support, filter: PairFilter::none(), threads: Threads::Serial }
     }
 
     /// Eclat with a pair filter (builder style).
     pub fn with_filter(mut self, filter: PairFilter) -> EclatConfig {
         self.filter = filter;
+        self
+    }
+
+    /// Sets the worker-thread policy (builder style).
+    pub fn with_threads(mut self, threads: Threads) -> EclatConfig {
+        self.threads = threads;
         self
     }
 }
@@ -101,19 +111,17 @@ pub fn mine_eclat(data: &TransactionSet, config: &EclatConfig) -> MiningResult {
         })
         .collect();
 
-    let mut found: Vec<FrequentItemset> = Vec::new();
-    for (pos, (item, set)) in frequent.iter().enumerate() {
-        found.push(FrequentItemset { items: vec![*item], support: set.count() });
-        extend(
-            &frequent,
-            pos,
-            &mut vec![*item],
-            set,
-            threshold,
-            &config.filter,
-            &mut found,
-        );
-    }
+    // Each frequent 1-item roots an independent equivalence class (its
+    // DFS only reads `frequent`), so the classes fan out across workers;
+    // concatenating the per-class results in item order reproduces the
+    // serial depth-first emission exactly.
+    let per_prefix = par_map(config.threads, &frequent, |pos, (item, set)| {
+        let mut out: Vec<FrequentItemset> =
+            vec![FrequentItemset { items: vec![*item], support: set.count() }];
+        extend(&frequent, pos, &mut vec![*item], set, threshold, &config.filter, &mut out);
+        out
+    });
+    let found: Vec<FrequentItemset> = per_prefix.into_iter().flatten().collect();
 
     // Group by size; depth-first emission from sorted 1-items is already
     // lexicographic within each level.

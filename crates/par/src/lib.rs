@@ -1,0 +1,262 @@
+//! # geopattern-par
+//!
+//! A small in-tree parallel runtime for the `geopattern` system. The build
+//! environment has no registry access, so `rayon` is not an option; this
+//! crate provides the two primitives the hot paths actually need, built on
+//! `std::thread::scope`:
+//!
+//! * [`par_map`] — order-preserving parallel map over a slice;
+//! * [`par_map_reduce`] — parallel fold over contiguous chunks with a
+//!   deterministic in-order reduction of the per-chunk accumulators.
+//!
+//! Work distribution is *chunked self-scheduling*: the input is cut into
+//! more chunks than workers (bounding imbalance to one chunk) and workers
+//! claim chunks from a shared atomic cursor. Every result lands in the
+//! output slot of its input index, so the output is identical to the
+//! serial map regardless of thread count or scheduling — parallelism is
+//! never allowed to change answers, only wall-clock.
+//!
+//! Thread counts come from [`Threads`]: `Serial` (1), `Fixed(n)`, or
+//! `Auto`, which honours the `GEOPATTERN_THREADS` environment variable and
+//! falls back to [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads a parallel stage may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// One thread: the exact serial code path, no pool involved.
+    Serial,
+    /// `GEOPATTERN_THREADS` if set and valid, else the machine's available
+    /// parallelism. The default.
+    #[default]
+    Auto,
+    /// Exactly this many threads (clamped to at least 1).
+    Fixed(usize),
+}
+
+impl Threads {
+    /// Resolves to a concrete thread count (always at least 1).
+    pub fn get(self) -> usize {
+        match self {
+            Threads::Serial => 1,
+            Threads::Fixed(n) => n.max(1),
+            Threads::Auto => env_threads().unwrap_or_else(available_threads),
+        }
+    }
+
+    /// Parses a CLI-style value: `"auto"`/`"0"` → `Auto`, `"1"` → `Serial`,
+    /// `"n"` → `Fixed(n)`.
+    pub fn parse(s: &str) -> Result<Threads, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" | "0" => Ok(Threads::Auto),
+            "1" => Ok(Threads::Serial),
+            n => n
+                .parse::<usize>()
+                .map(Threads::Fixed)
+                .map_err(|_| format!("bad thread count {s:?} (expected a number or \"auto\")")),
+        }
+    }
+}
+
+/// The `GEOPATTERN_THREADS` override, when set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("GEOPATTERN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The machine's available parallelism (1 when unknown).
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Chunk size giving each worker several chunks to claim, so one slow
+/// chunk cannot idle the rest of the pool.
+fn chunk_size(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers * 4).max(1)
+}
+
+/// Maps `f` over `items` on `threads` workers, preserving order. With one
+/// thread (or up to one item) this is exactly `items.iter().map(f)` on the
+/// calling thread. `f` receives the item index alongside the item.
+pub fn par_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.get().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    {
+        // Hand each worker a raw view of the output buffer; every index is
+        // written at most once because the chunk cursor hands out disjoint
+        // ranges.
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        let chunk = chunk_size(items.len(), workers);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let slots_ptr = &slots_ptr;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        let idx = start + i;
+                        // SAFETY: idx is claimed by exactly one worker via
+                        // the atomic cursor, and the scope outlives no
+                        // borrow: slots lives beyond the scope.
+                        unsafe { *slots_ptr.0.add(idx) = Some(f(idx, item)) };
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot written by the pool"))
+        .collect()
+}
+
+/// A `Send`/`Sync` wrapper for the output-buffer pointer shared with the
+/// scoped workers. Safe because workers write disjoint indices.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Folds contiguous chunks of `items` in parallel and reduces the chunk
+/// accumulators **in chunk order**, so the result is deterministic even
+/// for non-commutative `reduce`. `map` receives `(chunk_start_index,
+/// chunk)` and returns the chunk's accumulator.
+pub fn par_map_reduce<T, A, M, R>(threads: Threads, items: &[T], map: M, reduce: R) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let workers = threads.get().min(items.len());
+    if workers <= 1 {
+        return Some(map(0, items));
+    }
+    let chunk = chunk_size(items.len(), workers);
+    let starts: Vec<usize> = (0..items.len()).step_by(chunk).collect();
+    let accs = par_map(threads, &starts, |_, &start| {
+        let end = (start + chunk).min(items.len());
+        map(start, &items[start..end])
+    });
+    accs.into_iter().reduce(reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+            let parallel = par_map(threads, &items, |_, &x| x * x + 1);
+            assert_eq!(parallel, serial, "{threads:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_indices() {
+        let items = vec!["a"; 257];
+        let got = par_map(Threads::Fixed(4), &items, |i, _| i);
+        assert_eq!(got, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_edge_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(Threads::Fixed(4), &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(Threads::Fixed(4), &[7u32], |_, &x| x + 1), vec![8]);
+        // More threads than items.
+        let small: Vec<u32> = (0..3).collect();
+        assert_eq!(par_map(Threads::Fixed(16), &small, |_, &x| x), small);
+    }
+
+    #[test]
+    fn par_map_reduce_sums_deterministically() {
+        let items: Vec<u64> = (1..=10_000).collect();
+        let expected: u64 = items.iter().sum();
+        for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+            let got = par_map_reduce(
+                threads,
+                &items,
+                |_, chunk| chunk.iter().sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(got, Some(expected), "{threads:?}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(
+            par_map_reduce(Threads::Fixed(4), &empty, |_, c| c.len(), |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn par_map_reduce_order_preserving_reduction() {
+        // Concatenation is non-commutative: the reduction must run in
+        // chunk order for the result to equal the serial concatenation.
+        let items: Vec<u32> = (0..500).collect();
+        let serial: Vec<u32> = items.clone();
+        let got = par_map_reduce(
+            Threads::Fixed(8),
+            &items,
+            |_, chunk| chunk.to_vec(),
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        )
+        .unwrap();
+        assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::Serial.get(), 1);
+        assert_eq!(Threads::Fixed(3).get(), 3);
+        assert_eq!(Threads::Fixed(0).get(), 1);
+        assert!(Threads::Auto.get() >= 1);
+    }
+
+    #[test]
+    fn threads_parse() {
+        assert_eq!(Threads::parse("auto"), Ok(Threads::Auto));
+        assert_eq!(Threads::parse("0"), Ok(Threads::Auto));
+        assert_eq!(Threads::parse("1"), Ok(Threads::Serial));
+        assert_eq!(Threads::parse("6"), Ok(Threads::Fixed(6)));
+        assert!(Threads::parse("six").is_err());
+    }
+
+    #[test]
+    fn env_override_is_honoured() {
+        // Set for this test only; tests in this crate run in one process,
+        // so pick a name-spaced check through the public API.
+        std::env::set_var("GEOPATTERN_THREADS", "5");
+        assert_eq!(Threads::Auto.get(), 5);
+        std::env::set_var("GEOPATTERN_THREADS", "not-a-number");
+        assert_eq!(Threads::Auto.get(), available_threads());
+        std::env::remove_var("GEOPATTERN_THREADS");
+    }
+}

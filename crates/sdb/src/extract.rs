@@ -5,15 +5,31 @@
 //! (slums, schools, police centers, …) and records them *at feature-type
 //! granularity* as rows of a [`PredicateTable`]. This is the step the
 //! paper identifies as the computational cost centre of spatial frequent
-//! pattern mining; the layer's R-tree prunes the candidate pairs for
-//! topological relations.
+//! pattern mining; three accelerations apply:
+//!
+//! * the layer's R-tree prunes candidate pairs for topological relations
+//!   (envelope-disjoint pairs can only be `disjoint`);
+//! * distance-band predicates run through an R-tree *window query* — the
+//!   reference envelope buffered by the largest bounded band — instead of
+//!   a full scan, whenever the scheme's last band is bounded and direction
+//!   predicates (which have no range cutoff) are off;
+//! * [`PreparedGeometry`] caches envelopes and part dimensions so repeated
+//!   relates of one reference feature against its candidate set skip the
+//!   per-call setup.
+//!
+//! Extraction parallelises over reference features (rows are independent)
+//! on the in-tree [`geopattern_par`] pool. Workers emit *predicate
+//! batches*, not interned codes; the single-threaded merge afterwards
+//! interns them in row order, so the resulting table — predicate
+//! numbering included — is byte-identical to a serial run regardless of
+//! thread count.
 
-use crate::feature::Layer;
+use crate::feature::{Feature, Layer};
 use crate::predicate_table::{Predicate, PredicateTable};
-use geopattern_geom::geometry_distance;
+use geopattern_geom::{geometry_distance, GeomDim, PreparedGeometry};
+use geopattern_par::{par_map, Threads};
 use geopattern_qsr::{
-    geometry_direction, topological_relation, DistanceScheme, SpatialPredicate,
-    TopologicalRelation,
+    classify, geometry_direction, DistanceScheme, SpatialPredicate, TopologicalRelation,
 };
 
 /// What to extract.
@@ -39,6 +55,9 @@ pub struct ExtractionConfig {
     /// Include the reference features' non-spatial attributes as
     /// `attribute=value` predicates.
     pub nonspatial_attributes: bool,
+    /// Worker threads for the per-reference-feature loop. The output is
+    /// identical for every setting; this only changes wall-clock.
+    pub threads: Threads,
 }
 
 impl Default for ExtractionConfig {
@@ -50,6 +69,7 @@ impl Default for ExtractionConfig {
             distance_excludes_intersecting: true,
             direction: false,
             nonspatial_attributes: true,
+            threads: Threads::Serial,
         }
     }
 }
@@ -72,17 +92,56 @@ impl ExtractionConfig {
         self.direction = true;
         self
     }
+
+    /// Sets the worker-thread policy.
+    pub fn with_threads(mut self, threads: Threads) -> ExtractionConfig {
+        self.threads = threads;
+        self
+    }
 }
 
-/// Counters describing an extraction run.
+/// Counters describing an extraction run. Deterministic: every counter is
+/// a per-row quantity summed over rows, so parallel runs report exactly
+/// the serial numbers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExtractionStats {
-    /// Candidate pairs whose envelopes intersected (exact relate computed).
+    /// Pairs whose exact relation was computed: envelope-intersecting
+    /// candidates on the topological path, plus window-query survivors (or
+    /// full-scan pairs) on the distance/direction path.
     pub candidate_pairs: usize,
-    /// Pairs pruned by the R-tree envelope filter (no relate computed).
+    /// Pairs pruned by an R-tree filter with no exact computation: the
+    /// envelope prefilter for topological relations and the buffered
+    /// window query for bounded distance schemes.
     pub pruned_pairs: usize,
     /// Spatial predicates emitted (row-level occurrences).
     pub spatial_predicates: usize,
+}
+
+impl ExtractionStats {
+    fn absorb(&mut self, other: &ExtractionStats) {
+        self.candidate_pairs += other.candidate_pairs;
+        self.pruned_pairs += other.pruned_pairs;
+        self.spatial_predicates += other.spatial_predicates;
+    }
+}
+
+/// A relevant layer with every feature prepared once, shared read-only by
+/// all workers.
+struct PreparedLayer<'a> {
+    layer: &'a Layer,
+    prepared: Vec<PreparedGeometry>,
+    dims: Vec<GeomDim>,
+    /// Half-width of the distance window query: the largest *bounded*
+    /// distance band. `None` means the distance/direction path must scan
+    /// the whole layer (open-ended band, or direction predicates on).
+    window: Option<f64>,
+}
+
+/// One worker's output for one reference feature: the row's predicates in
+/// serial emission order, plus the row's share of the stats.
+struct RowBatch {
+    predicates: Vec<Predicate>,
+    stats: ExtractionStats,
 }
 
 /// Extracts a predicate table from a reference layer and relevant layers.
@@ -91,79 +150,134 @@ pub fn extract(
     relevant: &[&Layer],
     config: &ExtractionConfig,
 ) -> (PredicateTable, ExtractionStats) {
+    // The window query applies only when every classifiable distance is
+    // bounded (last band finite) and no direction predicates are wanted —
+    // direction has no range cutoff, so it forces the full scan.
+    let window = match (&config.distance, config.direction) {
+        (Some(scheme), false) => scheme
+            .bands()
+            .last()
+            .map(|band| band.upper)
+            .filter(|upper| upper.is_finite()),
+        _ => None,
+    };
+    let layers: Vec<PreparedLayer> = relevant
+        .iter()
+        .map(|layer| PreparedLayer {
+            layer,
+            prepared: layer
+                .features()
+                .iter()
+                .map(|f| PreparedGeometry::new(f.geometry.clone()))
+                .collect(),
+            dims: layer.features().iter().map(|f| f.geometry.dimension()).collect(),
+            window,
+        })
+        .collect();
+
+    let batches = par_map(config.threads, reference.features(), |_, ref_feature| {
+        extract_row(ref_feature, &layers, config)
+    });
+
+    // Single-threaded merge: interning in row order reproduces the serial
+    // predicate numbering exactly.
     let mut table = PredicateTable::new();
     let mut stats = ExtractionStats::default();
+    for (ref_feature, batch) in reference.features().iter().zip(batches) {
+        stats.absorb(&batch.stats);
+        let codes: Vec<u32> = batch.predicates.into_iter().map(|p| table.intern(p)).collect();
+        table.push_row(ref_feature.id.clone(), codes);
+    }
+    (table, stats)
+}
 
-    for ref_feature in reference.features() {
-        let mut codes: Vec<u32> = Vec::new();
+/// Computes one reference feature's predicates, in the exact order the
+/// serial implementation emits them.
+fn extract_row(
+    ref_feature: &Feature,
+    layers: &[PreparedLayer],
+    config: &ExtractionConfig,
+) -> RowBatch {
+    let mut predicates: Vec<Predicate> = Vec::new();
+    let mut stats = ExtractionStats::default();
 
-        if config.nonspatial_attributes {
-            for (attribute, value) in &ref_feature.attributes {
-                codes.push(table.intern(Predicate::NonSpatial {
-                    attribute: attribute.clone(),
-                    value: value.clone(),
-                }));
+    if config.nonspatial_attributes {
+        for (attribute, value) in &ref_feature.attributes {
+            predicates.push(Predicate::NonSpatial {
+                attribute: attribute.clone(),
+                value: value.clone(),
+            });
+        }
+    }
+
+    let prep_ref = PreparedGeometry::new(ref_feature.geometry.clone());
+    let ref_dim = ref_feature.geometry.dimension();
+    let ref_envelope = ref_feature.envelope();
+
+    for pl in layers {
+        let layer = pl.layer;
+        let ft = layer.feature_type.as_str();
+
+        if config.topological {
+            // Envelope prefilter: only envelope-intersecting pairs can
+            // have a non-disjoint topological relation.
+            let candidates = layer.query_envelope(&ref_envelope);
+            stats.pruned_pairs += layer.len() - candidates.len();
+            let mut disjoint_count = layer.len() - candidates.len();
+            for ci in candidates {
+                stats.candidate_pairs += 1;
+                let m = prep_ref.relate_to(&pl.prepared[ci]);
+                let rel = classify(&m, ref_dim, pl.dims[ci]);
+                if rel == TopologicalRelation::Disjoint {
+                    disjoint_count += 1;
+                    continue;
+                }
+                predicates.push(Predicate::Spatial(SpatialPredicate::topological(rel, ft)));
+                stats.spatial_predicates += 1;
+            }
+            if config.include_disjoint && disjoint_count > 0 {
+                predicates.push(Predicate::Spatial(SpatialPredicate::topological(
+                    TopologicalRelation::Disjoint,
+                    ft,
+                )));
+                stats.spatial_predicates += 1;
             }
         }
 
-        for layer in relevant {
-            let ft = layer.feature_type.as_str();
-
-            if config.topological {
-                // Envelope prefilter: only envelope-intersecting pairs can
-                // have a non-disjoint topological relation.
-                let candidates = layer.query_envelope(&ref_feature.envelope());
-                stats.pruned_pairs += layer.len() - candidates.len();
-                let mut disjoint_count = layer.len() - candidates.len();
-                for ci in candidates {
-                    let rel_feature = &layer.features()[ci];
-                    stats.candidate_pairs += 1;
-                    let rel = topological_relation(&ref_feature.geometry, &rel_feature.geometry);
-                    if rel == TopologicalRelation::Disjoint {
-                        disjoint_count += 1;
-                        continue;
-                    }
-                    codes.push(table.intern(Predicate::Spatial(SpatialPredicate::topological(rel, ft))));
-                    stats.spatial_predicates += 1;
+        if config.distance.is_some() || config.direction {
+            // Beyond the largest bounded band no predicate can classify,
+            // so the buffered window query is a lossless prefilter; the
+            // R-tree returns indices sorted ascending, preserving the full
+            // scan's emission order on the surviving pairs.
+            let scan: Vec<usize> = match pl.window {
+                Some(max_d) => layer.index().query_rect(&ref_envelope.buffered(max_d)),
+                None => (0..layer.len()).collect(),
+            };
+            stats.pruned_pairs += layer.len() - scan.len();
+            for ci in scan {
+                let rel_feature = &layer.features()[ci];
+                stats.candidate_pairs += 1;
+                let d = geometry_distance(&ref_feature.geometry, &rel_feature.geometry);
+                if d == 0.0 && config.distance_excludes_intersecting {
+                    continue;
                 }
-                if config.include_disjoint && disjoint_count > 0 {
-                    codes.push(table.intern(Predicate::Spatial(SpatialPredicate::topological(
-                        TopologicalRelation::Disjoint,
-                        ft,
-                    ))));
-                    stats.spatial_predicates += 1;
-                }
-            }
-
-            if config.distance.is_some() || config.direction {
-                for rel_feature in layer.features() {
-                    let d = geometry_distance(&ref_feature.geometry, &rel_feature.geometry);
-                    if d == 0.0 && config.distance_excludes_intersecting {
-                        continue;
-                    }
-                    if let Some(scheme) = &config.distance {
-                        if let Some((_, band)) = scheme.classify(d) {
-                            codes.push(table.intern(Predicate::Spatial(
-                                SpatialPredicate::distance(band, ft),
-                            )));
-                            stats.spatial_predicates += 1;
-                        }
-                    }
-                    if config.direction {
-                        let dir = geometry_direction(&ref_feature.geometry, &rel_feature.geometry);
-                        codes.push(table.intern(Predicate::Spatial(SpatialPredicate::direction(
-                            dir, ft,
-                        ))));
+                if let Some(scheme) = &config.distance {
+                    if let Some((_, band)) = scheme.classify(d) {
+                        predicates
+                            .push(Predicate::Spatial(SpatialPredicate::distance(band, ft)));
                         stats.spatial_predicates += 1;
                     }
                 }
+                if config.direction {
+                    let dir = geometry_direction(&ref_feature.geometry, &rel_feature.geometry);
+                    predicates.push(Predicate::Spatial(SpatialPredicate::direction(dir, ft)));
+                    stats.spatial_predicates += 1;
+                }
             }
         }
-
-        table.push_row(ref_feature.id.clone(), codes);
     }
 
-    (table, stats)
+    RowBatch { predicates, stats }
 }
 
 #[cfg(test)]
@@ -332,5 +446,82 @@ mod tests {
         let (table, _) = extract(&district, &[&slums], &ExtractionConfig::topological_only());
         assert_eq!(table.rows()[0].1.len(), 1);
         assert_eq!(table.predicate(table.rows()[0].1[0]).to_string(), "contains_slum");
+    }
+
+    #[test]
+    fn bounded_distance_scheme_prunes_via_window_query() {
+        // Bounded last band → the faraway police center is pruned by the
+        // window query, never reaching geometry_distance.
+        let (district, _slums, _schools, police) = toy_layers();
+        let bounded = DistanceScheme::new(vec![("near", 20.0), ("mid", 60.0)]).unwrap();
+        let config = ExtractionConfig {
+            topological: false,
+            nonspatial_attributes: false,
+            ..ExtractionConfig::default()
+        }
+        .with_distance(bounded);
+        let (table, stats) = extract(&district, &[&police], &config);
+        assert_eq!(stats.pruned_pairs, 1, "window query prunes the distant pair");
+        assert_eq!(stats.candidate_pairs, 0);
+        assert!(table.rows()[0].1.is_empty());
+
+        // An unbounded scheme must scan (the pair classifies as "far").
+        let unbounded = DistanceScheme::very_close_close_far(20.0, 60.0);
+        let config = ExtractionConfig {
+            topological: false,
+            nonspatial_attributes: false,
+            ..ExtractionConfig::default()
+        }
+        .with_distance(unbounded);
+        let (table, stats) = extract(&district, &[&police], &config);
+        assert_eq!(stats.pruned_pairs, 0);
+        assert_eq!(stats.candidate_pairs, 1);
+        let labels: Vec<String> =
+            table.rows()[0].1.iter().map(|&c| table.predicate(c).to_string()).collect();
+        assert!(labels.contains(&"farTo_policeCenter".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn parallel_extraction_is_byte_identical() {
+        // Many districts in a grid, one slum layer: row order, predicate
+        // numbering and stats must not depend on the thread count.
+        let mut districts = Vec::new();
+        let mut slums = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let (x0, y0) = (i as f64 * 10.0, j as f64 * 10.0);
+                districts.push(
+                    Feature::new(
+                        format!("d{i}_{j}"),
+                        Polygon::rect(coord(x0, y0), coord(x0 + 10.0, y0 + 10.0))
+                            .unwrap()
+                            .into(),
+                    )
+                    .with_attribute("crime", if (i + j) % 2 == 0 { "high" } else { "low" }),
+                );
+                if (i * 7 + j) % 3 == 0 {
+                    slums.push(Feature::new(
+                        format!("s{i}_{j}"),
+                        Polygon::rect(coord(x0 + 2.0, y0 + 2.0), coord(x0 + 5.0, y0 + 5.0))
+                            .unwrap()
+                            .into(),
+                    ));
+                }
+            }
+        }
+        let reference = Layer::new("district", districts);
+        let relevant = Layer::new("slum", slums);
+        let config = ExtractionConfig::topological_only()
+            .with_distance(DistanceScheme::very_close_close_far(15.0, 40.0))
+            .with_direction();
+        let (serial_table, serial_stats) =
+            extract(&reference, &[&relevant], &config.clone().with_threads(Threads::Serial));
+        for n in [2, 8] {
+            let (table, stats) =
+                extract(&reference, &[&relevant], &config.clone().with_threads(Threads::Fixed(n)));
+            assert_eq!(table.predicates(), serial_table.predicates(), "{n} threads");
+            assert_eq!(table.rows(), serial_table.rows(), "{n} threads");
+            assert_eq!(stats, serial_stats, "{n} threads");
+        }
     }
 }

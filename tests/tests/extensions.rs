@@ -58,7 +58,7 @@ fn all_nine_algorithms_run_through_pipeline() {
 
 #[test]
 fn taxonomy_granularity_increases_filtering() {
-    let city = generate_city(&CityConfig { grid: 6, seed: 9, ..Default::default() });
+    let city = generate_city(&CityConfig { grid: 6, seed: 32, ..Default::default() });
     let mut taxonomy = FeatureTypeTaxonomy::new();
     taxonomy.add_is_a("slum", "builtArea").unwrap();
     taxonomy.add_is_a("school", "builtArea").unwrap();

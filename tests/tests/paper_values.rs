@@ -103,7 +103,7 @@ fn section42_formula_crosschecks() {
 /// paper).
 #[test]
 fn section42_formula_on_reproduced_experiment2() {
-    let e = experiments::experiment2(42);
+    let e = experiments::experiment2(32);
     let mine = |alg: Algorithm, sup: f64| {
         MiningPipeline::new()
             .algorithm(alg)
@@ -131,7 +131,7 @@ fn section42_formula_on_reproduced_experiment2() {
 /// Apriori-KC+ by more than 60%.
 #[test]
 fn figure4_shape() {
-    let e = experiments::experiment1(42);
+    let e = experiments::experiment1(32);
     for sup in [0.05, 0.10, 0.15] {
         let mine = |alg: Algorithm| {
             MiningPipeline::new()
@@ -160,7 +160,7 @@ fn figure4_shape() {
 /// (the paper's claim for Experiment 2).
 #[test]
 fn figure6_shape() {
-    let e = experiments::experiment2(42);
+    let e = experiments::experiment2(32);
     for pct in [5, 8, 11, 14, 17] {
         let sup = pct as f64 / 100.0;
         let mine = |alg: Algorithm| {
@@ -189,7 +189,7 @@ fn figures5_and_7_time_ordering() {
         v.sort();
         v[2]
     };
-    let e = experiments::experiment2(42);
+    let e = experiments::experiment2(32);
     let time = |alg: Algorithm| {
         median(&mut || {
             let start = std::time::Instant::now();

@@ -1,4 +1,9 @@
-//! Property-based tests of the system invariants listed in DESIGN.md §8.
+//! Randomised tests of the system invariants listed in DESIGN.md §8.
+//!
+//! Each test draws a few hundred cases from the in-tree seeded PRNG
+//! (`geopattern_testkit::Rng`), so the whole suite is deterministic and
+//! needs no external property-testing framework. On failure the panic
+//! message includes the iteration index; rerunning reproduces it exactly.
 
 use geopattern_geom::{coord, relate, Coord, Geometry, Polygon, Rect, Segment};
 use geopattern_mining::{
@@ -9,51 +14,117 @@ use geopattern_qsr::{
     classify, Consistency, ConstraintNetwork, Rcc8, Rcc8Set, TopologicalRelation,
 };
 use geopattern_sdb::RTree;
-use proptest::prelude::*;
+use geopattern_testkit::Rng;
+
+// ---------- generators ----------
+
+/// An axis-aligned rectangle polygon with corners in `[0, 40)²` and
+/// extent in `[1, 20)` — the same distribution the proptest suite used.
+fn rect_polygon(rng: &mut Rng) -> Polygon {
+    let x = rng.range_i32(0, 40);
+    let y = rng.range_i32(0, 40);
+    let w = rng.range_i32(1, 20);
+    let h = rng.range_i32(1, 20);
+    Polygon::rect(coord(x as f64, y as f64), coord((x + w) as f64, (y + h) as f64))
+        .expect("positive extent")
+}
+
+/// A non-degenerate triangle (rejection-sampled).
+fn triangle(rng: &mut Rng) -> Polygon {
+    loop {
+        let ax = rng.range_i32(0, 30);
+        let ay = rng.range_i32(0, 30);
+        let bx = rng.range_i32(1, 30);
+        let by = rng.range_i32(0, 30);
+        let cx = rng.range_i32(0, 30);
+        let cy = rng.range_i32(1, 30);
+        let pts = [
+            coord(ax as f64, ay as f64),
+            coord((ax + bx) as f64, by as f64),
+            coord(cx as f64, (ay + cy) as f64),
+        ];
+        if let Ok(ring) = geopattern_geom::Ring::new(pts.to_vec()) {
+            return Polygon::from_exterior(ring);
+        }
+    }
+}
+
+/// Random small transaction database with items assigned to feature-type
+/// groups: items 0..4 span two feature types, items 5..9 are non-spatial.
+fn random_transactions(rng: &mut Rng) -> (TransactionSet, PairFilter) {
+    let mut catalog = ItemCatalog::new();
+    for (i, (label, ft)) in [
+        ("contains_slum", Some("slum")),
+        ("touches_slum", Some("slum")),
+        ("overlaps_slum", Some("slum")),
+        ("contains_school", Some("school")),
+        ("touches_school", Some("school")),
+        ("a=1", None),
+        ("b=1", None),
+        ("c=1", None),
+        ("d=1", None),
+        ("e=1", None),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let id = match ft {
+            Some(ft) => catalog.intern_spatial(label, ft),
+            None => catalog.intern_attribute(label),
+        };
+        assert_eq!(id, i as u32);
+    }
+    let same = PairFilter::same_feature_type(&catalog);
+    let mut ts = TransactionSet::new(catalog);
+    let rows = 1 + rng.below_usize(24);
+    for _ in 0..rows {
+        let len = rng.below_usize(6);
+        let row: Vec<u32> = (0..len).map(|_| rng.below(10) as u32).collect();
+        ts.push(row);
+    }
+    (ts, same)
+}
 
 // ---------- geometry ----------
 
-fn arb_rect_polygon() -> impl Strategy<Value = Polygon> {
-    (0i32..40, 0i32..40, 1i32..20, 1i32..20).prop_map(|(x, y, w, h)| {
-        Polygon::rect(
-            coord(x as f64, y as f64),
-            coord((x + w) as f64, (y + h) as f64),
-        )
-        .expect("positive extent")
-    })
+/// relate(a, b) is always the transpose of relate(b, a).
+#[test]
+fn relate_transpose() {
+    let mut rng = Rng::seed_from_u64(0xA001);
+    for case in 0..300 {
+        let ga: Geometry = rect_polygon(&mut rng).into();
+        let gb: Geometry = rect_polygon(&mut rng).into();
+        assert_eq!(relate(&ga, &gb), relate(&gb, &ga).transposed(), "case {case}");
+    }
 }
 
-proptest! {
-    /// relate(a, b) is always the transpose of relate(b, a).
-    #[test]
-    fn relate_transpose(a in arb_rect_polygon(), b in arb_rect_polygon()) {
-        let ga: Geometry = a.into();
-        let gb: Geometry = b.into();
-        prop_assert_eq!(relate(&ga, &gb), relate(&gb, &ga).transposed());
-    }
-
-    /// The Egenhofer classification of two regions is a converse pair, and
-    /// classifying (a, a) yields Equals.
-    #[test]
-    fn egenhofer_converse(a in arb_rect_polygon(), b in arb_rect_polygon()) {
-        let ga: Geometry = a.into();
-        let gb: Geometry = b.into();
+/// The Egenhofer classification of two regions is a converse pair, and
+/// classifying (a, a) yields Equals.
+#[test]
+fn egenhofer_converse() {
+    let mut rng = Rng::seed_from_u64(0xA002);
+    for case in 0..300 {
+        let ga: Geometry = rect_polygon(&mut rng).into();
+        let gb: Geometry = rect_polygon(&mut rng).into();
         let ab = classify(&relate(&ga, &gb), ga.dimension(), gb.dimension());
         let ba = classify(&relate(&gb, &ga), gb.dimension(), ga.dimension());
-        prop_assert_eq!(ab.converse(), ba);
+        assert_eq!(ab.converse(), ba, "case {case}");
         let aa = classify(&relate(&ga, &ga), ga.dimension(), ga.dimension());
-        prop_assert_eq!(aa, TopologicalRelation::Equals);
+        assert_eq!(aa, TopologicalRelation::Equals, "case {case}");
     }
+}
 
-    /// Geometrically realised RCC8 scenarios are always path-consistent:
-    /// compute the pairwise relations of random rectangles and check that
-    /// algebraic closure accepts them. Exercises relate, the topological
-    /// classification, the RCC8 mapping and the composition table at once.
-    #[test]
-    fn geometric_scenarios_are_path_consistent(
-        polys in prop::collection::vec(arb_rect_polygon(), 3..6)
-    ) {
-        let geoms: Vec<Geometry> = polys.into_iter().map(Geometry::from).collect();
+/// Geometrically realised RCC8 scenarios are always path-consistent:
+/// compute the pairwise relations of random rectangles and check that
+/// algebraic closure accepts them. Exercises relate, the topological
+/// classification, the RCC8 mapping and the composition table at once.
+#[test]
+fn geometric_scenarios_are_path_consistent() {
+    let mut rng = Rng::seed_from_u64(0xA003);
+    for case in 0..150 {
+        let n = 3 + rng.below_usize(3);
+        let geoms: Vec<Geometry> =
+            (0..n).map(|_| Geometry::from(rect_polygon(&mut rng))).collect();
         let mut net = ConstraintNetwork::new(geoms.len());
         for i in 0..geoms.len() {
             for j in (i + 1)..geoms.len() {
@@ -66,118 +137,111 @@ proptest! {
                 net.constrain(i, j, Rcc8Set::of(rcc));
             }
         }
-        prop_assert_eq!(net.path_consistency(), Consistency::PathConsistent);
+        assert_eq!(net.path_consistency(), Consistency::PathConsistent, "case {case}");
     }
+}
 
-    /// Segment intersection is symmetric and agrees with the distance
-    /// predicate (zero distance ⇔ intersecting).
-    #[test]
-    fn segment_intersection_symmetry(
-        ax in -20i32..20, ay in -20i32..20, bx in -20i32..20, by in -20i32..20,
-        cx in -20i32..20, cy in -20i32..20, dx in -20i32..20, dy in -20i32..20,
-    ) {
-        let s1 = Segment::new(coord(ax as f64, ay as f64), coord(bx as f64, by as f64));
-        let s2 = Segment::new(coord(cx as f64, cy as f64), coord(dx as f64, dy as f64));
-        use geopattern_geom::SegSegIntersection as I;
+/// Segment intersection is symmetric and agrees with the distance
+/// predicate (zero distance ⇔ intersecting).
+#[test]
+fn segment_intersection_symmetry() {
+    use geopattern_geom::SegSegIntersection as I;
+    let mut rng = Rng::seed_from_u64(0xA004);
+    for case in 0..500 {
+        let mut c = || rng.range_i32(-20, 20) as f64;
+        let s1 = Segment::new(coord(c(), c()), coord(c(), c()));
+        let s2 = Segment::new(coord(c(), c()), coord(c(), c()));
         let r12 = s1.intersect(&s2);
         let r21 = s2.intersect(&s1);
-        prop_assert_eq!(
+        assert_eq!(
             matches!(r12, I::None),
             matches!(r21, I::None),
-            "existence must be symmetric: {:?} vs {:?}", r12, r21
+            "case {case}: existence must be symmetric: {r12:?} vs {r21:?}"
         );
         let d = s1.distance_to_segment(&s2);
-        prop_assert_eq!(d == 0.0, !matches!(r12, I::None));
+        assert_eq!(d == 0.0, !matches!(r12, I::None), "case {case}");
     }
+}
 
-    /// Point location agrees with envelope containment for rectangles.
-    #[test]
-    fn rect_polygon_locate(
-        p in arb_rect_polygon(),
-        px in -5i32..50, py in -5i32..50,
-    ) {
-        use geopattern_geom::PointLocation::*;
-        let pt = coord(px as f64, py as f64);
+/// Point location agrees with envelope containment for rectangles.
+#[test]
+fn rect_polygon_locate() {
+    use geopattern_geom::PointLocation::*;
+    let mut rng = Rng::seed_from_u64(0xA005);
+    for case in 0..500 {
+        let p = rect_polygon(&mut rng);
+        let pt = coord(rng.range_i32(-5, 50) as f64, rng.range_i32(-5, 50) as f64);
         let env = p.envelope();
         match p.locate(pt) {
-            Inside => prop_assert!(env.contains_point(pt)),
-            OnBoundary => prop_assert!(env.contains_point(pt)),
-            Outside => {} // can be inside the envelope only for non-rectangles; rectangles: must be outside
+            Inside | OnBoundary => assert!(env.contains_point(pt), "case {case}"),
+            Outside => {}
         }
         if !env.contains_point(pt) {
-            prop_assert_eq!(p.locate(pt), Outside);
+            assert_eq!(p.locate(pt), Outside, "case {case}");
         }
     }
 }
 
-fn arb_triangle() -> impl Strategy<Value = Polygon> {
-    (0i32..30, 0i32..30, 1i32..30, 0i32..30, 0i32..30, 1i32..30).prop_filter_map(
-        "non-degenerate triangle",
-        |(ax, ay, bx, by, cx, cy)| {
-            let pts = [
-                coord(ax as f64, ay as f64),
-                coord((ax + bx) as f64, by as f64),
-                coord(cx as f64, (ay + cy) as f64),
-            ];
-            geopattern_geom::Ring::new(pts.to_vec())
-                .ok()
-                .map(Polygon::from_exterior)
-        },
-    )
-}
-
-proptest! {
-    /// Transpose and converse hold for triangles (concavity-free but
-    /// non-axis-aligned boundaries exercise the general relate paths).
-    #[test]
-    fn relate_triangles(a in arb_triangle(), b in arb_triangle()) {
-        let ga: Geometry = a.into();
-        let gb: Geometry = b.into();
+/// Transpose and converse hold for triangles (concavity-free but
+/// non-axis-aligned boundaries exercise the general relate paths).
+#[test]
+fn relate_triangles() {
+    let mut rng = Rng::seed_from_u64(0xA006);
+    for case in 0..200 {
+        let ga: Geometry = triangle(&mut rng).into();
+        let gb: Geometry = triangle(&mut rng).into();
         let m = relate(&ga, &gb);
-        prop_assert_eq!(m, relate(&gb, &ga).transposed());
+        assert_eq!(m, relate(&gb, &ga).transposed(), "case {case}");
         let ab = classify(&m, ga.dimension(), gb.dimension());
         let ba = classify(&m.transposed(), gb.dimension(), ga.dimension());
-        prop_assert_eq!(ab.converse(), ba);
-        // Self-relation is always Equals.
-        prop_assert_eq!(
+        assert_eq!(ab.converse(), ba, "case {case}");
+        assert_eq!(
             classify(&relate(&ga, &ga), ga.dimension(), ga.dimension()),
-            TopologicalRelation::Equals
+            TopologicalRelation::Equals,
+            "case {case}"
         );
     }
+}
 
-    /// Triangle × rectangle mixes diagonal and axis-aligned edges.
-    #[test]
-    fn relate_triangle_vs_rect(t in arb_triangle(), r in arb_rect_polygon()) {
-        let gt: Geometry = t.into();
-        let gr: Geometry = r.into();
-        prop_assert_eq!(relate(&gt, &gr), relate(&gr, &gt).transposed());
+/// Triangle × rectangle mixes diagonal and axis-aligned edges.
+#[test]
+fn relate_triangle_vs_rect() {
+    let mut rng = Rng::seed_from_u64(0xA007);
+    for case in 0..200 {
+        let gt: Geometry = triangle(&mut rng).into();
+        let gr: Geometry = rect_polygon(&mut rng).into();
+        assert_eq!(relate(&gt, &gr), relate(&gr, &gt).transposed(), "case {case}");
         // Classified relation must be one of the region relations (never
         // crosses, which needs mixed dimensions).
         let rel = classify(&relate(&gt, &gr), gt.dimension(), gr.dimension());
-        prop_assert!(rel != TopologicalRelation::Crosses);
+        assert_ne!(rel, TopologicalRelation::Crosses, "case {case}");
     }
 }
 
 // ---------- R-tree ----------
 
-proptest! {
-    /// R-tree envelope queries always equal the brute-force scan, for both
-    /// bulk-loaded and incrementally built trees.
-    #[test]
-    fn rtree_matches_brute_force(
-        rects in prop::collection::vec((0i32..100, 0i32..100, 1i32..15, 1i32..15), 0..60),
-        q in (0i32..100, 0i32..100, 1i32..40, 1i32..40),
-    ) {
-        let items: Vec<Rect> = rects
-            .iter()
-            .map(|&(x, y, w, h)| {
+/// R-tree envelope queries always equal the brute-force scan, for both
+/// bulk-loaded and incrementally built trees.
+#[test]
+fn rtree_matches_brute_force() {
+    let mut rng = Rng::seed_from_u64(0xA008);
+    for case in 0..200 {
+        let n = rng.below_usize(60);
+        let items: Vec<Rect> = (0..n)
+            .map(|_| {
+                let x = rng.range_i32(0, 100);
+                let y = rng.range_i32(0, 100);
+                let w = rng.range_i32(1, 15);
+                let h = rng.range_i32(1, 15);
                 Rect::new(coord(x as f64, y as f64), coord((x + w) as f64, (y + h) as f64))
             })
             .collect();
-        let query = Rect::new(
-            coord(q.0 as f64, q.1 as f64),
-            coord((q.0 + q.2) as f64, (q.1 + q.3) as f64),
-        );
+        let qx = rng.range_i32(0, 100);
+        let qy = rng.range_i32(0, 100);
+        let qw = rng.range_i32(1, 40);
+        let qh = rng.range_i32(1, 40);
+        let query =
+            Rect::new(coord(qx as f64, qy as f64), coord((qx + qw) as f64, (qy + qh) as f64));
         let expected: Vec<usize> = items
             .iter()
             .enumerate()
@@ -186,29 +250,29 @@ proptest! {
             .collect();
 
         let bulk = RTree::bulk_load(&items);
-        prop_assert_eq!(bulk.query_rect(&query), expected.clone());
+        assert_eq!(bulk.query_rect(&query), expected, "case {case} (bulk)");
 
         let mut incremental = RTree::new();
         for r in &items {
             incremental.insert(*r);
         }
-        prop_assert_eq!(incremental.query_rect(&query), expected);
+        assert_eq!(incremental.query_rect(&query), expected, "case {case} (incremental)");
     }
 }
 
-proptest! {
-    /// The plane-sweep intersection finder agrees with the all-pairs
-    /// oracle on random segment soups.
-    #[test]
-    fn sweep_matches_bruteforce(
-        raw in prop::collection::vec((0i32..50, 0i32..50, 0i32..50, 0i32..50), 0..40)
-    ) {
-        use geopattern_geom::algorithms::sweep::intersecting_pairs;
-        use geopattern_geom::SegSegIntersection;
-        let segs: Vec<Segment> = raw
-            .iter()
-            .map(|&(ax, ay, bx, by)| {
-                Segment::new(coord(ax as f64, ay as f64), coord(bx as f64, by as f64))
+/// The plane-sweep intersection finder agrees with the all-pairs oracle
+/// on random segment soups.
+#[test]
+fn sweep_matches_bruteforce() {
+    use geopattern_geom::algorithms::sweep::intersecting_pairs;
+    use geopattern_geom::SegSegIntersection;
+    let mut rng = Rng::seed_from_u64(0xA009);
+    for case in 0..150 {
+        let n = rng.below_usize(40);
+        let segs: Vec<Segment> = (0..n)
+            .map(|_| {
+                let mut c = || rng.range_i32(0, 50) as f64;
+                Segment::new(coord(c(), c()), coord(c(), c()))
             })
             .collect();
         let mut swept: Vec<(usize, usize)> =
@@ -222,118 +286,96 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(swept, brute);
+        assert_eq!(swept, brute, "case {case}");
     }
 }
 
 // ---------- mining ----------
 
-/// Random small transaction databases with items assigned to feature-type
-/// groups.
-fn arb_transactions() -> impl Strategy<Value = (TransactionSet, PairFilter)> {
-    let row = prop::collection::vec(0u32..10, 0..6);
-    prop::collection::vec(row, 1..25).prop_map(|rows| {
-        let mut catalog = ItemCatalog::new();
-        // Items 0..4 belong to two feature types (two relations each plus
-        // one), items 5..9 are non-spatial.
-        for (i, (label, ft)) in [
-            ("contains_slum", Some("slum")),
-            ("touches_slum", Some("slum")),
-            ("overlaps_slum", Some("slum")),
-            ("contains_school", Some("school")),
-            ("touches_school", Some("school")),
-            ("a=1", None),
-            ("b=1", None),
-            ("c=1", None),
-            ("d=1", None),
-            ("e=1", None),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let id = match ft {
-                Some(ft) => catalog.intern_spatial(label, ft),
-                None => catalog.intern_attribute(label),
-            };
-            assert_eq!(id, i as u32);
-        }
-        let same = PairFilter::same_feature_type(&catalog);
-        let mut ts = TransactionSet::new(catalog);
-        for row in rows {
-            ts.push(row);
-        }
-        (ts, same)
-    })
-}
-
-proptest! {
-    /// All four mining strategies (Apriori, FP-Growth, Eclat, AprioriTid)
-    /// agree exactly, with and without filters.
-    #[test]
-    fn four_miners_agree((ts, same) in arb_transactions(), sup in 1u64..5) {
-        use geopattern_mining::{mine_apriori_tid, mine_eclat, AprioriTidConfig, EclatConfig};
-        let sorted = |r: &geopattern_mining::MiningResult| {
-            let mut v: Vec<(Vec<u32>, u64)> =
-                r.all().map(|f| (f.items.clone(), f.support)).collect();
-            v.sort();
-            v
-        };
-        let support = MinSupport::Count(sup);
+/// All four mining strategies (Apriori, FP-Growth, Eclat, AprioriTid)
+/// agree exactly, with and without filters.
+#[test]
+fn four_miners_agree() {
+    use geopattern_mining::{mine_apriori_tid, mine_eclat, AprioriTidConfig, EclatConfig};
+    let sorted = |r: &geopattern_mining::MiningResult| {
+        let mut v: Vec<(Vec<u32>, u64)> = r.all().map(|f| (f.items.clone(), f.support)).collect();
+        v.sort();
+        v
+    };
+    let mut rng = Rng::seed_from_u64(0xA00A);
+    for case in 0..150 {
+        let (ts, same) = random_transactions(&mut rng);
+        let support = MinSupport::Count(1 + rng.below(4));
         let ap = sorted(&mine(&ts, &AprioriConfig::apriori(support)));
-        prop_assert_eq!(&ap, &sorted(&mine_fp(&ts, &FpGrowthConfig::new(support))));
-        prop_assert_eq!(&ap, &sorted(&mine_eclat(&ts, &EclatConfig::new(support))));
-        prop_assert_eq!(&ap, &sorted(&mine_apriori_tid(&ts, &AprioriTidConfig::new(support))));
+        assert_eq!(ap, sorted(&mine_fp(&ts, &FpGrowthConfig::new(support))), "case {case}");
+        assert_eq!(ap, sorted(&mine_eclat(&ts, &EclatConfig::new(support))), "case {case}");
+        assert_eq!(
+            ap,
+            sorted(&mine_apriori_tid(&ts, &AprioriTidConfig::new(support))),
+            "case {case}"
+        );
 
         let apf = sorted(&mine(
             &ts,
             &AprioriConfig::apriori_kc_plus(support, PairFilter::none(), same.clone()),
         ));
-        prop_assert_eq!(
-            &apf,
-            &sorted(&mine_fp(&ts, &FpGrowthConfig::new(support).with_filter(same.clone())))
+        assert_eq!(
+            apf,
+            sorted(&mine_fp(&ts, &FpGrowthConfig::new(support).with_filter(same.clone()))),
+            "case {case}"
         );
-        prop_assert_eq!(
-            &apf,
-            &sorted(&mine_eclat(&ts, &EclatConfig::new(support).with_filter(same.clone())))
+        assert_eq!(
+            apf,
+            sorted(&mine_eclat(&ts, &EclatConfig::new(support).with_filter(same.clone()))),
+            "case {case}"
         );
-        prop_assert_eq!(
-            &apf,
-            &sorted(&mine_apriori_tid(
+        assert_eq!(
+            apf,
+            sorted(&mine_apriori_tid(
                 &ts,
                 &AprioriTidConfig::new(support).with_filter(same.clone())
-            ))
+            )),
+            "case {case}"
         );
     }
+}
 
-    /// Downward closure holds for every mined result, and both counting
-    /// backends agree.
-    #[test]
-    fn downward_closure_and_backends((ts, _) in arb_transactions(), sup in 1u64..5) {
-        use geopattern_mining::CountingStrategy;
+/// Downward closure holds for every mined result, and both counting
+/// backends agree.
+#[test]
+fn downward_closure_and_backends() {
+    use geopattern_mining::CountingStrategy;
+    let mut rng = Rng::seed_from_u64(0xA00B);
+    for case in 0..150 {
+        let (ts, _) = random_transactions(&mut rng);
+        let support = MinSupport::Count(1 + rng.below(4));
         let hash = mine(
             &ts,
-            &AprioriConfig::apriori(MinSupport::Count(sup))
-                .with_counting(CountingStrategy::HashSubset),
+            &AprioriConfig::apriori(support).with_counting(CountingStrategy::HashSubset),
         );
         let trie = mine(
             &ts,
-            &AprioriConfig::apriori(MinSupport::Count(sup))
-                .with_counting(CountingStrategy::PrefixTrie),
+            &AprioriConfig::apriori(support).with_counting(CountingStrategy::PrefixTrie),
         );
-        prop_assert!(hash.check_downward_closure());
+        assert!(hash.check_downward_closure(), "case {case}");
         let h: Vec<_> = hash.all().map(|f| (f.items.clone(), f.support)).collect();
         let t: Vec<_> = trie.all().map(|f| (f.items.clone(), f.support)).collect();
-        prop_assert_eq!(h, t);
+        assert_eq!(h, t, "case {case}");
     }
+}
 
-    /// KC+ is lossless modulo blocked pairs: its output equals plain
-    /// Apriori's minus exactly the itemsets containing a blocked pair.
-    #[test]
-    fn kc_plus_losslessness((ts, same) in arb_transactions(), sup in 1u64..5) {
-        let plain = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(sup)));
+/// KC+ is lossless modulo blocked pairs: its output equals plain
+/// Apriori's minus exactly the itemsets containing a blocked pair.
+#[test]
+fn kc_plus_losslessness() {
+    let mut rng = Rng::seed_from_u64(0xA00C);
+    for case in 0..150 {
+        let (ts, same) = random_transactions(&mut rng);
+        let support = MinSupport::Count(1 + rng.below(4));
+        let plain = mine(&ts, &AprioriConfig::apriori(support));
         let kcp = mine(
             &ts,
-            &AprioriConfig::apriori_kc_plus(MinSupport::Count(sup), PairFilter::none(), same.clone()),
+            &AprioriConfig::apriori_kc_plus(support, PairFilter::none(), same.clone()),
         );
         let expected: Vec<_> = plain
             .all()
@@ -341,44 +383,49 @@ proptest! {
             .map(|f| (f.items.clone(), f.support))
             .collect();
         let got: Vec<_> = kcp.all().map(|f| (f.items.clone(), f.support)).collect();
-        prop_assert_eq!(expected, got);
+        assert_eq!(expected, got, "case {case}");
     }
+}
 
-    /// Closed ⊆ frequent, maximal ⊆ closed, and every frequent itemset's
-    /// support is recoverable from a closed superset.
-    #[test]
-    fn closed_maximal_invariants((ts, _) in arb_transactions(), sup in 1u64..5) {
-        use geopattern_mining::{closed_itemsets, maximal_itemsets};
-        let r = mine(&ts, &AprioriConfig::apriori(MinSupport::Count(sup)));
+/// Closed ⊆ frequent, maximal ⊆ closed, and every frequent itemset's
+/// support is recoverable from a closed superset.
+#[test]
+fn closed_maximal_invariants() {
+    use geopattern_mining::{closed_itemsets, maximal_itemsets};
+    let mut rng = Rng::seed_from_u64(0xA00D);
+    for case in 0..150 {
+        let (ts, _) = random_transactions(&mut rng);
+        let support = MinSupport::Count(1 + rng.below(4));
+        let r = mine(&ts, &AprioriConfig::apriori(support));
         let closed = closed_itemsets(&r);
         let maximal = maximal_itemsets(&r);
-        prop_assert!(maximal.len() <= closed.len());
-        prop_assert!(closed.len() <= r.num_frequent());
+        assert!(maximal.len() <= closed.len(), "case {case}");
+        assert!(closed.len() <= r.num_frequent(), "case {case}");
         for m in &maximal {
-            prop_assert!(closed.iter().any(|c| c.items == m.items));
+            assert!(closed.iter().any(|c| c.items == m.items), "case {case}");
         }
         for f in r.all() {
-            let recoverable = closed.iter().any(|c| {
-                c.support == f.support && f.items.iter().all(|i| c.items.contains(i))
-            });
-            prop_assert!(recoverable, "support of {:?} not recoverable", f.items);
+            let recoverable = closed
+                .iter()
+                .any(|c| c.support == f.support && f.items.iter().all(|i| c.items.contains(i)));
+            assert!(recoverable, "case {case}: support of {:?} not recoverable", f.items);
         }
     }
 }
 
 // ---------- gain formula ----------
 
-proptest! {
-    /// Formula 1 equals the brute-force count of same-type-pair-containing
-    /// subsets for arbitrary small shapes.
-    #[test]
-    fn minimal_gain_matches_bruteforce(
-        t in prop::collection::vec(1u64..4, 0..3),
-        n in 0u64..4,
-    ) {
-        use geopattern_mining::minimal_gain;
+/// Formula 1 equals the brute-force count of same-type-pair-containing
+/// subsets for arbitrary small shapes.
+#[test]
+fn minimal_gain_matches_bruteforce() {
+    use geopattern_mining::minimal_gain;
+    let mut rng = Rng::seed_from_u64(0xA00E);
+    for case in 0..300 {
+        let t: Vec<u64> = (0..rng.below_usize(3)).map(|_| 1 + rng.below(3)).collect();
+        let n = rng.below(4);
         let m: u64 = t.iter().sum::<u64>() + n;
-        prop_assume!(m <= 12);
+        assert!(m <= 12, "generator keeps shapes small");
         let mut brute: u128 = 0;
         for mask in 0u32..(1u32 << m) {
             if mask.count_ones() < 2 {
@@ -397,20 +444,23 @@ proptest! {
                 brute += 1;
             }
         }
-        prop_assert_eq!(minimal_gain(&t, n), brute);
+        assert_eq!(minimal_gain(&t, n), brute, "case {case}: t={t:?}, n={n}");
     }
 }
 
 // ---------- WKT ----------
 
-proptest! {
-    /// WKT serialisation roundtrips for rectangles and points.
-    #[test]
-    fn wkt_roundtrip(p in arb_rect_polygon(), px in -100i32..100, py in -100i32..100) {
-        use geopattern_geom::{from_wkt, to_wkt, Point};
-        let g: Geometry = p.into();
-        prop_assert_eq!(&from_wkt(&to_wkt(&g)).unwrap(), &g);
+/// WKT serialisation roundtrips for rectangles and points.
+#[test]
+fn wkt_roundtrip() {
+    use geopattern_geom::{from_wkt, to_wkt, Point};
+    let mut rng = Rng::seed_from_u64(0xA00F);
+    for case in 0..300 {
+        let g: Geometry = rect_polygon(&mut rng).into();
+        assert_eq!(from_wkt(&to_wkt(&g)).unwrap(), g, "case {case}");
+        let px = rng.range_i32(-100, 100);
+        let py = rng.range_i32(-100, 100);
         let pt: Geometry = Point::new(Coord::new(px as f64, py as f64)).unwrap().into();
-        prop_assert_eq!(&from_wkt(&to_wkt(&pt)).unwrap(), &pt);
+        assert_eq!(from_wkt(&to_wkt(&pt)).unwrap(), pt, "case {case}");
     }
 }
