@@ -12,7 +12,12 @@
 //! serial vs N-thread wall-clock for predicate extraction and support
 //! counting on a large generated city, with outputs verified identical.
 //! It is excluded from `--all` because of its size.
+//!
+//! The measured experiments additionally dump machine-readable
+//! `BENCH_fig5.json`, `BENCH_fig7.json` and `BENCH_scaling.json` files to
+//! the working directory, so perf trajectories accumulate across runs.
 
+use geopattern::obs::json::{json_f64, JsonBuf};
 use geopattern::{Algorithm, MiningPipeline, MinSupport, PairFilter, Threads};
 use geopattern_datagen::{experiments, generate_city, table1, CityConfig};
 use geopattern_mining::{
@@ -22,6 +27,16 @@ use geopattern_mining::{
 use geopattern_qsr::DistanceScheme;
 use geopattern_sdb::{extract, ExtractionConfig};
 use std::time::Instant;
+
+/// Writes a benchmark document to `BENCH_<name>.json` in the working
+/// directory (best-effort: a read-only directory only loses the artifact).
+fn write_bench(name: &str, json: &str) {
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +98,7 @@ fn run(alg: Algorithm, sup: f64, data: TransactionSet) -> geopattern::PatternRep
         .algorithm(alg)
         .min_support(MinSupport::Fraction(sup))
         .run_transactions(data)
+        .expect("valid mining configuration")
 }
 
 fn print_table2() {
@@ -186,25 +202,20 @@ fn print_fig4_fig5() {
         "t(KC) µs",
         "t(KC+) µs"
     );
+    let mut rows = Vec::new();
     for sup in [0.05, 0.10, 0.15] {
         let pipeline = |alg: Algorithm| {
             MiningPipeline::new().algorithm(alg).min_support(MinSupport::Fraction(sup))
         };
-        let plain = pipeline(Algorithm::Apriori).run_filtered(
-            e.data.clone(),
-            PairFilter::none(),
-            PairFilter::none(),
-        );
-        let kc = pipeline(Algorithm::AprioriKc).run_filtered(
-            e.data.clone(),
-            e.dependencies.clone(),
-            PairFilter::none(),
-        );
-        let kcp = pipeline(Algorithm::AprioriKcPlus).run_filtered(
-            e.data.clone(),
-            e.dependencies.clone(),
-            e.same_type.clone(),
-        );
+        let plain = pipeline(Algorithm::Apriori)
+            .run_filtered(e.data.clone(), PairFilter::none(), PairFilter::none())
+            .expect("valid mining configuration");
+        let kc = pipeline(Algorithm::AprioriKc)
+            .run_filtered(e.data.clone(), e.dependencies.clone(), PairFilter::none())
+            .expect("valid mining configuration");
+        let kcp = pipeline(Algorithm::AprioriKcPlus)
+            .run_filtered(e.data.clone(), e.dependencies.clone(), e.same_type.clone())
+            .expect("valid mining configuration");
         let (a, k, p) = (
             plain.result.num_frequent_min2(),
             kc.result.num_frequent_min2(),
@@ -237,9 +248,31 @@ fn print_fig4_fig5() {
             reduction(a, k),
             reduction(a, p)
         );
+        rows.push(format!(
+            "{{\"minsup\":{},\"apriori\":{a},\"apriori_kc\":{k},\"apriori_kcp\":{p},\
+             \"kc_reduction_pct\":{},\"kcp_reduction_pct\":{},\
+             \"t_apriori_us\":{ta},\"t_kc_us\":{tk},\"t_kcp_us\":{tp}}}",
+            json_f64(sup),
+            json_f64(reduction(a, k)),
+            json_f64(reduction(a, p)),
+        ));
     }
     println!("\npaper shape: KC ≈ −28% vs Apriori; KC+ > −60% vs Apriori and ≈ −50% vs KC;");
     println!("             KC+ wall-clock ≤ KC ≤ Apriori (Figure 5)");
+
+    let mut doc = JsonBuf::new();
+    doc.raw("{");
+    doc.key("experiment");
+    doc.raw("\"fig4_fig5\",");
+    doc.key("rows");
+    doc.raw(&e.data.len().to_string());
+    doc.raw(",");
+    doc.key("items");
+    doc.raw(&e.data.catalog.len().to_string());
+    doc.raw(",");
+    doc.key("series");
+    doc.raw(&format!("[{}]}}", rows.join(",")));
+    write_bench("fig5", &doc.into_string());
 }
 
 fn print_fig6_fig7() {
@@ -255,21 +288,18 @@ fn print_fig6_fig7() {
         "\n{:>7} {:>10} {:>12} {:>9} | {:>10} {:>10}",
         "minsup", "Apriori", "AprioriKC+", "red%", "t(Apr) µs", "t(KC+) µs"
     );
+    let mut rows = Vec::new();
     for pct in [5, 8, 11, 14, 17] {
         let sup = pct as f64 / 100.0;
         let pipeline = |alg: Algorithm| {
             MiningPipeline::new().algorithm(alg).min_support(MinSupport::Fraction(sup))
         };
-        let plain = pipeline(Algorithm::Apriori).run_filtered(
-            e.data.clone(),
-            PairFilter::none(),
-            PairFilter::none(),
-        );
-        let kcp = pipeline(Algorithm::AprioriKcPlus).run_filtered(
-            e.data.clone(),
-            PairFilter::none(),
-            e.same_type.clone(),
-        );
+        let plain = pipeline(Algorithm::Apriori)
+            .run_filtered(e.data.clone(), PairFilter::none(), PairFilter::none())
+            .expect("valid mining configuration");
+        let kcp = pipeline(Algorithm::AprioriKcPlus)
+            .run_filtered(e.data.clone(), PairFilter::none(), e.same_type.clone())
+            .expect("valid mining configuration");
         let (a, p) = (plain.result.num_frequent_min2(), kcp.result.num_frequent_min2());
         let ta = time_us(|| {
             let _ = pipeline(Algorithm::Apriori).run_filtered(
@@ -286,8 +316,28 @@ fn print_fig6_fig7() {
             );
         });
         println!("{pct:>6}% {a:>10} {p:>12} {:>8.1}% | {ta:>10} {tp:>10}", reduction(a, p));
+        rows.push(format!(
+            "{{\"minsup\":{},\"apriori\":{a},\"apriori_kcp\":{p},\"kcp_reduction_pct\":{},\
+             \"t_apriori_us\":{ta},\"t_kcp_us\":{tp}}}",
+            json_f64(sup),
+            json_f64(reduction(a, p)),
+        ));
     }
     println!("\npaper shape: KC+ > −55% at every minsup; KC+ wall-clock ≤ Apriori (Figure 7)");
+
+    let mut doc = JsonBuf::new();
+    doc.raw("{");
+    doc.key("experiment");
+    doc.raw("\"fig6_fig7\",");
+    doc.key("rows");
+    doc.raw(&e.data.len().to_string());
+    doc.raw(",");
+    doc.key("items");
+    doc.raw(&e.data.catalog.len().to_string());
+    doc.raw(",");
+    doc.key("series");
+    doc.raw(&format!("[{}]}}", rows.join(",")));
+    write_bench("fig7", &doc.into_string());
 }
 
 fn print_formula_crosschecks() {
@@ -298,11 +348,13 @@ fn print_formula_crosschecks() {
         let plain = MiningPipeline::new()
             .algorithm(Algorithm::Apriori)
             .min_support(MinSupport::Fraction(sup))
-            .run_filtered(e.data.clone(), PairFilter::none(), PairFilter::none());
+            .run_filtered(e.data.clone(), PairFilter::none(), PairFilter::none())
+            .expect("valid mining configuration");
         let kcp = MiningPipeline::new()
             .algorithm(Algorithm::AprioriKcPlus)
             .min_support(MinSupport::Fraction(sup))
-            .run_filtered(e.data.clone(), PairFilter::none(), e.same_type.clone());
+            .run_filtered(e.data.clone(), PairFilter::none(), e.same_type.clone())
+            .expect("valid mining configuration");
         let real_gain = plain.result.num_frequent_min2() - kcp.result.num_frequent_min2();
 
         // Shape of the largest frequent itemset: t_k = relations per
@@ -382,6 +434,7 @@ fn print_scaling(grid: usize) {
         serial_stats.pruned_pairs
     );
     println!("{:>22} {:>12} {:>9}", "stage", "median µs", "speedup");
+    let mut bench_stages: Vec<String> = Vec::new();
     let mut extract_us = Vec::new();
     for &n in &threads {
         let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
@@ -393,12 +446,12 @@ fn print_scaling(grid: usize) {
         assert_eq!(table.rows(), serial_table.rows(), "{n}-thread rows differ");
         assert_eq!(stats, serial_stats, "{n}-thread stats differ");
         extract_us.push(us);
-        println!(
-            "{:>22} {:>12} {:>8.2}x",
-            format!("extract ({n} thr)"),
-            us,
-            extract_us[0] as f64 / us as f64
-        );
+        let speedup = extract_us[0] as f64 / us as f64;
+        println!("{:>22} {:>12} {:>8.2}x", format!("extract ({n} thr)"), us, speedup);
+        bench_stages.push(format!(
+            "{{\"stage\":\"extract\",\"threads\":{n},\"median_us\":{us},\"speedup\":{}}}",
+            json_f64(speedup)
+        ));
     }
 
     // Counting: a synthetic transactional workload with controlled lattice
@@ -468,15 +521,35 @@ fn print_scaling(grid: usize) {
             if n == 1 {
                 base_us = us;
             }
-            println!(
-                "{:>22} {:>12} {:>8.2}x",
-                format!("{label} ({n} thr)"),
-                us,
-                base_us as f64 / us as f64
-            );
+            let speedup = base_us as f64 / us as f64;
+            println!("{:>22} {:>12} {:>8.2}x", format!("{label} ({n} thr)"), us, speedup);
+            bench_stages.push(format!(
+                "{{\"stage\":{},\"threads\":{n},\"median_us\":{us},\"speedup\":{}}}",
+                geopattern::obs::json::json_string(label),
+                json_f64(speedup)
+            ));
         }
     }
     println!("\nall parallel outputs verified identical to serial");
+
+    let mut doc = JsonBuf::new();
+    doc.raw("{");
+    doc.key("experiment");
+    doc.raw("\"scaling\",");
+    doc.key("grid");
+    doc.raw(&grid.to_string());
+    doc.raw(",");
+    doc.key("reference_features");
+    doc.raw(&ds.reference.len().to_string());
+    doc.raw(",");
+    doc.key("host_parallelism");
+    doc.raw(
+        &std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).to_string(),
+    );
+    doc.raw(",");
+    doc.key("measurements");
+    doc.raw(&format!("[{}]}}", bench_stages.join(",")));
+    write_bench("scaling", &doc.into_string());
 }
 
 fn print_city_pipeline() {
@@ -486,7 +559,8 @@ fn print_city_pipeline() {
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.3))
         .knowledge(geopattern_datagen::default_knowledge())
-        .run(&ds);
+        .run(&ds)
+        .expect("valid mining configuration");
     println!("{}", report.summary());
     for rule in report.rendered_rules().iter().take(12) {
         println!("  {rule}");

@@ -4,6 +4,7 @@
 //! geopattern mine <dataset.gpd> [--minsup 0.3] [--minconf 0.7]
 //!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+]
 //!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
+//!                 [--metrics json]
 //! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd]
 //! geopattern relate <WKT_A> <WKT_B>
 //! geopattern gain --t 2,2,2 --n 2
@@ -11,13 +12,42 @@
 //!
 //! Dataset files use the text format of `geopattern_sdb::dataset` (see
 //! `generate-city --out` for a sample).
+//!
+//! Exit codes: `0` success, `1` usage or I/O error, `2` invalid mining
+//! configuration, `3` unusable data (e.g. empty reference layer).
 
-use geopattern::{Algorithm, KnowledgeBase, MiningPipeline, MinSupport, SpatialDataset, Threads};
+use geopattern::{
+    Algorithm, KnowledgeBase, MiningPipeline, MinSupport, Recorder, SpatialDataset, Threads,
+};
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_geom::from_wkt;
 use geopattern_mining::minimal_gain;
 use geopattern_qsr::{classify, topological_relation};
 use std::process::ExitCode;
+
+/// A CLI failure: message plus the process exit code to report.
+struct CmdError {
+    code: u8,
+    msg: String,
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> CmdError {
+        CmdError { code: 1, msg }
+    }
+}
+
+impl From<&str> for CmdError {
+    fn from(msg: &str) -> CmdError {
+        CmdError { code: 1, msg: msg.to_string() }
+    }
+}
+
+impl From<geopattern::Error> for CmdError {
+    fn from(e: geopattern::Error) -> CmdError {
+        CmdError { code: e.exit_code() as u8, msg: e.to_string() }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,13 +60,13 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}; try --help")),
+        Some(other) => Err(format!("unknown command {other:?}; try --help").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CmdError { code, msg }) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }
@@ -46,11 +76,15 @@ fn print_usage() {
         "geopattern — frequent geographic pattern mining with QSR filters\n\n\
          USAGE:\n  \
          geopattern mine <dataset.gpd> [--minsup F] [--minconf F] [--algorithm A]\n                  \
-         [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]\n  \
+         [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]\n                  \
+         [--metrics json]\n  \
          geopattern generate-city [--grid N] [--seed S] [--out FILE]\n  \
          geopattern relate <WKT_A> <WKT_B>\n  \
          geopattern gain --t T1,T2,... --n N\n\n\
-         ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+"
+         ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+\n\n\
+         --metrics json dumps span timings / counters / histograms for the run as JSON\n\
+         on stdout after the report.\n\n\
+         EXIT CODES: 0 ok, 1 usage or I/O error, 2 invalid configuration, 3 unusable data"
     );
 }
 
@@ -91,7 +125,7 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn cmd_mine(args: &[String]) -> Result<(), String> {
+fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
     let mut args = args.to_vec();
     let minsup: f64 = take_flag(&mut args, "--minsup")?
         .map(|v| v.parse().map_err(|_| format!("bad --minsup {v:?}")))
@@ -111,6 +145,14 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .unwrap_or(Threads::Auto);
     let show_itemsets = take_switch(&mut args, "--itemsets");
     let show_rules = take_switch(&mut args, "--rules");
+    let metrics_format = take_flag(&mut args, "--metrics")?;
+    let recorder = match metrics_format.as_deref() {
+        Some("json") => Recorder::new(),
+        Some(other) => {
+            return Err(format!("unknown --metrics format {other:?} (supported: json)").into())
+        }
+        None => Recorder::disabled(),
+    };
 
     let mut knowledge = KnowledgeBase::new();
     while let Some(pos) = args.iter().position(|a| a == "--dep") {
@@ -126,10 +168,13 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let path = match args.as_slice() {
         [p] => p.clone(),
         [] => return Err("mine needs a dataset file".into()),
-        extra => return Err(format!("unexpected arguments: {extra:?}")),
+        extra => return Err(format!("unexpected arguments: {extra:?}").into()),
     };
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    // Parsing builds the per-layer R-trees, so the "load" span covers both.
+    let load_span = recorder.span("load");
     let dataset = SpatialDataset::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    drop(load_span);
 
     let report = MiningPipeline::new()
         .algorithm(algorithm)
@@ -137,7 +182,8 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .min_confidence(minconf)
         .knowledge(knowledge)
         .threads(threads)
-        .run(&dataset);
+        .recorder(recorder)
+        .run(&dataset)?;
 
     println!("{}", report.summary());
     if let Some(stats) = &report.extraction_stats {
@@ -158,10 +204,13 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             println!("  {r}");
         }
     }
+    if metrics_format.is_some() {
+        println!("\nmetrics: {}", report.metrics().to_json());
+    }
     Ok(())
 }
 
-fn cmd_generate_city(args: &[String]) -> Result<(), String> {
+fn cmd_generate_city(args: &[String]) -> Result<(), CmdError> {
     let mut args = args.to_vec();
     let grid: usize = take_flag(&mut args, "--grid")?
         .map(|v| v.parse().map_err(|_| format!("bad --grid {v:?}")))
@@ -173,7 +222,7 @@ fn cmd_generate_city(args: &[String]) -> Result<(), String> {
         .unwrap_or(1);
     let out = take_flag(&mut args, "--out")?;
     if !args.is_empty() {
-        return Err(format!("unexpected arguments: {args:?}"));
+        return Err(format!("unexpected arguments: {args:?}").into());
     }
 
     let city = generate_city(&CityConfig { grid, seed, ..Default::default() });
@@ -192,7 +241,7 @@ fn cmd_generate_city(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_relate(args: &[String]) -> Result<(), String> {
+fn cmd_relate(args: &[String]) -> Result<(), CmdError> {
     let [a, b] = args else {
         return Err("relate needs exactly two WKT arguments".into());
     };
@@ -208,7 +257,7 @@ fn cmd_relate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gain(args: &[String]) -> Result<(), String> {
+fn cmd_gain(args: &[String]) -> Result<(), CmdError> {
     let mut args = args.to_vec();
     let t: Vec<u64> = take_flag(&mut args, "--t")?
         .ok_or("gain needs --t (comma-separated relation counts)")?
@@ -220,7 +269,7 @@ fn cmd_gain(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0);
     if !args.is_empty() {
-        return Err(format!("unexpected arguments: {args:?}"));
+        return Err(format!("unexpected arguments: {args:?}").into());
     }
     let m: u64 = t.iter().sum::<u64>() + n;
     println!(

@@ -1,0 +1,86 @@
+//! Pipeline configuration and data errors.
+//!
+//! The staged pipeline API ([`crate::MiningPipeline::extract`] /
+//! [`crate::MiningPipeline::encode`] / [`crate::MiningPipeline::mine`])
+//! validates its inputs up front and returns one of these instead of
+//! panicking or silently mining nonsense. The CLI maps each variant to a
+//! stable process exit code via [`Error::exit_code`].
+
+use std::fmt;
+
+/// Everything that can go wrong configuring or feeding a pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// `min_confidence` must lie in `[0, 1]`.
+    InvalidMinConfidence(f64),
+    /// A fractional minimum support must be finite and in `(0, 1]`.
+    InvalidMinSupport(f64),
+    /// The dataset's reference layer has no features — there is nothing
+    /// to build transactions from.
+    EmptyReferenceLayer,
+    /// `granularity(taxonomy, levels)` asked for more generalisation steps
+    /// than the taxonomy is deep; every type would stay unchanged, which
+    /// almost always means a mis-configured level.
+    TaxonomyTooDeep {
+        /// The requested number of generalisation steps.
+        levels: usize,
+        /// The deepest leaf-to-root distance in the supplied taxonomy.
+        max_depth: usize,
+    },
+}
+
+impl Error {
+    /// Stable process exit code for the CLI: configuration errors are `2`,
+    /// data errors are `3`.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::InvalidMinConfidence(_)
+            | Error::InvalidMinSupport(_)
+            | Error::TaxonomyTooDeep { .. } => 2,
+            Error::EmptyReferenceLayer => 3,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidMinConfidence(c) => {
+                write!(f, "min_confidence must be in [0, 1], got {c}")
+            }
+            Error::InvalidMinSupport(s) => {
+                write!(f, "fractional min_support must be finite and in (0, 1], got {s}")
+            }
+            Error::EmptyReferenceLayer => {
+                write!(f, "the dataset's reference layer has no features")
+            }
+            Error::TaxonomyTooDeep { levels, max_depth } => write!(
+                f,
+                "granularity of {levels} level(s) exceeds the taxonomy depth of {max_depth}; \
+                 generalisation would be a no-op for every feature type"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_exit_codes() {
+        assert_eq!(Error::InvalidMinConfidence(1.5).exit_code(), 2);
+        assert_eq!(Error::InvalidMinSupport(0.0).exit_code(), 2);
+        assert_eq!(Error::TaxonomyTooDeep { levels: 3, max_depth: 2 }.exit_code(), 2);
+        assert_eq!(Error::EmptyReferenceLayer.exit_code(), 3);
+
+        assert!(Error::InvalidMinConfidence(1.5).to_string().contains("[0, 1]"));
+        assert!(Error::InvalidMinSupport(-0.1).to_string().contains("(0, 1]"));
+        assert!(Error::EmptyReferenceLayer.to_string().contains("reference layer"));
+        assert!(Error::TaxonomyTooDeep { levels: 3, max_depth: 2 }
+            .to_string()
+            .contains("taxonomy depth"));
+    }
+}

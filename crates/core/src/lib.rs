@@ -40,12 +40,14 @@
 //! let plain = MiningPipeline::new()
 //!     .algorithm(Algorithm::Apriori)
 //!     .min_support(MinSupport::Fraction(0.5))
-//!     .run_transactions(table1::transactions());
+//!     .run_transactions(table1::transactions())
+//!     .expect("valid configuration");
 //!
 //! let filtered = MiningPipeline::new()
 //!     .algorithm(Algorithm::AprioriKcPlus)
 //!     .min_support(MinSupport::Fraction(0.5))
-//!     .run_transactions(data);
+//!     .run_transactions(data)
+//!     .expect("valid configuration");
 //!
 //! // On the printed Table 1 the true counts are 47 frequent itemsets of
 //! // size ≥ 2, of which the same-feature-type filter removes 23 — a 49%
@@ -58,32 +60,62 @@
 //! For geometric inputs, build a [`geopattern_sdb::SpatialDataset`] (or
 //! generate one with [`geopattern_datagen::generate_city`]) and call
 //! [`MiningPipeline::run`], which performs R-tree-pruned DE-9IM predicate
-//! extraction first.
+//! extraction first — or drive the stages individually with
+//! [`MiningPipeline::extract`] → [`MiningPipeline::encode`] →
+//! [`MiningPipeline::mine`]. Each stage validates its inputs and returns
+//! `Result<_, `[`Error`]`>`.
+//!
+//! # Observability
+//!
+//! Attach a [`Recorder`] to see where a run spends its time and what the
+//! filters removed; instrumented and uninstrumented runs produce
+//! bit-identical patterns:
+//!
+//! ```
+//! use geopattern::{MiningPipeline, MinSupport, Recorder};
+//! use geopattern_datagen::table1;
+//!
+//! let recorder = Recorder::new();
+//! let report = MiningPipeline::new()
+//!     .min_support(MinSupport::Fraction(0.5))
+//!     .recorder(recorder)
+//!     .run_transactions(table1::transactions())
+//!     .unwrap();
+//! let metrics = report.metrics();
+//! assert!(metrics.span("mine").is_some());
+//! println!("{}", metrics.to_json()); // machine-readable dump
+//! ```
 
 pub mod convert;
+pub mod error;
 pub mod pipeline;
 pub mod report;
 
 pub use convert::{dependency_filter, same_type_filter, to_transactions};
-pub use pipeline::{Algorithm, MiningPipeline};
+pub use error::Error;
+pub use pipeline::{Algorithm, EncodedTransactions, ExtractedTable, MiningPipeline};
 pub use report::PatternReport;
 
 // Re-export the layer crates under stable names.
 pub use geopattern_datagen as datagen;
 pub use geopattern_geom as geom;
 pub use geopattern_mining as mining;
+pub use geopattern_obs as obs;
 pub use geopattern_par as par;
 pub use geopattern_qsr as qsr;
 pub use geopattern_sdb as sdb;
 
-// The most-used types at the top level.
+// The most-used types at the top level. Everything that appears in a
+// public signature of the facade is reachable from the facade.
 pub use geopattern_mining::{
-    closed_itemsets, maximal_itemsets, minimal_gain, AssociationRule, FrequentItemset,
-    MiningResult, MinSupport, PairFilter, TransactionSet,
+    closed_itemsets, maximal_itemsets, minimal_gain, AssociationRule, CountingStrategy,
+    FrequentItemset, ItemCatalog, ItemId, MiningResult, MiningStats, MinSupport, PairFilter,
+    TransactionSet,
 };
+pub use geopattern_obs::{Metrics, Recorder};
 pub use geopattern_par::Threads;
-pub use geopattern_qsr::{SpatialPredicate, TopologicalRelation};
+pub use geopattern_qsr::{DistanceScheme, SpatialPredicate, TopologicalRelation};
 pub use geopattern_sdb::{
-    ExtractionConfig, Feature, FeatureTypeTaxonomy, KnowledgeBase, Layer, Predicate,
-    PredicateTable, SpatialDataset,
+    ExtractionConfig, ExtractionStats, Feature, FeatureTypeTaxonomy, KnowledgeBase, Layer,
+    Predicate, PredicateTable, SpatialDataset, TaxonomyError,
 };

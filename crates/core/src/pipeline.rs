@@ -2,20 +2,34 @@
 //!
 //! [`MiningPipeline`] wires the full system together: geometric dataset →
 //! qualitative predicate extraction → transaction encoding → (filtered)
-//! frequent-itemset mining → association rules. Inputs can enter at either
-//! stage: a geometric [`SpatialDataset`] or an already-extracted
-//! `PredicateTable` / [`TransactionSet`].
+//! frequent-itemset mining → association rules.
+//!
+//! The pipeline is staged: [`MiningPipeline::extract`] turns geometry into
+//! an [`ExtractedTable`], [`MiningPipeline::encode`] dictionary-encodes it
+//! into [`EncodedTransactions`] (building the `C₂` filters), and
+//! [`MiningPipeline::mine`] runs the configured algorithm and rule
+//! generation. [`MiningPipeline::run`] is the composition of the three.
+//! Each stage validates its inputs and returns [`Result`]; inputs can also
+//! enter mid-pipeline via [`MiningPipeline::run_transactions`] /
+//! [`MiningPipeline::run_filtered`].
+//!
+//! Every stage reports timings and counters to the pipeline's
+//! [`Recorder`] (disabled by default — see [`MiningPipeline::recorder`]);
+//! recording never changes the mined output.
 
 use crate::convert::{dependency_filter, same_type_filter, to_transactions};
+use crate::error::Error;
 use crate::report::PatternReport;
 use geopattern_mining::{
     generate_rules, mine, mine_apriori_tid, mine_eclat, mine_fp, AprioriConfig,
     AprioriTidConfig, CountingStrategy, EclatConfig, FpGrowthConfig, MinSupport, PairFilter,
     TransactionSet,
 };
+use geopattern_obs::Recorder;
 use geopattern_par::Threads;
 use geopattern_sdb::{
-    extract, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase, SpatialDataset,
+    extract_recorded, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase,
+    PredicateTable, SpatialDataset,
 };
 
 /// Which mining algorithm to run.
@@ -60,8 +74,34 @@ impl Algorithm {
     }
 }
 
+/// Output of the extraction stage: the (possibly generalised) predicate
+/// table plus extraction statistics.
+#[derive(Debug, Clone)]
+pub struct ExtractedTable {
+    /// Predicate rows per reference feature, at the configured granularity.
+    pub table: PredicateTable,
+    /// Pair-pruning and predicate counts from the extraction pass.
+    pub stats: ExtractionStats,
+}
+
+/// Output of the encoding stage: dictionary-encoded transactions plus the
+/// two `C₂` pair filters the KC/KC+ variants consume.
+#[derive(Debug, Clone)]
+pub struct EncodedTransactions {
+    /// The transactions (item ids equal predicate codes).
+    pub transactions: TransactionSet,
+    /// Well-known dependency pairs `Φ`, expanded against the table.
+    pub dependencies: PairFilter,
+    /// Same-feature-type pairs (the KC+ filter's target).
+    pub same_type: PairFilter,
+    /// Extraction statistics, when the input came from geometry.
+    pub extraction_stats: Option<ExtractionStats>,
+}
+
 /// Builder for a mining run. Construct with [`MiningPipeline::new`], chain
-/// setters, then call [`MiningPipeline::run`] on a data source.
+/// setters, then call [`MiningPipeline::run`] on a data source — or drive
+/// the stages individually with [`MiningPipeline::extract`],
+/// [`MiningPipeline::encode`] and [`MiningPipeline::mine`].
 #[derive(Debug, Clone)]
 pub struct MiningPipeline {
     algorithm: Algorithm,
@@ -72,6 +112,7 @@ pub struct MiningPipeline {
     counting: CountingStrategy,
     taxonomy: Option<(FeatureTypeTaxonomy, usize)>,
     threads: Threads,
+    recorder: Recorder,
 }
 
 impl Default for MiningPipeline {
@@ -85,6 +126,7 @@ impl Default for MiningPipeline {
             counting: CountingStrategy::default(),
             taxonomy: None,
             threads: Threads::Serial,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -148,28 +190,196 @@ impl MiningPipeline {
         self
     }
 
-    /// Runs the full pipeline on a geometric dataset.
-    pub fn run(&self, dataset: &SpatialDataset) -> PatternReport {
-        let extraction = self.extraction.clone().with_threads(self.threads);
-        let (table, stats) = extract(&dataset.reference, &dataset.relevant_refs(), &extraction);
-        let table = match &self.taxonomy {
-            Some((taxonomy, levels)) => taxonomy.generalize_table(&table, *levels),
-            None => table,
-        };
-        let deps = dependency_filter(&self.knowledge, &table);
-        let same = same_type_filter(&table);
-        let transactions = to_transactions(&table);
-        self.run_encoded(transactions, deps, same, Some(stats))
+    /// Attaches a metric recorder: every stage reports span timings,
+    /// counters and histograms to it. Recording never changes the mined
+    /// output — instrumented and uninstrumented runs are bit-identical.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
-    /// Runs mining on an already-encoded transaction set. The dependency
-    /// filter is resolved against item labels via the knowledge base's
-    /// predicate-level rules only (feature-type rules need a predicate
-    /// table); pass explicit filters with [`MiningPipeline::run_filtered`]
-    /// for full control.
-    pub fn run_transactions(&self, transactions: TransactionSet) -> PatternReport {
-        let same = PairFilter::same_feature_type(&transactions.catalog);
-        self.run_encoded(transactions, PairFilter::none(), same, None)
+    /// Validates the thresholds every mining entry point shares.
+    fn validate_mining_config(&self) -> Result<(), Error> {
+        if !self.min_confidence.is_finite()
+            || !(0.0..=1.0).contains(&self.min_confidence)
+        {
+            return Err(Error::InvalidMinConfidence(self.min_confidence));
+        }
+        if let MinSupport::Fraction(f) = self.min_support {
+            if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                return Err(Error::InvalidMinSupport(f));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage 1: qualitative predicate extraction (plus taxonomy
+    /// generalisation when [`MiningPipeline::granularity`] is set).
+    ///
+    /// Fails with [`Error::EmptyReferenceLayer`] when the dataset has no
+    /// reference features, and [`Error::TaxonomyTooDeep`] when the
+    /// configured granularity exceeds the taxonomy's depth.
+    pub fn extract(&self, dataset: &SpatialDataset) -> Result<ExtractedTable, Error> {
+        if dataset.reference.is_empty() {
+            return Err(Error::EmptyReferenceLayer);
+        }
+        if let Some((taxonomy, levels)) = &self.taxonomy {
+            let max_depth = taxonomy.max_depth();
+            if *levels > max_depth {
+                return Err(Error::TaxonomyTooDeep { levels: *levels, max_depth });
+            }
+        }
+        let extraction = self.extraction.clone().with_threads(self.threads);
+        let (table, stats) = extract_recorded(
+            &dataset.reference,
+            &dataset.relevant_refs(),
+            &extraction,
+            &self.recorder,
+        );
+        let table = match &self.taxonomy {
+            Some((taxonomy, levels)) => {
+                let _span = self.recorder.span("generalize");
+                let coarse = taxonomy.generalize_table(&table, *levels);
+                self.recorder.counter("generalize.levels", *levels as u64);
+                self.recorder
+                    .counter("generalize.predicates", coarse.num_predicates() as u64);
+                coarse
+            }
+            None => table,
+        };
+        Ok(ExtractedTable { table, stats })
+    }
+
+    /// Stage 2: dictionary-encodes the predicate table into transactions
+    /// and builds the `C₂` pair filters (`Φ` from the knowledge base,
+    /// same-feature-type from the table).
+    pub fn encode(&self, extracted: ExtractedTable) -> Result<EncodedTransactions, Error> {
+        let _span = self.recorder.span("encode");
+        let table = &extracted.table;
+        let dependencies = dependency_filter(&self.knowledge, table);
+        let same_type = same_type_filter(table);
+        let transactions = to_transactions(table);
+        self.recorder.counter("encode.transactions", transactions.len() as u64);
+        self.recorder.counter("encode.items", transactions.catalog.len() as u64);
+        self.recorder.counter("encode.dependency_pairs", dependencies.len() as u64);
+        self.recorder.counter("encode.same_type_pairs", same_type.len() as u64);
+        Ok(EncodedTransactions {
+            transactions,
+            dependencies,
+            same_type,
+            extraction_stats: Some(extracted.stats),
+        })
+    }
+
+    /// Stage 3: runs the configured algorithm and rule generation.
+    ///
+    /// Fails with [`Error::InvalidMinConfidence`] /
+    /// [`Error::InvalidMinSupport`] when the thresholds are out of range.
+    pub fn mine(&self, encoded: EncodedTransactions) -> Result<PatternReport, Error> {
+        self.validate_mining_config()?;
+        let EncodedTransactions { transactions, dependencies: deps, same_type: same, extraction_stats } =
+            encoded;
+        let rec = &self.recorder;
+        let mine_span = rec.span("mine");
+        let result = match self.algorithm {
+            Algorithm::Apriori => mine(
+                &transactions,
+                &AprioriConfig::apriori(self.min_support)
+                    .with_counting(self.counting)
+                    .with_threads(self.threads)
+                    .with_recorder(rec.clone()),
+            ),
+            Algorithm::AprioriKc => mine(
+                &transactions,
+                &AprioriConfig::apriori_kc(self.min_support, deps)
+                    .with_counting(self.counting)
+                    .with_threads(self.threads)
+                    .with_recorder(rec.clone()),
+            ),
+            Algorithm::AprioriKcPlus => mine(
+                &transactions,
+                &AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
+                    .with_counting(self.counting)
+                    .with_threads(self.threads)
+                    .with_recorder(rec.clone()),
+            ),
+            Algorithm::FpGrowth => mine_fp(
+                &transactions,
+                &FpGrowthConfig::new(self.min_support).with_recorder(rec.clone()),
+            ),
+            Algorithm::FpGrowthKcPlus => mine_fp(
+                &transactions,
+                &FpGrowthConfig::new(self.min_support)
+                    .with_filter(deps.union(&same))
+                    .with_recorder(rec.clone()),
+            ),
+            Algorithm::Eclat => mine_eclat(
+                &transactions,
+                &EclatConfig::new(self.min_support)
+                    .with_threads(self.threads)
+                    .with_recorder(rec.clone()),
+            ),
+            Algorithm::EclatKcPlus => mine_eclat(
+                &transactions,
+                &EclatConfig::new(self.min_support)
+                    .with_filter(deps.union(&same))
+                    .with_threads(self.threads)
+                    .with_recorder(rec.clone()),
+            ),
+            Algorithm::AprioriTid => mine_apriori_tid(
+                &transactions,
+                &AprioriTidConfig::new(self.min_support).with_recorder(rec.clone()),
+            ),
+            Algorithm::AprioriTidKcPlus => mine_apriori_tid(
+                &transactions,
+                &AprioriTidConfig::new(self.min_support)
+                    .with_filter(deps.union(&same))
+                    .with_recorder(rec.clone()),
+            ),
+        };
+        drop(mine_span);
+        rec.counter("mine.frequent_itemsets", result.num_frequent() as u64);
+
+        let rules_span = rec.span("rules");
+        let rules = generate_rules(&result, transactions.len(), self.min_confidence);
+        drop(rules_span);
+        rec.counter("rules.generated", rules.len() as u64);
+
+        Ok(PatternReport {
+            algorithm: self.algorithm,
+            min_support: self.min_support,
+            min_confidence: self.min_confidence,
+            transactions,
+            result,
+            rules,
+            extraction_stats,
+            metrics: rec.snapshot(),
+        })
+    }
+
+    /// Runs the full pipeline on a geometric dataset: extraction →
+    /// encoding → mining.
+    pub fn run(&self, dataset: &SpatialDataset) -> Result<PatternReport, Error> {
+        // Validate the mining thresholds before paying for extraction.
+        self.validate_mining_config()?;
+        let extracted = self.extract(dataset)?;
+        let encoded = self.encode(extracted)?;
+        self.mine(encoded)
+    }
+
+    /// Runs mining on an already-encoded transaction set. The
+    /// same-feature-type filter is recovered from the catalog's item
+    /// metadata; no dependency filter is applied (a `Φ` expansion needs a
+    /// predicate table — pass explicit filters with
+    /// [`MiningPipeline::run_filtered`] for full control).
+    pub fn run_transactions(&self, transactions: TransactionSet) -> Result<PatternReport, Error> {
+        let same_type = PairFilter::same_feature_type(&transactions.catalog);
+        self.mine(EncodedTransactions {
+            transactions,
+            dependencies: PairFilter::none(),
+            same_type,
+            extraction_stats: None,
+        })
     }
 
     /// Runs mining on a transaction set with explicit filters.
@@ -178,71 +388,13 @@ impl MiningPipeline {
         transactions: TransactionSet,
         dependencies: PairFilter,
         same_type: PairFilter,
-    ) -> PatternReport {
-        self.run_encoded(transactions, dependencies, same_type, None)
-    }
-
-    fn run_encoded(
-        &self,
-        transactions: TransactionSet,
-        deps: PairFilter,
-        same: PairFilter,
-        extraction_stats: Option<ExtractionStats>,
-    ) -> PatternReport {
-        let result = match self.algorithm {
-            Algorithm::Apriori => mine(
-                &transactions,
-                &AprioriConfig::apriori(self.min_support)
-                    .with_counting(self.counting)
-                    .with_threads(self.threads),
-            ),
-            Algorithm::AprioriKc => mine(
-                &transactions,
-                &AprioriConfig::apriori_kc(self.min_support, deps)
-                    .with_counting(self.counting)
-                    .with_threads(self.threads),
-            ),
-            Algorithm::AprioriKcPlus => mine(
-                &transactions,
-                &AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
-                    .with_counting(self.counting)
-                    .with_threads(self.threads),
-            ),
-            Algorithm::FpGrowth => {
-                mine_fp(&transactions, &FpGrowthConfig::new(self.min_support))
-            }
-            Algorithm::FpGrowthKcPlus => mine_fp(
-                &transactions,
-                &FpGrowthConfig::new(self.min_support).with_filter(deps.union(&same)),
-            ),
-            Algorithm::Eclat => mine_eclat(
-                &transactions,
-                &EclatConfig::new(self.min_support).with_threads(self.threads),
-            ),
-            Algorithm::EclatKcPlus => mine_eclat(
-                &transactions,
-                &EclatConfig::new(self.min_support)
-                    .with_filter(deps.union(&same))
-                    .with_threads(self.threads),
-            ),
-            Algorithm::AprioriTid => {
-                mine_apriori_tid(&transactions, &AprioriTidConfig::new(self.min_support))
-            }
-            Algorithm::AprioriTidKcPlus => mine_apriori_tid(
-                &transactions,
-                &AprioriTidConfig::new(self.min_support).with_filter(deps.union(&same)),
-            ),
-        };
-        let rules = generate_rules(&result, transactions.len(), self.min_confidence);
-        PatternReport {
-            algorithm: self.algorithm,
-            min_support: self.min_support,
-            min_confidence: self.min_confidence,
+    ) -> Result<PatternReport, Error> {
+        self.mine(EncodedTransactions {
             transactions,
-            result,
-            rules,
-            extraction_stats,
-        }
+            dependencies,
+            same_type,
+            extraction_stats: None,
+        })
     }
 }
 
@@ -265,11 +417,13 @@ mod tests {
         let plain = MiningPipeline::new()
             .algorithm(Algorithm::Apriori)
             .min_support(MinSupport::Fraction(0.5))
-            .run_transactions(paper_rows());
+            .run_transactions(paper_rows())
+            .unwrap();
         let kcp = MiningPipeline::new()
             .algorithm(Algorithm::AprioriKcPlus)
             .min_support(MinSupport::Fraction(0.5))
-            .run_transactions(paper_rows());
+            .run_transactions(paper_rows())
+            .unwrap();
         assert!(kcp.result.num_frequent_min2() < plain.result.num_frequent_min2());
         // No surviving itemset has two slum predicates.
         let cat = &kcp.transactions.catalog;
@@ -294,11 +448,13 @@ mod tests {
             let ra = MiningPipeline::new()
                 .algorithm(a)
                 .min_support(MinSupport::Fraction(0.5))
-                .run_transactions(paper_rows());
+                .run_transactions(paper_rows())
+                .unwrap();
             let rb = MiningPipeline::new()
                 .algorithm(b)
                 .min_support(MinSupport::Fraction(0.5))
-                .run_transactions(paper_rows());
+                .run_transactions(paper_rows())
+                .unwrap();
             let mut sa: Vec<_> = ra.result.all().map(|f| (f.items.clone(), f.support)).collect();
             let mut sb: Vec<_> = rb.result.all().map(|f| (f.items.clone(), f.support)).collect();
             sa.sort();
@@ -313,7 +469,8 @@ mod tests {
             .algorithm(Algorithm::Apriori)
             .min_support(MinSupport::Fraction(0.5))
             .min_confidence(0.9)
-            .run_transactions(paper_rows());
+            .run_transactions(paper_rows())
+            .unwrap();
         assert!(report.rules.iter().all(|r| r.confidence >= 0.9));
         assert!(!report.rules.is_empty());
     }
@@ -322,5 +479,61 @@ mod tests {
     fn algorithm_names() {
         assert_eq!(Algorithm::AprioriKcPlus.name(), "Apriori-KC+");
         assert_eq!(Algorithm::default(), Algorithm::AprioriKcPlus);
+    }
+
+    #[test]
+    fn invalid_thresholds_are_rejected() {
+        let err = MiningPipeline::new()
+            .min_confidence(1.5)
+            .run_transactions(paper_rows())
+            .unwrap_err();
+        assert_eq!(err, Error::InvalidMinConfidence(1.5));
+
+        let err = MiningPipeline::new()
+            .min_confidence(f64::NAN)
+            .run_transactions(paper_rows())
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidMinConfidence(_)));
+
+        for bad in [0.0, -0.5, 1.5, f64::INFINITY, f64::NAN] {
+            let err = MiningPipeline::new()
+                .min_support(MinSupport::Fraction(bad))
+                .run_transactions(paper_rows())
+                .unwrap_err();
+            assert!(matches!(err, Error::InvalidMinSupport(_)), "support {bad}");
+        }
+        // Absolute counts bypass the fraction check.
+        assert!(MiningPipeline::new()
+            .min_support(MinSupport::Count(2))
+            .run_transactions(paper_rows())
+            .is_ok());
+    }
+
+    #[test]
+    fn recorded_run_is_identical_and_metrics_populated() {
+        let pipeline = MiningPipeline::new()
+            .algorithm(Algorithm::AprioriKcPlus)
+            .min_support(MinSupport::Fraction(0.5));
+        let plain = pipeline.clone().run_transactions(paper_rows()).unwrap();
+        let recorded = pipeline
+            .recorder(geopattern_obs::Recorder::new())
+            .run_transactions(paper_rows())
+            .unwrap();
+
+        let sets = |r: &PatternReport| {
+            let mut v: Vec<_> = r.result.all().map(|f| (f.items.clone(), f.support)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sets(&plain), sets(&recorded));
+        assert_eq!(plain.rules.len(), recorded.rules.len());
+
+        assert!(plain.metrics().is_empty());
+        let m = recorded.metrics();
+        assert!(m.span("mine").is_some());
+        assert!(m.span("mine/apriori").is_some());
+        assert!(m.span("rules").is_some());
+        assert!(m.counter("rules.generated").is_some());
+        assert_eq!(m.counter("mine.frequent_itemsets"), Some(recorded.result.num_frequent() as u64));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::pipeline::Algorithm;
 use geopattern_mining::{AssociationRule, MiningResult, MinSupport, TransactionSet};
+use geopattern_obs::Metrics;
 use geopattern_sdb::ExtractionStats;
 use std::fmt;
 
@@ -22,9 +23,20 @@ pub struct PatternReport {
     pub rules: Vec<AssociationRule>,
     /// Extraction statistics, when the run started from geometry.
     pub extraction_stats: Option<ExtractionStats>,
+    /// Snapshot of the pipeline recorder's metrics (empty when the run
+    /// was not instrumented).
+    pub metrics: Metrics,
 }
 
 impl PatternReport {
+    /// Metrics recorded during the run: span timings, counters and
+    /// histograms. Empty unless a [`geopattern_obs::Recorder`] was
+    /// attached via [`crate::MiningPipeline::recorder`]. Serialise with
+    /// [`Metrics::to_json`].
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     /// Frequent itemsets of size ≥ `min_size`, rendered with labels,
     /// in the paper's `{a, b, c} (support n)` style.
     pub fn frequent_itemsets(&self, min_size: usize) -> Vec<String> {
@@ -94,6 +106,7 @@ mod tests {
             .algorithm(Algorithm::Apriori)
             .min_support(MS::Fraction(1.0))
             .run_transactions(ts)
+            .unwrap()
     }
 
     #[test]
@@ -122,7 +135,8 @@ mod tests {
         ]);
         let r = MiningPipeline::new()
             .min_support(MS::Fraction(1.0))
-            .run_transactions(ts);
+            .run_transactions(ts)
+            .unwrap();
         assert!(r.summary().contains("same-feature-type"));
     }
 }

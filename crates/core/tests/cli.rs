@@ -1,0 +1,98 @@
+//! End-to-end tests of the `geopattern` binary: the documented exit-code
+//! contract (0 ok, 1 usage/I-O, 2 invalid configuration, 3 unusable
+//! data) and the `--metrics json` surface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geopattern"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("spawn geopattern")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A small generated city written to a temp file, for mine runs.
+fn city_file(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("geopattern-cli-test-{name}.gpd"));
+    let generated = run(&["generate-city", "--grid", "4", "--seed", "9"]);
+    assert!(generated.status.success());
+    std::fs::write(&path, &generated.stdout).expect("write dataset");
+    path
+}
+
+#[test]
+fn exit_0_on_success_and_help() {
+    let help = run(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    assert!(stdout(&help).contains("EXIT CODES"));
+
+    let path = city_file("ok");
+    let out = run(&["mine", path.to_str().unwrap(), "--minsup", "0.3"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("frequent itemsets"));
+}
+
+#[test]
+fn exit_1_on_usage_and_io_errors() {
+    let unknown = run(&["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(1));
+    assert!(stderr(&unknown).contains("unknown command"));
+
+    let missing = run(&["mine", "/nonexistent/dataset.gpd"]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(stderr(&missing).contains("reading"));
+
+    let bad_metrics = run(&["mine", "x.gpd", "--metrics", "xml"]);
+    assert_eq!(bad_metrics.status.code(), Some(1));
+    assert!(stderr(&bad_metrics).contains("supported: json"));
+}
+
+#[test]
+fn exit_2_on_invalid_configuration() {
+    let path = city_file("conf");
+    let out = run(&["mine", path.to_str().unwrap(), "--minconf", "1.5"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("min_confidence"));
+
+    let out = run(&["mine", path.to_str().unwrap(), "--minsup", "0"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("support"));
+}
+
+#[test]
+fn exit_3_on_unusable_data() {
+    let path = std::env::temp_dir().join("geopattern-cli-test-empty.gpd");
+    // Valid format, but the reference layer has no features.
+    std::fs::write(&path, "layer district reference\n").expect("write dataset");
+    let out = run(&["mine", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("reference layer"));
+}
+
+#[test]
+fn metrics_json_prints_spans_and_counters() {
+    let path = city_file("metrics");
+    let out = run(&["mine", path.to_str().unwrap(), "--metrics", "json"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let json = text
+        .lines()
+        .find_map(|l| l.strip_prefix("metrics: "))
+        .expect("metrics line present");
+    for key in ["\"spans\"", "\"counters\"", "\"load\"", "\"mine\"", "\"extract\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // Without the flag, no metrics line is printed.
+    let plain = run(&["mine", path.to_str().unwrap()]);
+    assert!(!stdout(&plain).contains("metrics:"));
+}

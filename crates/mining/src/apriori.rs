@@ -22,6 +22,7 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use geopattern_obs::Recorder;
 use geopattern_par::{par_map_reduce, Threads};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -51,6 +52,9 @@ pub struct AprioriConfig {
     /// Worker threads for support counting. Counts are identical for
     /// every setting; this only changes wall-clock.
     pub threads: Threads,
+    /// Metric sink for per-pass timings and counters. Disabled by
+    /// default; recording never changes the mined output.
+    pub recorder: Recorder,
 }
 
 impl AprioriConfig {
@@ -62,6 +66,7 @@ impl AprioriConfig {
             same_type: PairFilter::none(),
             counting: CountingStrategy::default(),
             threads: Threads::Serial,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -91,6 +96,12 @@ impl AprioriConfig {
         self
     }
 
+    /// Attaches a metric recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> AprioriConfig {
+        self.recorder = recorder;
+        self
+    }
+
     /// The combined `C₂` filter.
     pub fn combined_filter(&self) -> PairFilter {
         self.dependencies.clone().union(&self.same_type)
@@ -100,35 +111,45 @@ impl AprioriConfig {
 /// Runs the configured Apriori variant over a transaction set.
 pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
     let start = Instant::now();
+    let rec = &config.recorder;
+    let _alg_span = rec.span("apriori");
     let threshold = config.min_support.threshold(data.len());
     let mut stats = MiningStats::default();
 
     // Pass 1: support of individual items.
     let num_items = data.catalog.len();
-    let mut item_counts = vec![0u64; num_items];
-    for t in data.transactions() {
-        for &i in t {
-            item_counts[i as usize] += 1;
+    let l1: Vec<FrequentItemset> = {
+        let _pass_span = rec.span("pass1");
+        let mut item_counts = vec![0u64; num_items];
+        for t in data.transactions() {
+            for &i in t {
+                item_counts[i as usize] += 1;
+            }
         }
-    }
+        (0..num_items as ItemId)
+            .filter(|&i| item_counts[i as usize] >= threshold)
+            .map(|i| FrequentItemset { items: vec![i], support: item_counts[i as usize] })
+            .collect()
+    };
     stats.candidates_per_level.push(num_items);
-    let l1: Vec<FrequentItemset> = (0..num_items as ItemId)
-        .filter(|&i| item_counts[i as usize] >= threshold)
-        .map(|i| FrequentItemset { items: vec![i], support: item_counts[i as usize] })
-        .collect();
     stats.frequent_per_level.push(l1.len());
+    rec.counter("apriori.pass1.candidates", num_items as u64);
+    rec.counter("apriori.pass1.frequent", l1.len() as u64);
 
     let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
 
     let mut k = 2;
     loop {
+        let _pass_span = rec.span(&format!("pass{k}"));
         let prev: Vec<&[ItemId]> = levels[k - 2].iter().map(|f| f.items.as_slice()).collect();
         if prev.is_empty() {
             break;
         }
         let mut candidates = apriori_gen(&prev);
+        rec.counter(&format!("apriori.pass{k}.candidates"), candidates.len() as u64);
         if k == 2 {
             // Listing 1: C₂ = C₂ − Φ − {pairs with the same feature type}.
+            let before = candidates.len();
             candidates.retain(|c| {
                 if config.dependencies.blocks(c[0], c[1]) {
                     stats.pairs_removed_dependencies += 1;
@@ -140,6 +161,9 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
                     true
                 }
             });
+            rec.counter("apriori.c2.removed_dependencies", stats.pairs_removed_dependencies as u64);
+            rec.counter("apriori.c2.removed_same_type", stats.pairs_removed_same_type as u64);
+            rec.counter(&format!("apriori.pass{k}.pruned"), (before - candidates.len()) as u64);
         }
         stats.candidates_per_level.push(candidates.len());
         if candidates.is_empty() {
@@ -161,6 +185,7 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
             .filter(|(_, c)| *c >= threshold)
             .map(|(items, support)| FrequentItemset { items, support })
             .collect();
+        rec.counter(&format!("apriori.pass{k}.frequent"), lk.len() as u64);
         stats.frequent_per_level.push(lk.len());
         if lk.is_empty() {
             break;
@@ -169,6 +194,8 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
         k += 1;
     }
 
+    rec.counter("apriori.passes", levels.len() as u64);
+    rec.counter("apriori.frequent_itemsets", levels.iter().map(Vec::len).sum::<usize>() as u64);
     stats.duration = start.elapsed();
     MiningResult { levels, stats }
 }

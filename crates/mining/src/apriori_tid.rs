@@ -15,6 +15,7 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use geopattern_obs::Recorder;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -25,17 +26,30 @@ pub struct AprioriTidConfig {
     pub min_support: MinSupport,
     /// Pairs removed from `C₂`.
     pub filter: PairFilter,
+    /// Metric sink for per-pass timings and counters. Disabled by default;
+    /// recording never changes the mined output.
+    pub recorder: Recorder,
 }
 
 impl AprioriTidConfig {
     /// Unfiltered AprioriTid.
     pub fn new(min_support: MinSupport) -> AprioriTidConfig {
-        AprioriTidConfig { min_support, filter: PairFilter::none() }
+        AprioriTidConfig {
+            min_support,
+            filter: PairFilter::none(),
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// AprioriTid with a `C₂` pair filter (builder style).
     pub fn with_filter(mut self, filter: PairFilter) -> AprioriTidConfig {
         self.filter = filter;
+        self
+    }
+
+    /// Attaches a metric recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> AprioriTidConfig {
+        self.recorder = recorder;
         self
     }
 }
@@ -51,23 +65,30 @@ struct Candidate {
 /// Runs AprioriTid over a transaction set.
 pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> MiningResult {
     let start = Instant::now();
+    let rec = &config.recorder;
+    let _alg_span = rec.span("apriori_tid");
     let threshold = config.min_support.threshold(data.len());
     let mut stats = MiningStats::default();
 
     // Pass 1.
     let num_items = data.catalog.len();
-    let mut counts = vec![0u64; num_items];
-    for t in data.transactions() {
-        for &i in t {
-            counts[i as usize] += 1;
+    let l1: Vec<FrequentItemset> = {
+        let _pass_span = rec.span("pass1");
+        let mut counts = vec![0u64; num_items];
+        for t in data.transactions() {
+            for &i in t {
+                counts[i as usize] += 1;
+            }
         }
-    }
+        (0..num_items as ItemId)
+            .filter(|&i| counts[i as usize] >= threshold)
+            .map(|i| FrequentItemset { items: vec![i], support: counts[i as usize] })
+            .collect()
+    };
     stats.candidates_per_level.push(num_items);
-    let l1: Vec<FrequentItemset> = (0..num_items as ItemId)
-        .filter(|&i| counts[i as usize] >= threshold)
-        .map(|i| FrequentItemset { items: vec![i], support: counts[i as usize] })
-        .collect();
     stats.frequent_per_level.push(l1.len());
+    rec.counter("apriori_tid.pass1.candidates", num_items as u64);
+    rec.counter("apriori_tid.pass1.frequent", l1.len() as u64);
 
     // C̄₁: per transaction, the sorted list of frequent-1-candidate indices.
     let l1_index: Vec<Option<usize>> = {
@@ -87,6 +108,7 @@ pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> Min
     let mut k = 2usize;
 
     loop {
+        let _pass_span = rec.span(&format!("pass{k}"));
         let prev = &levels[k - 2];
         if prev.len() < 2 {
             break;
@@ -127,7 +149,9 @@ pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> Min
             group_start = group_end;
         }
 
+        rec.counter(&format!("apriori_tid.pass{k}.candidates"), candidates.len() as u64);
         if k == 2 {
+            let before = candidates.len();
             candidates.retain(|c| {
                 if config.filter.blocks(c.items[0], c.items[1]) {
                     stats.pairs_removed_same_type += 1;
@@ -136,6 +160,7 @@ pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> Min
                     true
                 }
             });
+            rec.counter(&format!("apriori_tid.pass{k}.pruned"), (before - candidates.len()) as u64);
         }
         stats.candidates_per_level.push(candidates.len());
         if candidates.is_empty() {
@@ -168,6 +193,7 @@ pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> Min
                 lk.push(FrequentItemset { items: c.items.clone(), support: support[ci] });
             }
         }
+        rec.counter(&format!("apriori_tid.pass{k}.frequent"), lk.len() as u64);
         stats.frequent_per_level.push(lk.len());
         if lk.is_empty() {
             break;

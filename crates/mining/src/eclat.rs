@@ -11,6 +11,7 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use geopattern_obs::Recorder;
 use geopattern_par::{par_map, Threads};
 use std::time::Instant;
 
@@ -24,12 +25,20 @@ pub struct EclatConfig {
     /// Worker threads for the per-prefix equivalence-class search. The
     /// mined itemsets are identical for every setting.
     pub threads: Threads,
+    /// Metric sink for phase timings and counters. Disabled by default;
+    /// recording never changes the mined output.
+    pub recorder: Recorder,
 }
 
 impl EclatConfig {
     /// Unfiltered Eclat.
     pub fn new(min_support: MinSupport) -> EclatConfig {
-        EclatConfig { min_support, filter: PairFilter::none(), threads: Threads::Serial }
+        EclatConfig {
+            min_support,
+            filter: PairFilter::none(),
+            threads: Threads::Serial,
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Eclat with a pair filter (builder style).
@@ -41,6 +50,12 @@ impl EclatConfig {
     /// Sets the worker-thread policy (builder style).
     pub fn with_threads(mut self, threads: Threads) -> EclatConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a metric recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> EclatConfig {
+        self.recorder = recorder;
         self
     }
 }
@@ -91,37 +106,51 @@ impl TidSet {
 /// Runs Eclat over a transaction set.
 pub fn mine_eclat(data: &TransactionSet, config: &EclatConfig) -> MiningResult {
     let start = Instant::now();
+    let rec = &config.recorder;
+    let _alg_span = rec.span("eclat");
     let n = data.len();
     let threshold = config.min_support.threshold(n);
 
     // Vertical representation.
     let num_items = data.catalog.len();
-    let mut tids: Vec<TidSet> = (0..num_items).map(|_| TidSet::new(n)).collect();
-    for (tid, t) in data.transactions().iter().enumerate() {
-        for &i in t {
-            tids[i as usize].insert(tid);
+    let frequent: Vec<(ItemId, TidSet)> = {
+        let _vertical_span = rec.span("vertical");
+        let mut tids: Vec<TidSet> = (0..num_items).map(|_| TidSet::new(n)).collect();
+        for (tid, t) in data.transactions().iter().enumerate() {
+            for &i in t {
+                tids[i as usize].insert(tid);
+            }
         }
-    }
 
-    // Frequent 1-items, in id order for deterministic output.
-    let frequent: Vec<(ItemId, TidSet)> = (0..num_items as ItemId)
-        .filter_map(|i| {
-            let set = &tids[i as usize];
-            (set.count() >= threshold).then(|| (i, set.clone()))
-        })
-        .collect();
+        // Frequent 1-items, in id order for deterministic output.
+        (0..num_items as ItemId)
+            .filter_map(|i| {
+                let set = &tids[i as usize];
+                (set.count() >= threshold).then(|| (i, set.clone()))
+            })
+            .collect()
+    };
+    rec.counter("eclat.frequent_items", frequent.len() as u64);
 
     // Each frequent 1-item roots an independent equivalence class (its
     // DFS only reads `frequent`), so the classes fan out across workers;
     // concatenating the per-class results in item order reproduces the
     // serial depth-first emission exactly.
+    let search_span = rec.span("search");
     let per_prefix = par_map(config.threads, &frequent, |pos, (item, set)| {
         let mut out: Vec<FrequentItemset> =
             vec![FrequentItemset { items: vec![*item], support: set.count() }];
         extend(&frequent, pos, &mut vec![*item], set, threshold, &config.filter, &mut out);
         out
     });
+    drop(search_span);
+    // Per-class itemset counts, recorded in item order after the ordered
+    // merge so the histogram is identical for every thread count.
+    for class in &per_prefix {
+        rec.record("eclat.class_itemsets", class.len() as u64);
+    }
     let found: Vec<FrequentItemset> = per_prefix.into_iter().flatten().collect();
+    rec.counter("eclat.itemsets", found.len() as u64);
 
     // Group by size; depth-first emission from sorted 1-items is already
     // lexicographic within each level.

@@ -13,6 +13,7 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use geopattern_obs::Recorder;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -23,17 +24,30 @@ pub struct FpGrowthConfig {
     pub min_support: MinSupport,
     /// Pairs no mined itemset may contain (KC ∪ KC+ filters).
     pub filter: PairFilter,
+    /// Metric sink for phase timings and counters. Disabled by default;
+    /// recording never changes the mined output.
+    pub recorder: Recorder,
 }
 
 impl FpGrowthConfig {
     /// Unfiltered FP-Growth.
     pub fn new(min_support: MinSupport) -> FpGrowthConfig {
-        FpGrowthConfig { min_support, filter: PairFilter::none() }
+        FpGrowthConfig {
+            min_support,
+            filter: PairFilter::none(),
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// FP-Growth with a pair filter (builder style).
     pub fn with_filter(mut self, filter: PairFilter) -> FpGrowthConfig {
         self.filter = filter;
+        self
+    }
+
+    /// Attaches a metric recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Recorder) -> FpGrowthConfig {
+        self.recorder = recorder;
         self
     }
 }
@@ -116,8 +130,11 @@ impl FpTree {
 /// Runs FP-Growth over a transaction set.
 pub fn mine_fp(data: &TransactionSet, config: &FpGrowthConfig) -> MiningResult {
     let start = Instant::now();
+    let rec = &config.recorder;
+    let _alg_span = rec.span("fpgrowth");
     let threshold = config.min_support.threshold(data.len());
 
+    let tree_span = rec.span("tree");
     // Global item frequencies.
     let mut counts: HashMap<ItemId, u64> = HashMap::new();
     for t in data.transactions() {
@@ -142,13 +159,19 @@ pub fn mine_fp(data: &TransactionSet, config: &FpGrowthConfig) -> MiningResult {
             tree.insert(&items, 1);
         }
     }
+    drop(tree_span);
+    rec.counter("fpgrowth.frequent_items", order.len() as u64);
+    rec.counter("fpgrowth.tree_nodes", tree.nodes.len() as u64 - 1); // minus the root
 
+    let grow_span = rec.span("grow");
     let mut found: Vec<FrequentItemset> = Vec::new();
     let item_counts: HashMap<ItemId, u64> = counts
         .into_iter()
         .filter(|&(_, c)| c >= threshold)
         .collect();
     fp_mine(&tree, &item_counts, threshold, &config.filter, &[], &mut found);
+    drop(grow_span);
+    rec.counter("fpgrowth.itemsets", found.len() as u64);
 
     // Group into levels and sort lexicographically for stable comparison
     // with Apriori output.

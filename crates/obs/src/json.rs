@@ -1,0 +1,100 @@
+//! A minimal JSON writing helper — just enough for metric and benchmark
+//! documents, with correct string escaping and no dependencies.
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_string(&mut out, s);
+    out
+}
+
+/// An `f64` as a JSON number token (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A small append-only buffer for building JSON documents by hand.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    buf: String,
+}
+
+impl JsonBuf {
+    /// Empty buffer.
+    pub fn new() -> JsonBuf {
+        JsonBuf::default()
+    }
+
+    /// Appends raw JSON text (caller guarantees syntax).
+    pub fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    /// Appends `"key":` (escaped).
+    pub fn key(&mut self, key: &str) {
+        push_json_string(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Mutable access to the underlying string.
+    pub fn buf(&mut self) -> &mut String {
+        &mut self.buf
+    }
+
+    /// Consumes the buffer.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn buf_builds_objects() {
+        let mut b = JsonBuf::new();
+        b.raw("{");
+        b.key("x");
+        b.raw("1}");
+        assert_eq!(b.into_string(), "{\"x\":1}");
+    }
+}

@@ -23,10 +23,17 @@
 //! interns them in row order, so the resulting table — predicate
 //! numbering included — is byte-identical to a serial run regardless of
 //! thread count.
+//!
+//! [`extract_recorded`] additionally reports per-phase timings and
+//! counters through a [`Recorder`]: workers fill a private
+//! [`geopattern_obs::Metrics`] (no locking on the hot path) which the
+//! row-order merge absorbs — the same discipline that keeps the table
+//! deterministic keeps the metrics deterministic.
 
 use crate::feature::{Feature, Layer};
 use crate::predicate_table::{Predicate, PredicateTable};
 use geopattern_geom::{geometry_distance, GeomDim, PreparedGeometry};
+use geopattern_obs::{Metrics, Recorder};
 use geopattern_par::{par_map, Threads};
 use geopattern_qsr::{
     classify, geometry_direction, DistanceScheme, SpatialPredicate, TopologicalRelation,
@@ -138,10 +145,11 @@ struct PreparedLayer<'a> {
 }
 
 /// One worker's output for one reference feature: the row's predicates in
-/// serial emission order, plus the row's share of the stats.
+/// serial emission order, plus the row's share of the stats and metrics.
 struct RowBatch {
     predicates: Vec<Predicate>,
     stats: ExtractionStats,
+    metrics: Metrics,
 }
 
 /// Extracts a predicate table from a reference layer and relevant layers.
@@ -150,6 +158,23 @@ pub fn extract(
     relevant: &[&Layer],
     config: &ExtractionConfig,
 ) -> (PredicateTable, ExtractionStats) {
+    extract_recorded(reference, relevant, config, &Recorder::disabled())
+}
+
+/// [`extract`], instrumented: phase spans (`extract/prepare`,
+/// `extract/rows`, `extract/merge`), pair counters
+/// (`extract.candidate_pairs` = exact relations computed,
+/// `extract.pruned_pairs` = R-tree-pruned with no exact computation), and
+/// a per-row predicate-count histogram (`extract.row_predicates`). The
+/// table, stats — and the non-timing metrics — are identical for every
+/// thread count.
+pub fn extract_recorded(
+    reference: &Layer,
+    relevant: &[&Layer],
+    config: &ExtractionConfig,
+    recorder: &Recorder,
+) -> (PredicateTable, ExtractionStats) {
+    let _extract_span = recorder.span("extract");
     // The window query applies only when every classifiable distance is
     // bounded (last band finite) and no direction predicates are wanted —
     // direction has no range cutoff, so it forces the full scan.
@@ -161,33 +186,48 @@ pub fn extract(
             .filter(|upper| upper.is_finite()),
         _ => None,
     };
-    let layers: Vec<PreparedLayer> = relevant
-        .iter()
-        .map(|layer| PreparedLayer {
-            layer,
-            prepared: layer
-                .features()
-                .iter()
-                .map(|f| PreparedGeometry::new(f.geometry.clone()))
-                .collect(),
-            dims: layer.features().iter().map(|f| f.geometry.dimension()).collect(),
-            window,
-        })
-        .collect();
+    let layers: Vec<PreparedLayer> = {
+        let _prepare_span = recorder.span("prepare");
+        relevant
+            .iter()
+            .map(|layer| PreparedLayer {
+                layer,
+                prepared: layer
+                    .features()
+                    .iter()
+                    .map(|f| PreparedGeometry::new(f.geometry.clone()))
+                    .collect(),
+                dims: layer.features().iter().map(|f| f.geometry.dimension()).collect(),
+                window,
+            })
+            .collect()
+    };
 
-    let batches = par_map(config.threads, reference.features(), |_, ref_feature| {
-        extract_row(ref_feature, &layers, config)
-    });
+    let record = recorder.is_enabled();
+    let batches = {
+        let _rows_span = recorder.span("rows");
+        par_map(config.threads, reference.features(), |_, ref_feature| {
+            extract_row(ref_feature, &layers, config, record)
+        })
+    };
 
     // Single-threaded merge: interning in row order reproduces the serial
-    // predicate numbering exactly.
+    // predicate numbering exactly, and absorbing worker metrics in the
+    // same order keeps the aggregate deterministic.
+    let _merge_span = recorder.span("merge");
     let mut table = PredicateTable::new();
     let mut stats = ExtractionStats::default();
     for (ref_feature, batch) in reference.features().iter().zip(batches) {
         stats.absorb(&batch.stats);
+        recorder.absorb(&batch.metrics);
         let codes: Vec<u32> = batch.predicates.into_iter().map(|p| table.intern(p)).collect();
         table.push_row(ref_feature.id.clone(), codes);
     }
+    recorder.counter("extract.rows", table.num_rows() as u64);
+    recorder.counter("extract.predicates", table.num_predicates() as u64);
+    recorder.counter("extract.candidate_pairs", stats.candidate_pairs as u64);
+    recorder.counter("extract.pruned_pairs", stats.pruned_pairs as u64);
+    recorder.counter("extract.spatial_predicates", stats.spatial_predicates as u64);
     (table, stats)
 }
 
@@ -197,6 +237,7 @@ fn extract_row(
     ref_feature: &Feature,
     layers: &[PreparedLayer],
     config: &ExtractionConfig,
+    record: bool,
 ) -> RowBatch {
     let mut predicates: Vec<Predicate> = Vec::new();
     let mut stats = ExtractionStats::default();
@@ -277,7 +318,14 @@ fn extract_row(
         }
     }
 
-    RowBatch { predicates, stats }
+    // Worker-local metrics: filled without locks, absorbed by the merge
+    // in row order.
+    let mut metrics = Metrics::new();
+    if record {
+        metrics.record("extract.row_predicates", predicates.len() as u64);
+        metrics.record("extract.row_candidate_pairs", stats.candidate_pairs as u64);
+    }
+    RowBatch { predicates, stats, metrics }
 }
 
 #[cfg(test)]
@@ -479,6 +527,79 @@ mod tests {
         let labels: Vec<String> =
             table.rows()[0].1.iter().map(|&c| table.predicate(c).to_string()).collect();
         assert!(labels.contains(&"farTo_policeCenter".to_string()), "{labels:?}");
+    }
+
+    #[test]
+    fn recorded_extraction_is_identical_and_counts_match_stats() {
+        let (district, slums, schools, police) = toy_layers();
+        let layers = [&slums, &schools, &police];
+        let config = ExtractionConfig::topological_only();
+        let (plain_table, plain_stats) = extract(&district, &layers, &config);
+        let rec = Recorder::new();
+        let (table, stats) = extract_recorded(&district, &layers, &config, &rec);
+        assert_eq!(table.predicates(), plain_table.predicates());
+        assert_eq!(table.rows(), plain_table.rows());
+        assert_eq!(stats, plain_stats);
+        let m = rec.snapshot();
+        assert_eq!(m.counter("extract.candidate_pairs"), Some(stats.candidate_pairs as u64));
+        assert_eq!(m.counter("extract.pruned_pairs"), Some(stats.pruned_pairs as u64));
+        assert_eq!(m.counter("extract.rows"), Some(1));
+        assert_eq!(m.span("extract").unwrap().count, 1);
+        assert!(m.span("extract/rows").is_some());
+        assert_eq!(m.histogram("extract.row_predicates").unwrap().count, 1);
+    }
+
+    #[test]
+    fn recorded_metrics_are_thread_count_invariant() {
+        // Same workload as the byte-identical test: counters and
+        // histograms (not timings) must match the serial run exactly.
+        let district = Layer::new(
+            "district",
+            (0..12)
+                .map(|i| {
+                    Feature::new(
+                        format!("d{i}"),
+                        Polygon::rect(coord(i as f64 * 10.0, 0.0), coord(i as f64 * 10.0 + 10.0, 10.0))
+                            .unwrap()
+                            .into(),
+                    )
+                })
+                .collect(),
+        );
+        let slums = Layer::new(
+            "slum",
+            (0..5)
+                .map(|i| {
+                    Feature::new(
+                        format!("s{i}"),
+                        Polygon::rect(coord(i as f64 * 25.0, 2.0), coord(i as f64 * 25.0 + 4.0, 6.0))
+                            .unwrap()
+                            .into(),
+                    )
+                })
+                .collect(),
+        );
+        let config = ExtractionConfig::topological_only();
+        let serial_rec = Recorder::new();
+        extract_recorded(&district, &[&slums], &config, &serial_rec);
+        let serial = serial_rec.snapshot();
+        for n in [2usize, 8] {
+            let rec = Recorder::new();
+            extract_recorded(
+                &district,
+                &[&slums],
+                &config.clone().with_threads(Threads::Fixed(n)),
+                &rec,
+            );
+            let m = rec.snapshot();
+            let counters: Vec<_> = m.counters().collect();
+            assert_eq!(counters, serial.counters().collect::<Vec<_>>(), "{n} threads");
+            assert_eq!(
+                m.histogram("extract.row_predicates"),
+                serial.histogram("extract.row_predicates"),
+                "{n} threads"
+            );
+        }
     }
 
     #[test]

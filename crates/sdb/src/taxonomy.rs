@@ -114,6 +114,13 @@ impl FeatureTypeTaxonomy {
         self.ancestors(ty).len()
     }
 
+    /// The deepest leaf-to-root distance in the taxonomy (0 when empty).
+    /// Generalising more than this many levels is a no-op for every type,
+    /// which the pipeline treats as a configuration error.
+    pub fn max_depth(&self) -> usize {
+        self.parent.keys().map(|ty| self.depth(ty)).max().unwrap_or(0)
+    }
+
     /// Rewrites a predicate table at a coarser granularity: every spatial
     /// predicate's feature type is generalised `levels` steps up, and
     /// predicates that become identical are merged per row.
@@ -169,6 +176,8 @@ mod tests {
         assert_eq!(t.generalize("school", 3), "school"); // unknown type = root
         assert_eq!(t.depth("slum"), 2);
         assert_eq!(t.depth("landUse"), 0);
+        assert_eq!(t.max_depth(), 2);
+        assert_eq!(FeatureTypeTaxonomy::new().max_depth(), 0);
     }
 
     #[test]

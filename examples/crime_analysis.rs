@@ -36,7 +36,7 @@ fn main() {
     println!("\nMining district transactions at 25% minimum support:\n");
     let mut reports = Vec::new();
     for alg in [Algorithm::Apriori, Algorithm::AprioriKc, Algorithm::AprioriKcPlus] {
-        let report = base.clone().algorithm(alg).run(&city);
+        let report = base.clone().algorithm(alg).run(&city).expect("valid mining configuration");
         println!("  {}", report.summary());
         reports.push(report);
     }

@@ -88,7 +88,7 @@ fn main() {
             if levels > 0 {
                 pipeline = pipeline.granularity(taxonomy.clone(), levels);
             }
-            let report = pipeline.run(&dataset);
+            let report = pipeline.run(&dataset).expect("valid mining configuration");
             println!("  {}", report.summary());
             if alg == Algorithm::AprioriKcPlus {
                 for s in report.frequent_itemsets(2) {

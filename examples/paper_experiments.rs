@@ -25,6 +25,7 @@ fn mine_at(alg: Algorithm, sup: f64, e: &experiments::Experiment) -> usize {
         .algorithm(alg)
         .min_support(MinSupport::Fraction(sup))
         .run_filtered(e.data.clone(), e.dependencies.clone(), e.same_type.clone())
+        .expect("valid mining configuration")
         .result
         .num_frequent_min2()
 }
@@ -34,11 +35,13 @@ fn table2() {
     let plain = MiningPipeline::new()
         .algorithm(Algorithm::Apriori)
         .min_support(MinSupport::Fraction(0.5))
-        .run_transactions(table1::transactions());
+        .run_transactions(table1::transactions())
+        .expect("valid mining configuration");
     let kcp = MiningPipeline::new()
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.5))
-        .run_transactions(table1::transactions());
+        .run_transactions(table1::transactions())
+        .expect("valid mining configuration");
     println!(
         "Apriori: {} itemsets (size ≥ 2), largest size {} (paper's printed table claims 60; see EXPERIMENTS.md)",
         plain.result.num_frequent_min2(),

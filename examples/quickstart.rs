@@ -19,7 +19,8 @@ fn main() {
             .algorithm(alg)
             .min_support(MinSupport::Fraction(0.5))
             .min_confidence(0.8)
-            .run_transactions(table1::transactions());
+            .run_transactions(table1::transactions())
+            .expect("valid mining configuration");
         println!("  {}", report.summary());
     }
 
@@ -27,11 +28,13 @@ fn main() {
     let plain = MiningPipeline::new()
         .algorithm(Algorithm::Apriori)
         .min_support(MinSupport::Fraction(0.5))
-        .run_transactions(table1::transactions());
+        .run_transactions(table1::transactions())
+            .expect("valid mining configuration");
     let filtered = MiningPipeline::new()
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.5))
-        .run_transactions(table1::transactions());
+        .run_transactions(table1::transactions())
+            .expect("valid mining configuration");
 
     let kept: std::collections::HashSet<String> =
         filtered.frequent_itemsets(2).into_iter().collect();

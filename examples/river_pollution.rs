@@ -67,7 +67,8 @@ fn main() {
             .extraction(extraction.clone())
             .min_support(MinSupport::Fraction(0.33))
             .min_confidence(0.75)
-            .run(&dataset);
+            .run(&dataset)
+            .expect("valid mining configuration");
         println!("{}", report.summary());
         for s in report.frequent_itemsets(2) {
             println!("   {s}");

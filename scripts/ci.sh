@@ -13,4 +13,11 @@ cargo test --workspace -q
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> experiments scaling (emits BENCH_scaling.json)"
+cargo run --release -q -p geopattern-bench --bin experiments -- scaling --grid 12
+test -s BENCH_scaling.json
+
 echo "==> ci.sh: all green"

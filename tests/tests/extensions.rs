@@ -50,7 +50,8 @@ fn all_nine_algorithms_run_through_pipeline() {
         let report = MiningPipeline::new()
             .algorithm(alg)
             .min_support(MinSupport::Fraction(0.5))
-            .run_transactions(data.clone());
+            .run_transactions(data.clone())
+            .unwrap();
         assert!(report.result.num_frequent() > 0, "{}", alg.name());
         assert!(report.result.check_downward_closure(), "{}", alg.name());
     }
@@ -67,12 +68,14 @@ fn taxonomy_granularity_increases_filtering() {
     let fine = MiningPipeline::new()
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.3))
-        .run(&city);
+        .run(&city)
+        .unwrap();
     let coarse = MiningPipeline::new()
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.3))
         .granularity(taxonomy, 1)
-        .run(&city);
+        .run(&city)
+        .unwrap();
 
     // Generalisation merges slum/school/police into builtArea, so the KC+
     // filter removes many more pairs.
@@ -105,7 +108,8 @@ fn direction_predicates_flow_to_mining() {
                 .with_direction()
                 .with_distance(DistanceScheme::very_close_close_far(150.0, 400.0)),
         )
-        .run(&city);
+        .run(&city)
+        .unwrap();
     let labels: Vec<&str> = (0..report.transactions.catalog.len() as u32)
         .map(|i| report.transactions.catalog.label(i))
         .collect();
@@ -152,6 +156,7 @@ fn cli_dataset_surface_roundtrip() {
         MiningPipeline::new()
             .min_support(MinSupport::Fraction(0.3))
             .run(d)
+            .unwrap()
             .result
             .num_frequent()
     };
@@ -172,7 +177,8 @@ fn hydrology_scenario_recovers_the_papers_intro_rules() {
         .algorithm(Algorithm::Apriori)
         .min_support(MinSupport::Fraction(0.12))
         .min_confidence(0.7)
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     // Unfiltered mining produces the meaningless same-type combination the
     // paper opens with.
     let labels = plain.frequent_itemsets(2);
@@ -187,7 +193,8 @@ fn hydrology_scenario_recovers_the_papers_intro_rules() {
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.12))
         .min_confidence(0.7)
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     // No surviving itemset combines two river predicates…
     assert!(kcp.frequent_itemsets(2).iter().all(|s| s.matches("_river").count() < 2));
     // …and the interesting pollution association survives.

@@ -189,11 +189,13 @@ fn kc_plus_filters_the_nonoai_noise_but_keeps_the_crime_signal() {
     let plain = MiningPipeline::new()
         .algorithm(Algorithm::Apriori)
         .min_support(MinSupport::Fraction(0.6))
-        .run(&dataset);
+        .run(&dataset)
+        .unwrap();
     let kcp = MiningPipeline::new()
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.6))
-        .run(&dataset);
+        .run(&dataset)
+        .unwrap();
 
     // The noise {contains_slum, touches_slum} is frequent unfiltered…
     assert!(plain

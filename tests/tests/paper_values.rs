@@ -10,6 +10,7 @@ fn run(alg: Algorithm, sup: f64) -> geopattern::PatternReport {
         .algorithm(alg)
         .min_support(MinSupport::Fraction(sup))
         .run_transactions(table1::transactions())
+        .unwrap()
 }
 
 #[test]
@@ -109,6 +110,7 @@ fn section42_formula_on_reproduced_experiment2() {
             .algorithm(alg)
             .min_support(MinSupport::Fraction(sup))
             .run_filtered(e.data.clone(), PairFilter::none(), e.same_type.clone())
+            .unwrap()
     };
     for (sup, expect_m, t, n, exact) in
         [(0.05, 8, [2u64, 2, 2], 2u64, false), (0.17, 7, [2, 2, 2], 1, true)]
@@ -138,6 +140,7 @@ fn figure4_shape() {
                 .algorithm(alg)
                 .min_support(MinSupport::Fraction(sup))
                 .run_filtered(e.data.clone(), e.dependencies.clone(), e.same_type.clone())
+                .unwrap()
                 .result
                 .num_frequent_min2()
         };
@@ -168,6 +171,7 @@ fn figure6_shape() {
                 .algorithm(alg)
                 .min_support(MinSupport::Fraction(sup))
                 .run_filtered(e.data.clone(), PairFilter::none(), e.same_type.clone())
+                .unwrap()
                 .result
                 .num_frequent_min2()
         };

@@ -118,8 +118,8 @@ fn kc_plus_pipeline_identical_and_filtering_under_parallelism() {
         .min_support(MinSupport::Fraction(0.3))
         .knowledge(default_knowledge());
 
-    let serial = pipeline.clone().threads(Threads::Serial).run(&ds);
-    let parallel = pipeline.threads(Threads::Fixed(8)).run(&ds);
+    let serial = pipeline.clone().threads(Threads::Serial).run(&ds).unwrap();
+    let parallel = pipeline.threads(Threads::Fixed(8)).run(&ds).unwrap();
 
     assert_eq!(sets(&serial.result), sets(&parallel.result));
     assert_eq!(serial.rendered_rules(), parallel.rendered_rules());
@@ -147,6 +147,7 @@ fn kc_plus_pipeline_identical_and_filtering_under_parallelism() {
         .algorithm(Algorithm::Apriori)
         .min_support(MinSupport::Fraction(0.3))
         .threads(Threads::Fixed(8))
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     assert!(plain.result.num_frequent_min2() > parallel.result.num_frequent_min2());
 }

@@ -21,7 +21,8 @@ fn geometric_pipeline_runs_all_algorithms() {
             .algorithm(alg)
             .min_support(MinSupport::Fraction(0.25))
             .knowledge(default_knowledge())
-            .run(&ds);
+            .run(&ds)
+            .unwrap();
         assert!(report.result.check_downward_closure(), "{}", alg.name());
         assert!(report.extraction_stats.is_some());
         counts.push(report.result.num_frequent_min2());
@@ -37,7 +38,8 @@ fn kc_removes_street_illumination_dependency() {
         .algorithm(Algorithm::AprioriKc)
         .min_support(MinSupport::Fraction(0.25))
         .knowledge(default_knowledge())
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     let cat = &kc.transactions.catalog;
     // No surviving itemset pairs a street predicate with an
     // illumination-point predicate.
@@ -65,7 +67,8 @@ fn kc_plus_never_pairs_same_feature_type() {
     let kcp = MiningPipeline::new()
         .algorithm(Algorithm::AprioriKcPlus)
         .min_support(MinSupport::Fraction(0.2))
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     let cat = &kcp.transactions.catalog;
     for f in kcp.result.with_min_size(2) {
         for i in 0..f.items.len() {
@@ -90,6 +93,7 @@ fn fp_growth_matches_apriori_on_city_data() {
             .algorithm(alg)
             .min_support(MinSupport::Fraction(0.2))
             .run_transactions(ts.clone())
+            .unwrap()
             .result
             .all()
             .map(|f| (f.items.clone(), f.support))
@@ -110,6 +114,7 @@ fn dataset_text_roundtrip_preserves_mining_results() {
         MiningPipeline::new()
             .min_support(MinSupport::Fraction(0.25))
             .run(d)
+            .unwrap()
             .result
             .num_frequent()
     };
@@ -159,7 +164,8 @@ fn handbuilt_street_illumination_scenario() {
     let plain = MiningPipeline::new()
         .algorithm(Algorithm::Apriori)
         .min_support(MinSupport::Fraction(1.0))
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     let labels = plain.frequent_itemsets(2);
     assert!(
         labels.iter().any(|s| s.contains("crosses_street") && s.contains("contains_illuminationPoint")),
@@ -170,7 +176,8 @@ fn handbuilt_street_illumination_scenario() {
         .algorithm(Algorithm::AprioriKc)
         .min_support(MinSupport::Fraction(1.0))
         .knowledge(kb)
-        .run(&ds);
+        .run(&ds)
+        .unwrap();
     assert!(
         kc.frequent_itemsets(2)
             .iter()
