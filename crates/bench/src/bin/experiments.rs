@@ -4,6 +4,7 @@
 //! cargo run --release -p geopattern-bench --bin experiments -- [--all|--table1|--table2|
 //!     --table3|--fig3|--fig4|--fig5|--fig6|--fig7|--formula|--city]
 //! cargo run --release -p geopattern-bench --bin experiments -- scaling [--grid N]
+//! cargo run --release -p geopattern-bench --bin experiments -- kernel [--max V]
 //! ```
 //!
 //! Counts (Tables 1–3, Figures 3, 4, 6, the formula cross-checks) are
@@ -11,11 +12,14 @@
 //! medians. The `scaling` subcommand benchmarks the parallel runtime:
 //! serial vs N-thread wall-clock for predicate extraction and support
 //! counting on a large generated city, with outputs verified identical.
-//! It is excluded from `--all` because of its size.
+//! The `kernel` subcommand benchmarks the segment-indexed geometry kernel
+//! against the brute-force one on layers of growing vertex count. Both
+//! are excluded from `--all` because of their size.
 //!
 //! The measured experiments additionally dump machine-readable
-//! `BENCH_fig5.json`, `BENCH_fig7.json` and `BENCH_scaling.json` files to
-//! the working directory, so perf trajectories accumulate across runs.
+//! `BENCH_fig5.json`, `BENCH_fig7.json`, `BENCH_scaling.json` and
+//! `BENCH_kernel.json` files to the working directory, so perf
+//! trajectories accumulate across runs.
 
 use geopattern::obs::json::{json_f64, JsonBuf};
 use geopattern::{Algorithm, MiningPipeline, MinSupport, PairFilter, Threads};
@@ -48,6 +52,16 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(45);
         print_scaling(grid);
+        return;
+    }
+    if args.iter().any(|a| a == "kernel" || a == "--kernel") {
+        let max: usize = args
+            .iter()
+            .position(|a| a == "--max")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024);
+        print_kernel(max);
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
@@ -550,6 +564,147 @@ fn print_scaling(grid: usize) {
     doc.key("measurements");
     doc.raw(&format!("[{}]}}", bench_stages.join(",")));
     write_bench("scaling", &doc.into_string());
+}
+
+/// `kernel`: segment-indexed prepared geometries vs the brute-force
+/// kernel, on seeded datagen layers of growing vertex count. Two hot
+/// paths are measured on identical pair lists, with outputs verified
+/// bit-identical first:
+///
+/// * **relate** — full DE-9IM matrices over every envelope-intersecting
+///   cross pair (the extraction workload for topological predicates);
+/// * **bounded distance** — `PreparedGeometry::distance_within` against
+///   `geometry_distance` + threshold over a fixed pair sample (the
+///   extraction workload for a bounded distance scheme), where the
+///   branch-and-bound index can discard most pairs from envelopes alone.
+fn print_kernel(max_vertices: usize) {
+    use geopattern_geom::{
+        geometry_distance, relate, take_kernel_counters, Geometry, PreparedGeometry,
+    };
+
+    header("Geometry kernel — segment-indexed vs brute-force");
+    let sizes: Vec<usize> =
+        [16usize, 64, 256, 1024].into_iter().filter(|&v| v <= max_vertices.max(16)).collect();
+    const COUNT: usize = 24; // polygons per layer
+    const EXTENT: f64 = 40.0;
+    const BOUND: f64 = 6.0; // qualitative-distance cutoff (largest bounded band)
+    const DIST_PAIRS: usize = 128; // fixed sample so sizes are comparable
+    println!(
+        "two layers of {COUNT} star polygons over a {EXTENT}×{EXTENT} extent; distance bound {BOUND}"
+    );
+    println!(
+        "\n{:>9} {:>7} {:>12} {:>12} {:>8} | {:>7} {:>12} {:>12} {:>8} {:>9}",
+        "vertices",
+        "pairs",
+        "brute µs",
+        "indexed µs",
+        "speedup",
+        "pairs",
+        "brute µs",
+        "indexed µs",
+        "speedup",
+        "early-out"
+    );
+
+    let mut rows = Vec::new();
+    for &vertices in &sizes {
+        let mut rng = geopattern_testkit::Rng::seed_from_u64(42 + vertices as u64);
+        let la = geopattern_datagen::random_layer(&mut rng, "a", COUNT, vertices, EXTENT);
+        let lb = geopattern_datagen::random_layer(&mut rng, "b", COUNT, vertices, EXTENT);
+        let ga: Vec<&Geometry> = la.features().iter().map(|f| &f.geometry).collect();
+        let gb: Vec<&Geometry> = lb.features().iter().map(|f| &f.geometry).collect();
+        let pa: Vec<PreparedGeometry> =
+            ga.iter().map(|g| PreparedGeometry::new((*g).clone())).collect();
+        let pb: Vec<PreparedGeometry> =
+            gb.iter().map(|g| PreparedGeometry::new((*g).clone())).collect();
+
+        // Relate workload: every envelope-intersecting cross pair, so both
+        // kernels do real matrix work (disjoint-envelope pairs are a
+        // constant-time fast path in each).
+        let relate_pairs: Vec<(usize, usize)> = (0..COUNT)
+            .flat_map(|i| (0..COUNT).map(move |j| (i, j)))
+            .filter(|&(i, j)| ga[i].envelope().intersects(&gb[j].envelope()))
+            .collect();
+        // Distance workload: a fixed-size deterministic sample of all cross
+        // pairs; most are far apart, which is exactly where bounded search
+        // should pay.
+        let stride = (COUNT * COUNT / DIST_PAIRS).max(1);
+        let dist_pairs: Vec<(usize, usize)> =
+            (0..COUNT * COUNT).step_by(stride).map(|k| (k / COUNT, k % COUNT)).collect();
+
+        // Correctness first: both paths must agree exactly on this workload.
+        for &(i, j) in &relate_pairs {
+            assert_eq!(pa[i].relate_to(&pb[j]), relate(ga[i], gb[j]), "relate diverged");
+        }
+        for &(i, j) in &dist_pairs {
+            let d = geometry_distance(ga[i], gb[j]);
+            let within = pa[i].distance_within(&pb[j], BOUND);
+            assert_eq!(within.map(f64::to_bits), (d <= BOUND).then(|| d.to_bits()));
+        }
+
+        let reps = if vertices >= 512 { 1 } else { 3 };
+        let relate_brute_us = time_us_n(reps, || {
+            for &(i, j) in &relate_pairs {
+                std::hint::black_box(relate(ga[i], gb[j]));
+            }
+        });
+        let relate_indexed_us = time_us_n(reps, || {
+            for &(i, j) in &relate_pairs {
+                std::hint::black_box(pa[i].relate_to(&pb[j]));
+            }
+        });
+        let dist_brute_us = time_us_n(reps, || {
+            for &(i, j) in &dist_pairs {
+                std::hint::black_box(geometry_distance(ga[i], gb[j]) <= BOUND);
+            }
+        });
+        let _ = take_kernel_counters();
+        let dist_indexed_us = time_us_n(reps, || {
+            for &(i, j) in &dist_pairs {
+                std::hint::black_box(pa[i].distance_within(&pb[j], BOUND));
+            }
+        });
+        let counters = take_kernel_counters();
+
+        let relate_speedup = relate_brute_us as f64 / relate_indexed_us.max(1) as f64;
+        let dist_speedup = dist_brute_us as f64 / dist_indexed_us.max(1) as f64;
+        println!(
+            "{vertices:>9} {:>7} {relate_brute_us:>12} {relate_indexed_us:>12} {relate_speedup:>7.2}x \
+             | {:>7} {dist_brute_us:>12} {dist_indexed_us:>12} {dist_speedup:>7.2}x {:>9}",
+            relate_pairs.len(),
+            dist_pairs.len(),
+            counters.distance_early_exit,
+        );
+        rows.push(format!(
+            "{{\"vertices\":{vertices},\"relate_pairs\":{},\"relate_brute_us\":{relate_brute_us},\
+             \"relate_indexed_us\":{relate_indexed_us},\"relate_speedup\":{},\
+             \"distance_pairs\":{},\"distance_brute_us\":{dist_brute_us},\
+             \"distance_indexed_us\":{dist_indexed_us},\"distance_speedup\":{},\
+             \"distance_early_exit\":{},\"segtree_nodes_visited\":{},\"pairs_exact\":{}}}",
+            relate_pairs.len(),
+            json_f64(relate_speedup),
+            dist_pairs.len(),
+            json_f64(dist_speedup),
+            counters.distance_early_exit,
+            counters.segtree_nodes_visited,
+            counters.pairs_exact,
+        ));
+    }
+    println!("\nall indexed outputs verified bit-identical to brute-force");
+
+    let mut doc = JsonBuf::new();
+    doc.raw("{");
+    doc.key("experiment");
+    doc.raw("\"kernel\",");
+    doc.key("polygons_per_layer");
+    doc.raw(&COUNT.to_string());
+    doc.raw(",");
+    doc.key("distance_bound");
+    doc.raw(&json_f64(BOUND));
+    doc.raw(",");
+    doc.key("series");
+    doc.raw(&format!("[{}]}}", rows.join(",")));
+    write_bench("kernel", &doc.into_string());
 }
 
 fn print_city_pipeline() {

@@ -21,8 +21,13 @@
 pub mod city;
 pub mod experiments;
 pub mod hydrology;
+pub mod random;
 pub mod table1;
 
 pub use city::{default_knowledge, generate_city, CityConfig};
 pub use hydrology::{generate_hydrology, HydrologyConfig};
 pub use experiments::{experiment1, experiment2, Experiment, ExperimentSpec};
+pub use random::{
+    lattice_geometry, lattice_linestring, lattice_polygon, random_layer, random_linestring,
+    star_polygon,
+};

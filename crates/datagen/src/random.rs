@@ -1,0 +1,197 @@
+//! Seeded random geometry generators for kernel property tests and
+//! benchmarks.
+//!
+//! Everything here is driven by the in-tree [`geopattern_testkit::Rng`]
+//! (xoshiro256**), so a fixed seed reproduces the exact same geometry
+//! stream on every platform. Two families:
+//!
+//! * **Smooth** generators ([`star_polygon`], [`random_linestring`],
+//!   [`random_layer`]) produce general-position shapes of controlled
+//!   vertex count — the workload for indexed-vs-brute benchmarks and bulk
+//!   agreement tests.
+//! * **Lattice** generators ([`lattice_polygon`], [`lattice_linestring`])
+//!   quantise coordinates to a small integer grid, making collinear
+//!   edges, shared vertices and touching boundaries *likely* instead of
+//!   measure-zero — the degenerate cases the relate and distance kernels
+//!   must still answer bit-identically with and without indexes.
+
+use geopattern_geom::{coord, Coord, Geometry, LineString, Polygon, Ring};
+use geopattern_sdb::{Feature, Layer};
+use geopattern_testkit::Rng;
+
+/// A simple (self-intersection-free) polygon with `n >= 3` vertices:
+/// angles sorted around `center`, radii jittered in
+/// `[r_min, r_max]`. Monotone angles guarantee simplicity for any radii.
+pub fn star_polygon(rng: &mut Rng, center: Coord, r_min: f64, r_max: f64, n: usize) -> Polygon {
+    let n = n.max(3);
+    let mut angles: Vec<f64> = (0..n)
+        .map(|i| (i as f64 + 0.05 + 0.9 * rng.f64()) / n as f64 * std::f64::consts::TAU)
+        .collect();
+    angles.sort_by(|a, b| a.total_cmp(b));
+    let pts: Vec<Coord> = angles
+        .iter()
+        .map(|&t| {
+            let r = r_min + (r_max - r_min) * rng.f64();
+            coord(center.x + r * t.cos(), center.y + r * t.sin())
+        })
+        .collect();
+    let ring = Ring::new(pts).expect("monotone star angles give a valid ring");
+    Polygon::new(ring, Vec::new()).expect("no holes")
+}
+
+/// A random open linestring of `n >= 2` vertices starting near `origin`,
+/// each step bounded by `step` in either axis.
+pub fn random_linestring(rng: &mut Rng, origin: Coord, step: f64, n: usize) -> LineString {
+    let n = n.max(2);
+    let mut pts = Vec::with_capacity(n);
+    let mut p = origin;
+    for _ in 0..n {
+        pts.push(p);
+        p = coord(
+            p.x + (rng.f64() * 2.0 - 1.0) * step,
+            p.y + (rng.f64() * 2.0 - 1.0) * step + 0.1 * step,
+        );
+    }
+    LineString::new(pts).expect("steps move strictly, points distinct")
+}
+
+/// A random polygon or linestring on a small integer lattice inside
+/// `[0, extent]²` — collinear edges, horizontal/vertical runs and shared
+/// lattice vertices abound. Bounded rejection keeps the loop total.
+pub fn lattice_geometry(rng: &mut Rng, extent: i64) -> Geometry {
+    if rng.chance(0.5) {
+        lattice_polygon(rng, extent).into()
+    } else {
+        lattice_linestring(rng, extent).into()
+    }
+}
+
+/// A simple lattice polygon: a star polygon snapped to integer
+/// coordinates, retried (bounded) until the snap keeps it valid.
+pub fn lattice_polygon(rng: &mut Rng, extent: i64) -> Polygon {
+    let extent = extent.max(6);
+    for _ in 0..64 {
+        let cx = rng.range_i64(2, extent - 2) as f64;
+        let cy = rng.range_i64(2, extent - 2) as f64;
+        let r = rng.range_i64(2, (extent / 2).max(3)) as f64;
+        let n = 3 + rng.below_usize(6);
+        let smooth = star_polygon(rng, coord(cx, cy), r * 0.5, r, n);
+        let snapped: Vec<Coord> = smooth
+            .exterior()
+            .coords()
+            .iter()
+            .map(|c| coord(c.x.round(), c.y.round()))
+            .collect();
+        let mut dedup: Vec<Coord> = Vec::with_capacity(snapped.len());
+        for c in snapped {
+            if dedup.last() != Some(&c) && dedup.first() != Some(&c) {
+                dedup.push(c);
+            }
+        }
+        if dedup.len() < 3 {
+            continue;
+        }
+        if let Ok(ring) = Ring::new(dedup) {
+            if let Ok(poly) = Polygon::new(ring, Vec::new()) {
+                return poly;
+            }
+        }
+    }
+    // Fallback: an axis-aligned lattice rectangle (always valid).
+    let x = rng.range_i64(0, extent - 2) as f64;
+    let y = rng.range_i64(0, extent - 2) as f64;
+    Polygon::rect(coord(x, y), coord(x + 2.0, y + 2.0)).expect("lattice rectangle")
+}
+
+/// An open lattice linestring with unit/diagonal steps — long collinear
+/// runs are common by construction.
+pub fn lattice_linestring(rng: &mut Rng, extent: i64) -> LineString {
+    let extent = extent.max(4);
+    for _ in 0..64 {
+        let n = 2 + rng.below_usize(6);
+        let mut x = rng.range_i64(0, extent);
+        let mut y = rng.range_i64(0, extent);
+        let mut pts = vec![coord(x as f64, y as f64)];
+        let (dx, dy) = [(1, 0), (0, 1), (1, 1), (1, -1)][rng.below_usize(4)];
+        for _ in 1..n {
+            // Mostly continue straight (collinear runs), sometimes turn.
+            let (sx, sy) = if rng.chance(0.7) { (dx, dy) } else { (dy, dx) };
+            x = (x + sx).clamp(0, extent);
+            y = (y + sy).clamp(0, extent);
+            let c = coord(x as f64, y as f64);
+            if pts.last() != Some(&c) {
+                pts.push(c);
+            }
+        }
+        if pts.len() >= 2 {
+            if let Ok(l) = LineString::new(pts) {
+                return l;
+            }
+        }
+    }
+    LineString::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).expect("static fallback")
+}
+
+/// A layer of `count` star polygons with `vertices` vertices each,
+/// scattered over a square of the given `extent` — the datagen workload
+/// for the `experiments kernel` benchmark. Feature ids are `f0..`.
+pub fn random_layer(
+    rng: &mut Rng,
+    feature_type: &str,
+    count: usize,
+    vertices: usize,
+    extent: f64,
+) -> Layer {
+    let features = (0..count)
+        .map(|i| {
+            let center = coord(rng.f64() * extent, rng.f64() * extent);
+            let r_max = extent / (count as f64).sqrt().max(1.0);
+            let poly = star_polygon(rng, center, r_max * 0.4, r_max, vertices);
+            Feature::new(format!("f{i}"), poly.into())
+        })
+        .collect();
+    Layer::new(feature_type, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_valid() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..50 {
+            let pa = star_polygon(&mut a, coord(0.0, 0.0), 1.0, 3.0, 12);
+            let pb = star_polygon(&mut b, coord(0.0, 0.0), 1.0, 3.0, 12);
+            assert_eq!(pa.exterior().coords(), pb.exterior().coords());
+            assert!(pa.area() > 0.0);
+        }
+        for _ in 0..50 {
+            let la = random_linestring(&mut a, coord(0.0, 0.0), 2.0, 8);
+            let lb = random_linestring(&mut b, coord(0.0, 0.0), 2.0, 8);
+            assert_eq!(la.coords(), lb.coords());
+        }
+    }
+
+    #[test]
+    fn lattice_generators_stay_on_lattice() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let g = lattice_geometry(&mut rng, 12);
+            let env = g.envelope();
+            for v in [env.min.x, env.min.y, env.max.x, env.max.y] {
+                assert_eq!(v, v.round(), "lattice coordinates are integers");
+                assert!((-1.0..=13.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn random_layer_has_requested_shape() {
+        let mut rng = Rng::seed_from_u64(42);
+        let layer = random_layer(&mut rng, "parcel", 20, 16, 100.0);
+        assert_eq!(layer.len(), 20);
+        assert_eq!(layer.feature_type, "parcel");
+    }
+}

@@ -121,6 +121,23 @@ fn line_to_polygon(l: &LineString, p: &Polygon) -> f64 {
     segs_to_segs(l.segments(), &p.boundary_segments().collect::<Vec<_>>())
 }
 
+/// Minimum distance between two geometries if it does not exceed `bound`,
+/// else `None`.
+///
+/// `Some(d)` is returned iff `d <= bound` (a bound exactly equal to the
+/// distance is within), and `d` is bit-identical to
+/// [`geometry_distance`] on the same pair. The computation is
+/// branch-and-bound over packed segment R-trees, pruning subtree pairs
+/// whose box-to-box distance already exceeds `bound` — sublinear when the
+/// geometries are far apart relative to their extent. For repeated queries
+/// against the same geometry, build [`crate::prepared::PreparedGeometry`]
+/// once and call [`crate::prepared::PreparedGeometry::distance_within`]
+/// directly; this convenience wrapper prepares both operands per call.
+pub fn geometry_distance_within(a: &Geometry, b: &Geometry, bound: f64) -> Option<f64> {
+    crate::prepared::PreparedGeometry::new(a.clone())
+        .distance_within(&crate::prepared::PreparedGeometry::new(b.clone()), bound)
+}
+
 fn polygon_to_polygon(a: &Polygon, b: &Polygon) -> f64 {
     // Mutual containment / boundary intersection tests via representative
     // vertices, then boundary-to-boundary distance.

@@ -6,6 +6,6 @@ pub mod hull;
 pub mod simplify;
 pub mod sweep;
 
-pub use distance::geometry_distance;
+pub use distance::{geometry_distance, geometry_distance_within};
 pub use hull::convex_hull;
 pub use simplify::{simplify_coords, simplify_linestring, simplify_polygon, simplify_ring};

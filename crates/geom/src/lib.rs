@@ -46,10 +46,14 @@ pub mod prepared;
 pub mod relate;
 pub mod robust;
 pub mod segment;
+pub mod segtree;
 pub mod transform;
 pub mod wkt;
 
-pub use algorithms::{convex_hull, geometry_distance, simplify_linestring, simplify_polygon};
+pub use algorithms::{
+    convex_hull, geometry_distance, geometry_distance_within, simplify_linestring,
+    simplify_polygon,
+};
 pub use bbox::Rect;
 pub use coord::{coord, Coord};
 pub use error::{GeomError, GeomResult};
@@ -61,5 +65,6 @@ pub use prepared::PreparedGeometry;
 pub use relate::{intersects, relate, Dim, IntersectionMatrix, Part};
 pub use robust::{orient2d, orientation, Orientation};
 pub use segment::{SegSegIntersection, Segment};
+pub use segtree::{take_kernel_counters, KernelCounters, RingIndex, SegTree};
 pub use transform::AffineTransform;
 pub use wkt::{from_wkt, to_wkt};

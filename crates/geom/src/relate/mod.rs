@@ -42,16 +42,23 @@ use shapes::{shape_of, Areal, Lineal, LinealLocation, Puntal, Shape};
 
 /// Computes the DE-9IM matrix of `a` against `b`.
 pub fn relate(a: &Geometry, b: &Geometry) -> IntersectionMatrix {
-    match (shape_of(a), shape_of(b)) {
-        (Shape::P(pa), Shape::P(pb)) => relate_pp(&pa, &pb),
-        (Shape::P(p), Shape::L(l)) => relate_pl(&p, &l),
-        (Shape::P(p), Shape::A(ar)) => relate_pa(&p, &ar),
-        (Shape::L(l), Shape::P(p)) => relate_pl(&p, &l).transposed(),
-        (Shape::L(la), Shape::L(lb)) => relate_ll(&la, &lb),
-        (Shape::L(l), Shape::A(ar)) => relate_la(&l, &ar),
-        (Shape::A(ar), Shape::P(p)) => relate_pa(&p, &ar).transposed(),
-        (Shape::A(ar), Shape::L(l)) => relate_la(&l, &ar).transposed(),
-        (Shape::A(aa), Shape::A(ab)) => relate_aa(&aa, &ab),
+    relate_shapes(&shape_of(a), &shape_of(b))
+}
+
+/// Computes the DE-9IM matrix of two class views. Views carrying segment
+/// indexes (from [`crate::prepared::PreparedGeometry`]) take the indexed
+/// candidate paths; the result is bit-identical either way.
+pub(crate) fn relate_shapes(a: &Shape, b: &Shape) -> IntersectionMatrix {
+    match (a, b) {
+        (Shape::P(pa), Shape::P(pb)) => relate_pp(pa, pb),
+        (Shape::P(p), Shape::L(l)) => relate_pl(p, l),
+        (Shape::P(p), Shape::A(ar)) => relate_pa(p, ar),
+        (Shape::L(l), Shape::P(p)) => relate_pl(p, l).transposed(),
+        (Shape::L(la), Shape::L(lb)) => relate_ll(la, lb),
+        (Shape::L(l), Shape::A(ar)) => relate_la(l, ar),
+        (Shape::A(ar), Shape::P(p)) => relate_pa(p, ar).transposed(),
+        (Shape::A(ar), Shape::L(l)) => relate_la(l, ar).transposed(),
+        (Shape::A(aa), Shape::A(ab)) => relate_aa(aa, ab),
     }
 }
 
@@ -69,14 +76,14 @@ pub fn intersects(a: &Geometry, b: &Geometry) -> bool {
 fn relate_pp(a: &Puntal, b: &Puntal) -> IntersectionMatrix {
     let mut m = IntersectionMatrix::empty();
     m.set(Part::Exterior, Part::Exterior, Dim::Two);
-    for &c in &a.coords {
+    for &c in a.coords.iter() {
         if b.coords.contains(&c) {
             m.raise(Part::Interior, Part::Interior, Dim::Zero);
         } else {
             m.raise(Part::Interior, Part::Exterior, Dim::Zero);
         }
     }
-    for &c in &b.coords {
+    for &c in b.coords.iter() {
         if !a.coords.contains(&c) {
             m.raise(Part::Exterior, Part::Interior, Dim::Zero);
         }
@@ -89,14 +96,14 @@ fn relate_pl(p: &Puntal, l: &Lineal) -> IntersectionMatrix {
     m.set(Part::Exterior, Part::Exterior, Dim::Two);
     // A finite point set can never cover a curve's (1-dimensional) interior.
     m.set(Part::Exterior, Part::Interior, Dim::One);
-    for &c in &p.coords {
+    for &c in p.coords.iter() {
         match l.locate(c) {
             LinealLocation::Interior => m.raise(Part::Interior, Part::Interior, Dim::Zero),
             LinealLocation::Boundary => m.raise(Part::Interior, Part::Boundary, Dim::Zero),
             LinealLocation::Exterior => m.raise(Part::Interior, Part::Exterior, Dim::Zero),
         }
     }
-    for &bp in &l.boundary {
+    for &bp in l.boundary.iter() {
         if !p.coords.contains(&bp) {
             m.raise(Part::Exterior, Part::Boundary, Dim::Zero);
         }
@@ -110,7 +117,7 @@ fn relate_pa(p: &Puntal, ar: &Areal) -> IntersectionMatrix {
     // Finite points never cover a region's interior or boundary.
     m.set(Part::Exterior, Part::Interior, Dim::Two);
     m.set(Part::Exterior, Part::Boundary, Dim::One);
-    for &c in &p.coords {
+    for &c in p.coords.iter() {
         match ar.locate(c) {
             PointLocation::Inside => m.raise(Part::Interior, Part::Interior, Dim::Zero),
             PointLocation::OnBoundary => m.raise(Part::Interior, Part::Boundary, Dim::Zero),
@@ -124,26 +131,48 @@ fn relate_ll(a: &Lineal, b: &Lineal) -> IntersectionMatrix {
     let mut m = IntersectionMatrix::empty();
     m.set(Part::Exterior, Part::Exterior, Dim::Two);
 
-    // Interior/interior evidence from segment pairs.
-    'outer: for sa in &a.segments {
-        for sb in &b.segments {
-            match sa.intersect(sb) {
-                SegSegIntersection::None => {}
-                SegSegIntersection::Overlap(_) => {
-                    // A common arc of positive length: all but finitely many
-                    // of its points are interior to both curves.
-                    m.raise(Part::Interior, Part::Interior, Dim::One);
-                    break 'outer;
+    // Interior/interior evidence from segment pairs. With an index on `b`
+    // only envelope-compatible pairs are inspected (in ascending order, a
+    // subsequence of the full scan); skipped pairs fail the exact
+    // intersection's own envelope prefilter, so the evidence is identical.
+    let ii_evidence = |sa: &crate::segment::Segment,
+                           sb: &crate::segment::Segment,
+                           m: &mut IntersectionMatrix| {
+        match sa.intersect(sb) {
+            SegSegIntersection::None => false,
+            SegSegIntersection::Overlap(_) => {
+                // A common arc of positive length: all but finitely many
+                // of its points are interior to both curves.
+                m.raise(Part::Interior, Part::Interior, Dim::One);
+                true
+            }
+            SegSegIntersection::Point(p) => {
+                // `p` lies on both curves by construction (its
+                // coordinate may be rounded for proper crossings, so
+                // the exact on-segment test is not reliable here);
+                // only the boundary membership needs checking.
+                let a_interior = !a.boundary.contains(&p);
+                let b_interior = !b.boundary.contains(&p);
+                if a_interior && b_interior {
+                    m.raise(Part::Interior, Part::Interior, Dim::Zero);
                 }
-                SegSegIntersection::Point(p) => {
-                    // `p` lies on both curves by construction (its
-                    // coordinate may be rounded for proper crossings, so
-                    // the exact on-segment test is not reliable here);
-                    // only the boundary membership needs checking.
-                    let a_interior = !a.boundary.contains(&p);
-                    let b_interior = !b.boundary.contains(&p);
-                    if a_interior && b_interior {
-                        m.raise(Part::Interior, Part::Interior, Dim::Zero);
+                false
+            }
+        }
+    };
+    'outer: for sa in a.segments.iter() {
+        match b.tree {
+            Some(tree) => {
+                for i in tree.query(&sa.envelope()) {
+                    if ii_evidence(sa, &b.segments[i as usize], &mut m) {
+                        break 'outer;
+                    }
+                }
+            }
+            None => {
+                for sb in b.segments.iter() {
+                    if ii_evidence(sa, sb, &mut m) {
+                        break 'outer;
                     }
                 }
             }
@@ -151,14 +180,14 @@ fn relate_ll(a: &Lineal, b: &Lineal) -> IntersectionMatrix {
     }
 
     // Boundary rows/columns from explicit boundary-point classification.
-    for &bp in &a.boundary {
+    for &bp in a.boundary.iter() {
         match b.locate(bp) {
             LinealLocation::Interior => m.raise(Part::Boundary, Part::Interior, Dim::Zero),
             LinealLocation::Boundary => m.raise(Part::Boundary, Part::Boundary, Dim::Zero),
             LinealLocation::Exterior => m.raise(Part::Boundary, Part::Exterior, Dim::Zero),
         }
     }
-    for &bp in &b.boundary {
+    for &bp in b.boundary.iter() {
         match a.locate(bp) {
             LinealLocation::Interior => m.raise(Part::Interior, Part::Boundary, Dim::Zero),
             LinealLocation::Boundary => m.raise(Part::Boundary, Part::Boundary, Dim::Zero),
@@ -183,8 +212,9 @@ fn relate_la(l: &Lineal, ar: &Areal) -> IntersectionMatrix {
     // A curve never covers a region's interior.
     m.set(Part::Exterior, Part::Interior, Dim::Two);
 
-    let boundary = ar.boundary_segments();
-    let flags = shapes::split_classify(&l.segments, &boundary, ar);
+    let boundary = ar.boundary_cow();
+    let btree = ar.boundary_tree();
+    let flags = shapes::split_classify_indexed(&l.segments, &boundary, btree, ar);
     if flags.inside {
         m.raise(Part::Interior, Part::Interior, Dim::One);
     }
@@ -197,18 +227,32 @@ fn relate_la(l: &Lineal, ar: &Areal) -> IntersectionMatrix {
 
     // Isolated curve/boundary touch points: dimension 0 in I×B or B×B.
     if flags.touch_point {
-        for sa in &l.segments {
-            for sb in &boundary {
-                if let SegSegIntersection::Point(p) = sa.intersect(sb) {
-                    match l.locate(p) {
-                        // A proper crossing's coordinate is rounded and may
-                        // fail the exact on-segment test; such a point is
-                        // never an exact curve endpoint, so it classifies
-                        // as curve-interior.
-                        LinealLocation::Interior | LinealLocation::Exterior => {
-                            m.raise(Part::Interior, Part::Boundary, Dim::Zero)
-                        }
-                        LinealLocation::Boundary => {}
+        let touch = |sa: &crate::segment::Segment,
+                         sb: &crate::segment::Segment,
+                         m: &mut IntersectionMatrix| {
+            if let SegSegIntersection::Point(p) = sa.intersect(sb) {
+                match l.locate(p) {
+                    // A proper crossing's coordinate is rounded and may
+                    // fail the exact on-segment test; such a point is
+                    // never an exact curve endpoint, so it classifies
+                    // as curve-interior.
+                    LinealLocation::Interior | LinealLocation::Exterior => {
+                        m.raise(Part::Interior, Part::Boundary, Dim::Zero)
+                    }
+                    LinealLocation::Boundary => {}
+                }
+            }
+        };
+        for sa in l.segments.iter() {
+            match btree {
+                Some(tree) => {
+                    for i in tree.query(&sa.envelope()) {
+                        touch(sa, &boundary[i as usize], &mut m);
+                    }
+                }
+                None => {
+                    for sb in boundary.iter() {
+                        touch(sa, sb, &mut m);
                     }
                 }
             }
@@ -216,7 +260,7 @@ fn relate_la(l: &Lineal, ar: &Areal) -> IntersectionMatrix {
     }
 
     // Curve endpoints against the region.
-    for &bp in &l.boundary {
+    for &bp in l.boundary.iter() {
         match ar.locate(bp) {
             PointLocation::Inside => m.raise(Part::Boundary, Part::Interior, Dim::Zero),
             PointLocation::OnBoundary => m.raise(Part::Boundary, Part::Boundary, Dim::Zero),
@@ -225,7 +269,10 @@ fn relate_la(l: &Lineal, ar: &Areal) -> IntersectionMatrix {
     }
 
     // Region boundary not covered by the curve.
-    if !boundary.iter().all(|s| shapes::segment_covered_by(s, &l.segments)) {
+    if !boundary
+        .iter()
+        .all(|s| shapes::segment_covered_by_indexed(s, &l.segments, l.tree))
+    {
         m.raise(Part::Exterior, Part::Boundary, Dim::One);
     }
     m
@@ -235,10 +282,10 @@ fn relate_aa(a: &Areal, b: &Areal) -> IntersectionMatrix {
     let mut m = IntersectionMatrix::empty();
     m.set(Part::Exterior, Part::Exterior, Dim::Two);
 
-    let ba = a.boundary_segments();
-    let bb = b.boundary_segments();
-    let fa = shapes::split_classify(&ba, &bb, b); // ∂A against B
-    let fb = shapes::split_classify(&bb, &ba, a); // ∂B against A
+    let ba = a.boundary_cow();
+    let bb = b.boundary_cow();
+    let fa = shapes::split_classify_indexed(&ba, &bb, b.boundary_tree(), b); // ∂A against B
+    let fb = shapes::split_classify_indexed(&bb, &ba, a.boundary_tree(), a); // ∂B against A
 
     // Per-component interior points. A component whose boundary lies
     // entirely on the other operand's boundary (e.g. a polygon exactly

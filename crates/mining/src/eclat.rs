@@ -101,6 +101,26 @@ impl TidSet {
                 .collect(),
         }
     }
+
+    /// Cardinality of the intersection with `other` if it reaches `min`,
+    /// else `None` — aborting the word-wise scan as soon as the population
+    /// count so far plus every remaining bit cannot reach `min`. Support
+    /// checks fail far more often than they pass deep in the search, so
+    /// the abort usually fires within a few words without materialising
+    /// the joined set.
+    pub fn intersection_count_bounded(&self, other: &TidSet, min: u64) -> Option<u64> {
+        let n = self.words.len().min(other.words.len());
+        let mut count = 0u64;
+        let mut remaining = 64 * n as u64;
+        for k in 0..n {
+            remaining -= 64;
+            count += (self.words[k] & other.words[k]).count_ones() as u64;
+            if count + remaining < min {
+                return None;
+            }
+        }
+        (count >= min).then_some(count)
+    }
 }
 
 /// Runs Eclat over a transaction set.
@@ -187,11 +207,12 @@ fn extend(
         if prefix.iter().any(|&p| filter.blocks(p, *item)) {
             continue;
         }
-        let joined = prefix_tids.intersect(set);
-        let support = joined.count();
-        if support < threshold {
+        // Bounded support check first: most joins fail it, and the bounded
+        // count aborts early without allocating the joined set.
+        let Some(support) = prefix_tids.intersection_count_bounded(set, threshold) else {
             continue;
-        }
+        };
+        let joined = prefix_tids.intersect(set);
         prefix.push(*item);
         out.push(FrequentItemset { items: prefix.clone(), support });
         extend(frequent, next_pos, prefix, &joined, threshold, filter, out);
@@ -242,6 +263,66 @@ mod tests {
         let i = s.intersect(&t);
         assert_eq!(i.count(), 2);
         assert!(i.contains(64) && i.contains(129));
+    }
+
+    #[test]
+    fn bounded_intersection_count_matches_exact() {
+        // Exhaustive check over deterministic pseudo-random sets: the
+        // bounded count must return Some(exact) iff exact >= min.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 63, 64, 65, 200, 640] {
+            let mut a = TidSet::new(n);
+            let mut b = TidSet::new(n);
+            for tid in 0..n {
+                if next() % 3 == 0 {
+                    a.insert(tid);
+                }
+                if next() % 2 == 0 {
+                    b.insert(tid);
+                }
+            }
+            let exact = a.intersect(&b).count();
+            for min in [0, 1, exact.saturating_sub(1), exact, exact + 1, exact + 64, u64::MAX] {
+                let got = a.intersection_count_bounded(&b, min);
+                if exact >= min {
+                    assert_eq!(got, Some(exact), "n={n} min={min}");
+                } else {
+                    assert_eq!(got, None, "n={n} min={min}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_support_check_is_thread_count_invariant() {
+        // The bounded check must not change mined output at any thread
+        // count (it only skips materialising failing joins).
+        let data = toy();
+        for support in [1u64, 2, 3] {
+            let serial = mine_eclat(&data, &EclatConfig::new(MinSupport::Count(support)));
+            for n in [1usize, 2, 8] {
+                let par = mine_eclat(
+                    &data,
+                    &EclatConfig::new(MinSupport::Count(support))
+                        .with_threads(Threads::Fixed(n)),
+                );
+                assert_eq!(
+                    sorted_sets(&serial),
+                    sorted_sets(&par),
+                    "support {support}, {n} threads"
+                );
+                assert_eq!(
+                    serial.stats.frequent_per_level, par.stats.frequent_per_level,
+                    "support {support}, {n} threads"
+                );
+            }
+        }
     }
 
     #[test]

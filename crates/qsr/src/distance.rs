@@ -95,6 +95,16 @@ impl DistanceScheme {
         &self.bands
     }
 
+    /// Upper bound of the last band when it is finite, i.e. the largest
+    /// distance (exclusive) that can still classify into any band. `None`
+    /// for open-ended schemes (last band unbounded), where every distance
+    /// classifies. Extraction uses this as the spatial window margin and as
+    /// the cutoff for bounded minimum-distance computation: any pair
+    /// farther apart produces no distance predicate.
+    pub fn largest_bounded(&self) -> Option<f64> {
+        self.bands.last().map(|b| b.upper).filter(|u| u.is_finite())
+    }
+
     /// Index and name of the band containing `distance`, or `None` when
     /// the distance exceeds a bounded last band (or is NaN/negative).
     pub fn classify(&self, distance: f64) -> Option<(usize, &str)> {
@@ -129,6 +139,14 @@ mod tests {
         assert_eq!(s.classify(5.0), Some((0, "near")));
         assert_eq!(s.classify(15.0), Some((1, "mid")));
         assert_eq!(s.classify(25.0), None);
+    }
+
+    #[test]
+    fn largest_bounded_window() {
+        let open = DistanceScheme::very_close_close_far(100.0, 1000.0);
+        assert_eq!(open.largest_bounded(), None);
+        let closed = DistanceScheme::new(vec![("near", 10.0), ("mid", 20.0)]).unwrap();
+        assert_eq!(closed.largest_bounded(), Some(20.0));
     }
 
     #[test]

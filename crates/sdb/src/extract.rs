@@ -13,9 +13,17 @@
 //!   reference envelope buffered by the largest bounded band — instead of
 //!   a full scan, whenever the scheme's last band is bounded and direction
 //!   predicates (which have no range cutoff) are off;
-//! * [`PreparedGeometry`] caches envelopes and part dimensions so repeated
-//!   relates of one reference feature against its candidate set skip the
-//!   per-call setup.
+//! * [`PreparedGeometry`] caches envelopes, part dimensions *and lazily
+//!   built segment indexes* (packed R-tree over segments, monotone-edge
+//!   ring indexes), prepared once per relevant feature per extraction and
+//!   shared by every row, so repeated relates against one feature's
+//!   candidate set run the sublinear indexed kernel;
+//! * surviving distance pairs use the branch-and-bound
+//!   [`PreparedGeometry::distance_within`] with the scheme's largest
+//!   bounded band as cutoff, instead of the full minimum distance;
+//! * self-join layers (the relevant layer *is* the reference layer) build
+//!   a symmetric per-pair memo up front, so each unordered relate/distance
+//!   pair is computed once instead of twice.
 //!
 //! Extraction parallelises over reference features (rows are independent)
 //! on the in-tree [`geopattern_par`] pool. Workers emit *predicate
@@ -32,7 +40,7 @@
 
 use crate::feature::{Feature, Layer};
 use crate::predicate_table::{Predicate, PredicateTable};
-use geopattern_geom::{geometry_distance, GeomDim, PreparedGeometry};
+use geopattern_geom::{take_kernel_counters, GeomDim, IntersectionMatrix, PreparedGeometry};
 use geopattern_obs::{Metrics, Recorder};
 use geopattern_par::{par_map, Threads};
 use geopattern_qsr::{
@@ -142,6 +150,50 @@ struct PreparedLayer<'a> {
     /// distance band. `None` means the distance/direction path must scan
     /// the whole layer (open-ended band, or direction predicates on).
     window: Option<f64>,
+    /// Per-pair results precomputed once for self-join layers.
+    memo: Option<SelfJoinMemo>,
+}
+
+/// Precomputed pair results for a self-join layer (the relevant layer is
+/// the reference layer itself, pointer-identical). Row `i` stores results
+/// for its candidates `j >= i` only, in ascending `j`; a row's `j < i`
+/// candidates read row `j`'s entry for `i` instead — transposed for
+/// matrices, as-is for distances (both exactly symmetric; candidate sets
+/// are symmetric because envelope intersection and buffered-window
+/// intersection are). Every unordered pair is thus computed exactly once
+/// instead of once per orientation.
+struct SelfJoinMemo {
+    /// Envelope-intersecting candidates per row (topological path).
+    topo: Option<MemoRows<IntersectionMatrix>>,
+    /// Window-query (or full-scan) candidates per row (distance path):
+    /// `distance_within` results at the layer's cutoff.
+    dist: Option<MemoRows<Option<f64>>>,
+}
+
+/// Per-row `(candidate index, result)` entries, ascending by candidate.
+type MemoRows<T> = Vec<Vec<(u32, T)>>;
+
+impl SelfJoinMemo {
+    fn lookup_topo(&self, row: usize, ci: usize) -> Option<IntersectionMatrix> {
+        let topo = self.topo.as_ref()?;
+        if ci >= row {
+            let entries = &topo[row];
+            let at = entries.binary_search_by_key(&(ci as u32), |e| e.0).ok()?;
+            Some(entries[at].1)
+        } else {
+            let entries = &topo[ci];
+            let at = entries.binary_search_by_key(&(row as u32), |e| e.0).ok()?;
+            Some(entries[at].1.transposed())
+        }
+    }
+
+    fn lookup_dist(&self, row: usize, ci: usize) -> Option<Option<f64>> {
+        let dist = self.dist.as_ref()?;
+        let (r, c) = if ci >= row { (row, ci) } else { (ci, row) };
+        let entries = &dist[r];
+        let at = entries.binary_search_by_key(&(c as u32), |e| e.0).ok()?;
+        Some(entries[at].1)
+    }
 }
 
 /// One worker's output for one reference feature: the row's predicates in
@@ -179,16 +231,13 @@ pub fn extract_recorded(
     // bounded (last band finite) and no direction predicates are wanted —
     // direction has no range cutoff, so it forces the full scan.
     let window = match (&config.distance, config.direction) {
-        (Some(scheme), false) => scheme
-            .bands()
-            .last()
-            .map(|band| band.upper)
-            .filter(|upper| upper.is_finite()),
+        (Some(scheme), false) => scheme.largest_bounded(),
         _ => None,
     };
+    let record = recorder.is_enabled();
     let layers: Vec<PreparedLayer> = {
         let _prepare_span = recorder.span("prepare");
-        relevant
+        let layers: Vec<PreparedLayer> = relevant
             .iter()
             .map(|layer| PreparedLayer {
                 layer,
@@ -199,15 +248,24 @@ pub fn extract_recorded(
                     .collect(),
                 dims: layer.features().iter().map(|f| f.geometry.dimension()).collect(),
                 window,
+                memo: None,
+            })
+            .collect();
+        layers
+            .into_iter()
+            .map(|mut pl| {
+                if std::ptr::eq(pl.layer as *const Layer, reference as *const Layer) {
+                    pl.memo = Some(build_self_join_memo(&pl, config, record, recorder));
+                }
+                pl
             })
             .collect()
     };
 
-    let record = recorder.is_enabled();
     let batches = {
         let _rows_span = recorder.span("rows");
-        par_map(config.threads, reference.features(), |_, ref_feature| {
-            extract_row(ref_feature, &layers, config, record)
+        par_map(config.threads, reference.features(), |row, ref_feature| {
+            extract_row(row, ref_feature, &layers, config, record)
         })
     };
 
@@ -231,9 +289,77 @@ pub fn extract_recorded(
     (table, stats)
 }
 
+/// Precomputes every unordered pair result of a self-join layer, in
+/// parallel over rows. Row `i` runs exactly the candidate queries
+/// [`extract_row`] will run and keeps the `j >= i` half; kernel counters
+/// are drained per row and absorbed in row order, so the recorded metrics
+/// stay thread-count invariant.
+fn build_self_join_memo(
+    pl: &PreparedLayer,
+    config: &ExtractionConfig,
+    record: bool,
+    recorder: &Recorder,
+) -> SelfJoinMemo {
+    let layer = pl.layer;
+    let cutoff = pl.window.unwrap_or(f64::INFINITY);
+    let want_dist = config.distance.is_some() || config.direction;
+    type MemoRow = (Vec<(u32, IntersectionMatrix)>, Vec<(u32, Option<f64>)>, Metrics);
+    let rows: Vec<MemoRow> = par_map(config.threads, layer.features(), |row, feature| {
+        // Discard counter residue left on this worker thread by other rows.
+        let _ = take_kernel_counters();
+        let envelope = feature.envelope();
+        let mut topo = Vec::new();
+        if config.topological {
+            for ci in layer.query_envelope(&envelope) {
+                if ci >= row {
+                    topo.push((ci as u32, pl.prepared[row].relate_to(&pl.prepared[ci])));
+                }
+            }
+        }
+        let mut dist = Vec::new();
+        if want_dist {
+            let scan: Vec<usize> = match pl.window {
+                Some(max_d) => layer.index().query_window(&envelope, max_d),
+                None => (0..layer.len()).collect(),
+            };
+            for ci in scan {
+                if ci >= row {
+                    dist.push((ci as u32, pl.prepared[row].distance_within(&pl.prepared[ci], cutoff)));
+                }
+            }
+        }
+        let mut metrics = Metrics::new();
+        if record {
+            drain_kernel_counters(&mut metrics);
+        }
+        (topo, dist, metrics)
+    });
+    let mut topo = Vec::with_capacity(rows.len());
+    let mut dist = Vec::with_capacity(rows.len());
+    for (t, d, metrics) in rows {
+        topo.push(t);
+        dist.push(d);
+        recorder.absorb(&metrics);
+    }
+    SelfJoinMemo {
+        topo: config.topological.then_some(topo),
+        dist: want_dist.then_some(dist),
+    }
+}
+
+/// Moves the thread-local geometry-kernel counters accumulated since the
+/// last reset into `metrics`.
+fn drain_kernel_counters(metrics: &mut Metrics) {
+    let k = take_kernel_counters();
+    metrics.add_counter("geom/segtree_nodes_visited", k.segtree_nodes_visited);
+    metrics.add_counter("geom/pairs_exact", k.pairs_exact);
+    metrics.add_counter("geom/distance_early_exit", k.distance_early_exit);
+}
+
 /// Computes one reference feature's predicates, in the exact order the
 /// serial implementation emits them.
 fn extract_row(
+    row: usize,
     ref_feature: &Feature,
     layers: &[PreparedLayer],
     config: &ExtractionConfig,
@@ -251,6 +377,10 @@ fn extract_row(
         }
     }
 
+    // Discard kernel-counter residue left on this worker thread by other
+    // rows, so this row's drain below reports exactly its own work.
+    let _ = take_kernel_counters();
+
     let prep_ref = PreparedGeometry::new(ref_feature.geometry.clone());
     let ref_dim = ref_feature.geometry.dimension();
     let ref_envelope = ref_feature.envelope();
@@ -267,7 +397,10 @@ fn extract_row(
             let mut disjoint_count = layer.len() - candidates.len();
             for ci in candidates {
                 stats.candidate_pairs += 1;
-                let m = prep_ref.relate_to(&pl.prepared[ci]);
+                let m = match pl.memo.as_ref().and_then(|memo| memo.lookup_topo(row, ci)) {
+                    Some(m) => m,
+                    None => prep_ref.relate_to(&pl.prepared[ci]),
+                };
                 let rel = classify(&m, ref_dim, pl.dims[ci]);
                 if rel == TopologicalRelation::Disjoint {
                     disjoint_count += 1;
@@ -291,14 +424,24 @@ fn extract_row(
             // R-tree returns indices sorted ascending, preserving the full
             // scan's emission order on the surviving pairs.
             let scan: Vec<usize> = match pl.window {
-                Some(max_d) => layer.index().query_rect(&ref_envelope.buffered(max_d)),
+                Some(max_d) => layer.index().query_window(&ref_envelope, max_d),
                 None => (0..layer.len()).collect(),
             };
             stats.pruned_pairs += layer.len() - scan.len();
+            // Bounded branch-and-bound distance: beyond the cutoff no band
+            // classifies, so `None` carries exactly the information the
+            // unbounded kernel's too-large distance would.
+            let cutoff = pl.window.unwrap_or(f64::INFINITY);
             for ci in scan {
                 let rel_feature = &layer.features()[ci];
                 stats.candidate_pairs += 1;
-                let d = geometry_distance(&ref_feature.geometry, &rel_feature.geometry);
+                let within = match pl.memo.as_ref().and_then(|memo| memo.lookup_dist(row, ci)) {
+                    Some(within) => within,
+                    None => prep_ref.distance_within(&pl.prepared[ci], cutoff),
+                };
+                let Some(d) = within else {
+                    continue;
+                };
                 if d == 0.0 && config.distance_excludes_intersecting {
                     continue;
                 }
@@ -324,6 +467,7 @@ fn extract_row(
     if record {
         metrics.record("extract.row_predicates", predicates.len() as u64);
         metrics.record("extract.row_candidate_pairs", stats.candidate_pairs as u64);
+        drain_kernel_counters(&mut metrics);
     }
     RowBatch { predicates, stats, metrics }
 }

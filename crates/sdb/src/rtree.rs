@@ -260,6 +260,14 @@ impl RTree {
             .collect()
     }
 
+    /// All item indices whose envelope intersects `rect` buffered by
+    /// `margin` on every side — the spatial window query used by bounded
+    /// distance-band extraction (a geometry within distance `d` of `rect`
+    /// necessarily has an envelope intersecting `rect` buffered by `d`).
+    pub fn query_window(&self, rect: &Rect, margin: f64) -> Vec<usize> {
+        self.query_rect(&rect.buffered(margin))
+    }
+
     /// The envelope stored for item `i`.
     pub fn envelope_of(&self, i: usize) -> Rect {
         self.bboxes[i]

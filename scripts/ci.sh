@@ -20,4 +20,8 @@ echo "==> experiments scaling (emits BENCH_scaling.json)"
 cargo run --release -q -p geopattern-bench --bin experiments -- scaling --grid 12
 test -s BENCH_scaling.json
 
+echo "==> experiments kernel (emits BENCH_kernel.json)"
+cargo run --release -q -p geopattern-bench --bin experiments -- kernel --max 256
+test -s BENCH_kernel.json
+
 echo "==> ci.sh: all green"
