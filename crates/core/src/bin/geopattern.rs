@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! geopattern mine <dataset.gpd> [--minsup 0.3] [--minconf 0.7]
-//!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+]
+//!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+|tid|tid-kc+]
 //!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
-//!                 [--metrics json]
+//!                 [--metrics json] [--timeout SECS] [--memory-budget BYTES]
 //! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd]
 //! geopattern relate <WKT_A> <WKT_B>
 //! geopattern gain --t 2,2,2 --n 2
@@ -14,10 +14,17 @@
 //! `generate-city --out` for a sample).
 //!
 //! Exit codes: `0` success, `1` usage or I/O error, `2` invalid mining
-//! configuration, `3` unusable data (e.g. empty reference layer).
+//! configuration, `3` unusable data (e.g. empty reference layer), `4` run
+//! cancelled or `--timeout` exceeded, `5` worker panic (isolated by the
+//! pool; the process still exits cleanly).
+//!
+//! `GEOPATTERN_FAILPOINTS` (e.g. `mining/apriori.count=panic@1:42`)
+//! activates deterministic fault-injection points for testing — see
+//! `geopattern_testkit::failpoint`.
 
 use geopattern::{
-    Algorithm, KnowledgeBase, MiningPipeline, MinSupport, Recorder, SpatialDataset, Threads,
+    Algorithm, CancelToken, KnowledgeBase, MemoryBudget, MiningPipeline, MinSupport, Recorder,
+    SpatialDataset, Threads,
 };
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_geom::from_wkt;
@@ -50,6 +57,13 @@ impl From<geopattern::Error> for CmdError {
 }
 
 fn main() -> ExitCode {
+    // Arm deterministic fault-injection points from the environment (a
+    // no-op unless GEOPATTERN_FAILPOINTS is set — used by the test suite
+    // to exercise the failure paths of a real process).
+    if let Err(e) = geopattern_testkit::failpoint::activate_from_env() {
+        eprintln!("error: GEOPATTERN_FAILPOINTS: {e}");
+        return ExitCode::from(1);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("mine") => cmd_mine(&args[1..]),
@@ -77,14 +91,19 @@ fn print_usage() {
          USAGE:\n  \
          geopattern mine <dataset.gpd> [--minsup F] [--minconf F] [--algorithm A]\n                  \
          [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]\n                  \
-         [--metrics json]\n  \
+         [--metrics json] [--timeout SECS] [--memory-budget BYTES]\n  \
          geopattern generate-city [--grid N] [--seed S] [--out FILE]\n  \
          geopattern relate <WKT_A> <WKT_B>\n  \
          geopattern gain --t T1,T2,... --n N\n\n\
-         ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+\n\n\
+         ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+,\n            \
+         tid, tid-kc+\n\n\
          --metrics json dumps span timings / counters / histograms for the run as JSON\n\
-         on stdout after the report.\n\n\
-         EXIT CODES: 0 ok, 1 usage or I/O error, 2 invalid configuration, 3 unusable data"
+         on stdout after the report (a partial report on interrupted runs).\n\
+         --timeout SECS cancels the run at a deadline (exit code 4).\n\
+         --memory-budget BYTES (suffixes k/m/g) degrades gracefully instead of failing:\n\
+         AprioriTid restarts as plain Apriori; Eclat / FP-Growth abandon branches.\n\n\
+         EXIT CODES: 0 ok, 1 usage or I/O error, 2 invalid configuration, 3 unusable data,\n             \
+         4 cancelled or timed out, 5 worker panic"
     );
 }
 
@@ -97,8 +116,24 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "fpgrowth-kc+" | "fp-growth-kc+" => Algorithm::FpGrowthKcPlus,
         "eclat" => Algorithm::Eclat,
         "eclat-kc+" => Algorithm::EclatKcPlus,
+        "tid" | "apriori-tid" | "aprioritid" => Algorithm::AprioriTid,
+        "tid-kc+" | "apriori-tid-kc+" | "aprioritid-kc+" => Algorithm::AprioriTidKcPlus,
         other => return Err(format!("unknown algorithm {other:?}")),
     })
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `512m`.
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let lower = s.trim().to_ascii_lowercase();
+    let (digits, multiplier) = match lower.as_bytes().last() {
+        Some(b'k') => (&lower[..lower.len() - 1], 1usize << 10),
+        Some(b'm') => (&lower[..lower.len() - 1], 1usize << 20),
+        Some(b'g') => (&lower[..lower.len() - 1], 1usize << 30),
+        _ => (lower.as_str(), 1),
+    };
+    let n: usize = digits.parse().map_err(|_| format!("bad byte count {s:?}"))?;
+    n.checked_mul(multiplier).ok_or_else(|| format!("byte count {s:?} overflows"))
 }
 
 /// Pulls `--flag value` out of an argument list.
@@ -145,6 +180,19 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         .unwrap_or(Threads::Auto);
     let show_itemsets = take_switch(&mut args, "--itemsets");
     let show_rules = take_switch(&mut args, "--rules");
+    let cancel = match take_flag(&mut args, "--timeout")? {
+        Some(v) => {
+            let secs: f64 = v.parse().map_err(|_| format!("bad --timeout {v:?}"))?;
+            let timeout = std::time::Duration::try_from_secs_f64(secs)
+                .map_err(|_| format!("bad --timeout {v:?} (want non-negative seconds)"))?;
+            CancelToken::with_timeout(timeout)
+        }
+        None => CancelToken::none(),
+    };
+    let budget = match take_flag(&mut args, "--memory-budget")? {
+        Some(v) => MemoryBudget::bytes(parse_bytes(&v)?),
+        None => MemoryBudget::unlimited(),
+    };
     let metrics_format = take_flag(&mut args, "--metrics")?;
     let recorder = match metrics_format.as_deref() {
         Some("json") => Recorder::new(),
@@ -176,14 +224,28 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
     let dataset = SpatialDataset::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     drop(load_span);
 
-    let report = MiningPipeline::new()
+    let outcome = MiningPipeline::new()
         .algorithm(algorithm)
         .min_support(MinSupport::Fraction(minsup))
         .min_confidence(minconf)
         .knowledge(knowledge)
         .threads(threads)
-        .recorder(recorder)
-        .run(&dataset)?;
+        .recorder(recorder.clone())
+        .cancel_token(cancel)
+        .memory_budget(budget)
+        .run(&dataset);
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            // An interrupted run still reports what it measured: the
+            // recorder shares state with the pipeline's clone, so the
+            // partial spans/counters survive the failure.
+            if metrics_format.is_some() {
+                println!("metrics: {}", recorder.snapshot().to_json());
+            }
+            return Err(e.into());
+        }
+    };
 
     println!("{}", report.summary());
     if let Some(stats) = &report.extraction_stats {

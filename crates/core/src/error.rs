@@ -5,7 +5,13 @@
 //! validates its inputs up front and returns one of these instead of
 //! panicking or silently mining nonsense. The CLI maps each variant to a
 //! stable process exit code via [`Error::exit_code`].
+//!
+//! Interrupted runs (cancellation, deadline, isolated worker panic —
+//! see [`geopattern_par::Interrupt`]) map onto the same enum via
+//! [`From`], with their own exit codes: `4` for cancelled / timed-out
+//! runs, `5` for a worker panic.
 
+use geopattern_par::Interrupt;
 use std::fmt;
 
 /// Everything that can go wrong configuring or feeding a pipeline run.
@@ -27,17 +33,42 @@ pub enum Error {
         /// The deepest leaf-to-root distance in the supplied taxonomy.
         max_depth: usize,
     },
+    /// The run's [`geopattern_par::CancelToken`] was cancelled.
+    Cancelled,
+    /// The run's deadline (e.g. the CLI's `--timeout`) expired.
+    DeadlineExceeded,
+    /// A worker thread panicked; the pool isolated the panic and drained
+    /// cleanly.
+    WorkerPanic {
+        /// The pipeline stage the panicking worker was executing.
+        stage: String,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
 }
 
 impl Error {
     /// Stable process exit code for the CLI: configuration errors are `2`,
-    /// data errors are `3`.
+    /// data errors are `3`, cancelled or timed-out runs are `4`, isolated
+    /// worker panics are `5`.
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::InvalidMinConfidence(_)
             | Error::InvalidMinSupport(_)
             | Error::TaxonomyTooDeep { .. } => 2,
             Error::EmptyReferenceLayer => 3,
+            Error::Cancelled | Error::DeadlineExceeded => 4,
+            Error::WorkerPanic { .. } => 5,
+        }
+    }
+}
+
+impl From<Interrupt> for Error {
+    fn from(i: Interrupt) -> Error {
+        match i {
+            Interrupt::Cancelled => Error::Cancelled,
+            Interrupt::DeadlineExceeded => Error::DeadlineExceeded,
+            Interrupt::WorkerPanic { stage, message } => Error::WorkerPanic { stage, message },
         }
     }
 }
@@ -59,6 +90,11 @@ impl fmt::Display for Error {
                 "granularity of {levels} level(s) exceeds the taxonomy depth of {max_depth}; \
                  generalisation would be a no-op for every feature type"
             ),
+            Error::Cancelled => write!(f, "run cancelled"),
+            Error::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Error::WorkerPanic { stage, message } => {
+                write!(f, "worker panicked in stage {stage:?}: {message}")
+            }
         }
     }
 }
@@ -82,5 +118,20 @@ mod tests {
         assert!(Error::TaxonomyTooDeep { levels: 3, max_depth: 2 }
             .to_string()
             .contains("taxonomy depth"));
+    }
+
+    #[test]
+    fn interrupt_variants_map_to_their_own_exit_codes() {
+        assert_eq!(Error::from(Interrupt::Cancelled), Error::Cancelled);
+        assert_eq!(Error::from(Interrupt::DeadlineExceeded), Error::DeadlineExceeded);
+        assert_eq!(Error::Cancelled.exit_code(), 4);
+        assert_eq!(Error::DeadlineExceeded.exit_code(), 4);
+        let panic = Error::from(Interrupt::WorkerPanic {
+            stage: "mining/apriori.count".into(),
+            message: "boom".into(),
+        });
+        assert_eq!(panic.exit_code(), 5);
+        assert!(panic.to_string().contains("mining/apriori.count"));
+        assert!(panic.to_string().contains("boom"));
     }
 }

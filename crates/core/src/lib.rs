@@ -113,7 +113,7 @@ pub use geopattern_mining::{
     TransactionSet,
 };
 pub use geopattern_obs::{Metrics, Recorder};
-pub use geopattern_par::Threads;
+pub use geopattern_par::{CancelToken, Interrupt, MemoryBudget, Threads};
 pub use geopattern_qsr::{DistanceScheme, SpatialPredicate, TopologicalRelation};
 pub use geopattern_sdb::{
     ExtractionConfig, ExtractionStats, Feature, FeatureTypeTaxonomy, KnowledgeBase, Layer,

@@ -21,14 +21,14 @@ use crate::convert::{dependency_filter, same_type_filter, to_transactions};
 use crate::error::Error;
 use crate::report::PatternReport;
 use geopattern_mining::{
-    generate_rules, mine, mine_apriori_tid, mine_eclat, mine_fp, AprioriConfig,
+    generate_rules, try_mine, try_mine_apriori_tid, try_mine_eclat, try_mine_fp, AprioriConfig,
     AprioriTidConfig, CountingStrategy, EclatConfig, FpGrowthConfig, MinSupport, PairFilter,
     TransactionSet,
 };
 use geopattern_obs::Recorder;
-use geopattern_par::Threads;
+use geopattern_par::{CancelToken, MemoryBudget, Threads};
 use geopattern_sdb::{
-    extract_recorded, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase,
+    try_extract_recorded, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase,
     PredicateTable, SpatialDataset,
 };
 
@@ -113,6 +113,8 @@ pub struct MiningPipeline {
     taxonomy: Option<(FeatureTypeTaxonomy, usize)>,
     threads: Threads,
     recorder: Recorder,
+    cancel: CancelToken,
+    budget: MemoryBudget,
 }
 
 impl Default for MiningPipeline {
@@ -127,6 +129,8 @@ impl Default for MiningPipeline {
             taxonomy: None,
             threads: Threads::Serial,
             recorder: Recorder::disabled(),
+            cancel: CancelToken::none(),
+            budget: MemoryBudget::unlimited(),
         }
     }
 }
@@ -198,6 +202,25 @@ impl MiningPipeline {
         self
     }
 
+    /// Attaches a cancellation token (possibly deadline-bearing): every
+    /// stage checks it cooperatively and an interrupted run fails with
+    /// [`Error::Cancelled`] / [`Error::DeadlineExceeded`]. Runs that
+    /// complete normally are bit-identical to uncontrolled runs.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a memory budget for the mining stage. Exceeding it never
+    /// fails the run: AprioriTid restarts as plain Apriori, Eclat and
+    /// FP-Growth abandon over-budget branches — the degradations are
+    /// counted in the result's `stats.degradations` and under the
+    /// `robust/degradations` metric.
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Validates the thresholds every mining entry point shares.
     fn validate_mining_config(&self) -> Result<(), Error> {
         if !self.min_confidence.is_finite()
@@ -230,12 +253,13 @@ impl MiningPipeline {
             }
         }
         let extraction = self.extraction.clone().with_threads(self.threads);
-        let (table, stats) = extract_recorded(
+        let (table, stats) = try_extract_recorded(
             &dataset.reference,
             &dataset.relevant_refs(),
             &extraction,
             &self.recorder,
-        );
+            &self.cancel,
+        )?;
         let table = match &self.taxonomy {
             Some((taxonomy, levels)) => {
                 let _span = self.recorder.span("generalize");
@@ -255,6 +279,10 @@ impl MiningPipeline {
     /// same-feature-type from the table).
     pub fn encode(&self, extracted: ExtractedTable) -> Result<EncodedTransactions, Error> {
         let _span = self.recorder.span("encode");
+        if geopattern_testkit::failpoint::trigger("core/encode") {
+            self.cancel.cancel();
+        }
+        self.cancel.check()?;
         let table = &extracted.table;
         let dependencies = dependency_filter(&self.knowledge, table);
         let same_type = same_type_filter(table);
@@ -280,62 +308,84 @@ impl MiningPipeline {
         let EncodedTransactions { transactions, dependencies: deps, same_type: same, extraction_stats } =
             encoded;
         let rec = &self.recorder;
+        let cancel = self.cancel.clone();
+        let budget = self.budget.clone();
         let mine_span = rec.span("mine");
         let result = match self.algorithm {
-            Algorithm::Apriori => mine(
+            Algorithm::Apriori => try_mine(
                 &transactions,
                 &AprioriConfig::apriori(self.min_support)
                     .with_counting(self.counting)
                     .with_threads(self.threads)
-                    .with_recorder(rec.clone()),
-            ),
-            Algorithm::AprioriKc => mine(
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::AprioriKc => try_mine(
                 &transactions,
                 &AprioriConfig::apriori_kc(self.min_support, deps)
                     .with_counting(self.counting)
                     .with_threads(self.threads)
-                    .with_recorder(rec.clone()),
-            ),
-            Algorithm::AprioriKcPlus => mine(
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::AprioriKcPlus => try_mine(
                 &transactions,
                 &AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
                     .with_counting(self.counting)
                     .with_threads(self.threads)
-                    .with_recorder(rec.clone()),
-            ),
-            Algorithm::FpGrowth => mine_fp(
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::FpGrowth => try_mine_fp(
                 &transactions,
-                &FpGrowthConfig::new(self.min_support).with_recorder(rec.clone()),
-            ),
-            Algorithm::FpGrowthKcPlus => mine_fp(
+                &FpGrowthConfig::new(self.min_support)
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::FpGrowthKcPlus => try_mine_fp(
                 &transactions,
                 &FpGrowthConfig::new(self.min_support)
                     .with_filter(deps.union(&same))
-                    .with_recorder(rec.clone()),
-            ),
-            Algorithm::Eclat => mine_eclat(
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::Eclat => try_mine_eclat(
                 &transactions,
                 &EclatConfig::new(self.min_support)
                     .with_threads(self.threads)
-                    .with_recorder(rec.clone()),
-            ),
-            Algorithm::EclatKcPlus => mine_eclat(
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::EclatKcPlus => try_mine_eclat(
                 &transactions,
                 &EclatConfig::new(self.min_support)
                     .with_filter(deps.union(&same))
                     .with_threads(self.threads)
-                    .with_recorder(rec.clone()),
-            ),
-            Algorithm::AprioriTid => mine_apriori_tid(
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::AprioriTid => try_mine_apriori_tid(
                 &transactions,
-                &AprioriTidConfig::new(self.min_support).with_recorder(rec.clone()),
-            ),
-            Algorithm::AprioriTidKcPlus => mine_apriori_tid(
+                &AprioriTidConfig::new(self.min_support)
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
+            Algorithm::AprioriTidKcPlus => try_mine_apriori_tid(
                 &transactions,
                 &AprioriTidConfig::new(self.min_support)
                     .with_filter(deps.union(&same))
-                    .with_recorder(rec.clone()),
-            ),
+                    .with_recorder(rec.clone())
+                    .with_cancel(cancel)
+                    .with_budget(budget),
+            )?,
         };
         drop(mine_span);
         rec.counter("mine.frequent_itemsets", result.num_frequent() as u64);
@@ -507,6 +557,71 @@ mod tests {
             .min_support(MinSupport::Count(2))
             .run_transactions(paper_rows())
             .is_ok());
+    }
+
+    #[test]
+    fn cancelled_token_fails_the_pipeline_with_exit_code_4() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for algorithm in [
+            Algorithm::Apriori,
+            Algorithm::FpGrowth,
+            Algorithm::Eclat,
+            Algorithm::AprioriTid,
+        ] {
+            let err = MiningPipeline::new()
+                .algorithm(algorithm)
+                .min_support(MinSupport::Fraction(0.5))
+                .cancel_token(cancel.clone())
+                .run_transactions(paper_rows())
+                .unwrap_err();
+            assert_eq!(err, Error::Cancelled, "{}", algorithm.name());
+            assert_eq!(err.exit_code(), 4);
+        }
+    }
+
+    #[test]
+    fn zero_memory_budget_degrades_but_still_succeeds() {
+        let strict = MiningPipeline::new()
+            .algorithm(Algorithm::AprioriTidKcPlus)
+            .min_support(MinSupport::Fraction(0.5))
+            .memory_budget(MemoryBudget::bytes(0))
+            .run_transactions(paper_rows())
+            .unwrap();
+        assert!(strict.result.stats.degradations >= 1);
+        let plain = MiningPipeline::new()
+            .algorithm(Algorithm::AprioriTidKcPlus)
+            .min_support(MinSupport::Fraction(0.5))
+            .run_transactions(paper_rows())
+            .unwrap();
+        let sets = |r: &PatternReport| {
+            let mut v: Vec<_> = r.result.all().map(|f| (f.items.clone(), f.support)).collect();
+            v.sort();
+            v
+        };
+        // AprioriTid degrades by restarting as plain Apriori: same output.
+        assert_eq!(sets(&strict), sets(&plain));
+    }
+
+    #[test]
+    fn idle_controls_leave_the_output_bit_identical() {
+        let plain = MiningPipeline::new()
+            .min_support(MinSupport::Fraction(0.5))
+            .run_transactions(paper_rows())
+            .unwrap();
+        let controlled = MiningPipeline::new()
+            .min_support(MinSupport::Fraction(0.5))
+            .cancel_token(CancelToken::new())
+            .memory_budget(MemoryBudget::bytes(1 << 30))
+            .run_transactions(paper_rows())
+            .unwrap();
+        let sets = |r: &PatternReport| {
+            let mut v: Vec<_> = r.result.all().map(|f| (f.items.clone(), f.support)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sets(&plain), sets(&controlled));
+        assert_eq!(plain.rules.len(), controlled.rules.len());
     }
 
     #[test]

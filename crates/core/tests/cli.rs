@@ -80,6 +80,84 @@ fn exit_3_on_unusable_data() {
 }
 
 #[test]
+fn exit_4_on_timeout_with_partial_metrics() {
+    let path = city_file("timeout");
+    // A zero deadline is already expired when the pipeline first checks
+    // the token, so the run fails deterministically.
+    let out = run(&[
+        "mine",
+        path.to_str().unwrap(),
+        "--timeout",
+        "0",
+        "--metrics",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("deadline exceeded"));
+    // The partial metrics report still comes out on stdout.
+    let text = stdout(&out);
+    let json = text
+        .lines()
+        .find_map(|l| l.strip_prefix("metrics: "))
+        .expect("partial metrics line present");
+    assert!(json.contains("\"spans\""), "partial report: {json}");
+}
+
+#[test]
+fn exit_4_on_negative_or_bad_timeout_is_usage_error() {
+    let out = run(&["mine", "x.gpd", "--timeout", "-1"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--timeout"));
+}
+
+#[test]
+fn exit_5_on_injected_worker_panic() {
+    let path = city_file("panic");
+    // `mining/apriori.count` fires inside a pool worker's closure; the
+    // pool isolates the panic, drains, and the process exits with 5 —
+    // never an abort and never a hang.
+    let out = bin()
+        .args(["mine", path.to_str().unwrap(), "--algorithm", "apriori", "--metrics", "json"])
+        .env("GEOPATTERN_FAILPOINTS", "mining/apriori.count=panic@1:42")
+        .output()
+        .expect("spawn geopattern");
+    assert_eq!(out.status.code(), Some(5), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("worker panicked"), "stderr: {err}");
+    assert!(err.contains("mining/apriori.count"), "stderr: {err}");
+    // Partial metrics survive the panic too.
+    assert!(stdout(&out).contains("metrics: "), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn bad_failpoint_spec_is_usage_error() {
+    let out = bin()
+        .args(["--help"])
+        .env("GEOPATTERN_FAILPOINTS", "nonsense spec !!!")
+        .output()
+        .expect("spawn geopattern");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("GEOPATTERN_FAILPOINTS"));
+}
+
+#[test]
+fn absurd_thread_count_is_rejected() {
+    let out = run(&["mine", "x.gpd", "--threads", "5000"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("absurd"));
+}
+
+#[test]
+fn tid_algorithm_names_parse() {
+    let path = city_file("tid");
+    for name in ["tid", "apriori-tid", "tid-kc+", "apriori-tid-kc+"] {
+        let out = run(&["mine", path.to_str().unwrap(), "--algorithm", name]);
+        assert_eq!(out.status.code(), Some(0), "{name}: {}", stderr(&out));
+        assert!(stdout(&out).contains("AprioriTid"), "{name}");
+    }
+}
+
+#[test]
 fn metrics_json_prints_spans_and_counters() {
     let path = city_file("metrics");
     let out = run(&["mine", path.to_str().unwrap(), "--metrics", "json"]);

@@ -183,10 +183,18 @@ impl<'a> Parser<'a> {
         if start == self.pos {
             return Err(self.err("expected a number"));
         }
-        std::str::from_utf8(&self.input[start..self.pos])
+        let value = std::str::from_utf8(&self.input[start..self.pos])
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
-            .ok_or_else(|| self.err("invalid number"))
+            .ok_or_else(|| self.err("invalid number"))?;
+        // Reject overflowed literals like `1e400` here, before any
+        // geometry is built: every constructor validates finiteness too,
+        // but the tokenizer is the one place that sees every coordinate
+        // of every geometry kind.
+        if !value.is_finite() {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        Ok(value)
     }
 
     fn coord(&mut self) -> GeomResult<Coord> {
@@ -358,6 +366,23 @@ mod tests {
             from_wkt("POLYGON ((0 0, 1 1, 2 2, 0 0))"),
             Err(GeomError::DegenerateRing)
         ));
+    }
+
+    #[test]
+    fn non_finite_literals_rejected() {
+        // `1e400` overflows f64 to +inf; the tokenizer must reject it for
+        // every geometry kind, not just the ones whose constructors
+        // re-validate.
+        assert_eq!(from_wkt("POINT (1e400 0)"), Err(GeomError::NonFiniteCoordinate));
+        assert_eq!(from_wkt("POINT (0 -1e999)"), Err(GeomError::NonFiniteCoordinate));
+        assert_eq!(
+            from_wkt("LINESTRING (0 0, 1e400 1)"),
+            Err(GeomError::NonFiniteCoordinate)
+        );
+        assert_eq!(
+            from_wkt("POLYGON ((0 0, 1 0, 1e309 1, 0 0))"),
+            Err(GeomError::NonFiniteCoordinate)
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{par_map_reduce, Threads};
+use geopattern_par::{try_par_map_reduce, CancelToken, Interrupt, MemoryBudget, Threads};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -55,6 +56,14 @@ pub struct AprioriConfig {
     /// Metric sink for per-pass timings and counters. Disabled by
     /// default; recording never changes the mined output.
     pub recorder: Recorder,
+    /// Cooperative cancellation/deadline token, checked at pass boundaries
+    /// and at pool chunk boundaries during counting. Disabled by default,
+    /// in which case every check is free and can never fire.
+    pub cancel: CancelToken,
+    /// Memory budget for the per-pass candidate sets. Plain Apriori is the
+    /// degradation target of last resort, so it only *tracks* its usage
+    /// (feeding `robust/budget_bytes_peak`); it never degrades itself.
+    pub budget: MemoryBudget,
 }
 
 impl AprioriConfig {
@@ -67,6 +76,8 @@ impl AprioriConfig {
             counting: CountingStrategy::default(),
             threads: Threads::Serial,
             recorder: Recorder::disabled(),
+            cancel: CancelToken::none(),
+            budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -102,6 +113,18 @@ impl AprioriConfig {
         self
     }
 
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> AprioriConfig {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a memory budget (builder style).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> AprioriConfig {
+        self.budget = budget;
+        self
+    }
+
     /// The combined `C₂` filter.
     pub fn combined_filter(&self) -> PairFilter {
         self.dependencies.clone().union(&self.same_type)
@@ -109,7 +132,19 @@ impl AprioriConfig {
 }
 
 /// Runs the configured Apriori variant over a transaction set.
+///
+/// Panics if the run is interrupted (cancellation, deadline, worker panic)
+/// — impossible with the default disabled [`CancelToken`]. Controlled runs
+/// should call [`try_mine`].
 pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
+    try_mine(data, config).expect("uncontrolled Apriori cannot be interrupted; use try_mine")
+}
+
+/// Fallible [`mine`]: checks `config.cancel` at every pass boundary and at
+/// pool chunk boundaries inside counting, isolates worker panics, and
+/// tracks candidate-set bytes against `config.budget`. With a disabled
+/// token and unlimited budget the output is bit-identical to [`mine`].
+pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningResult, Interrupt> {
     let start = Instant::now();
     let rec = &config.recorder;
     let _alg_span = rec.span("apriori");
@@ -140,6 +175,10 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
 
     let mut k = 2;
     loop {
+        // Pass boundary: the cooperative cancellation point of Listing 1's
+        // outer loop, plus the sequential fail-point site.
+        robust::fire("mining/apriori.pass", &config.cancel);
+        robust::checkpoint(&config.cancel, rec)?;
         let _pass_span = rec.span(&format!("pass{k}"));
         let prev: Vec<&[ItemId]> = levels[k - 2].iter().map(|f| f.items.as_slice()).collect();
         if prev.is_empty() {
@@ -170,14 +209,20 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
             break;
         }
 
+        // Track (never reject: Apriori is the fallback of last resort) the
+        // candidate set against the budget for the duration of the pass.
+        let candidate_bytes = robust::nested_vec_bytes(&candidates);
+        let _ = config.budget.reserve(candidate_bytes);
         let counts = match config.counting {
             CountingStrategy::HashSubset => {
-                count_hash_subset(data, &candidates, k, config.threads)
+                count_hash_subset(data, &candidates, k, config.threads, &config.cancel)
             }
             CountingStrategy::PrefixTrie => {
-                count_prefix_trie(data, &candidates, k, config.threads)
+                count_prefix_trie(data, &candidates, k, config.threads, &config.cancel)
             }
         };
+        config.budget.release(candidate_bytes);
+        let counts = counts?;
 
         let lk: Vec<FrequentItemset> = candidates
             .into_iter()
@@ -196,8 +241,9 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
 
     rec.counter("apriori.passes", levels.len() as u64);
     rec.counter("apriori.frequent_itemsets", levels.iter().map(Vec::len).sum::<usize>() as u64);
+    robust::record_budget_peak(&config.budget, rec);
     stats.duration = start.elapsed();
-    MiningResult { levels, stats }
+    Ok(MiningResult { levels, stats })
 }
 
 /// The `apriori_gen` candidate generator: join `L(k−1)` with itself on the
@@ -249,17 +295,24 @@ pub fn apriori_gen(prev: &[&[ItemId]]) -> Vec<Vec<ItemId>> {
 }
 
 /// Sums per-worker count vectors over transaction chunks. Summation is
-/// commutative, so the totals match the serial scan exactly.
+/// commutative, so the totals match the serial scan exactly. Runs on the
+/// fallible pool: the token is honoured at chunk boundaries and a worker
+/// panic (including the `mining/apriori.count` fail-point) surfaces as
+/// [`Interrupt::WorkerPanic`] instead of aborting the process.
 fn count_chunked(
     data: &TransactionSet,
     num_candidates: usize,
     threads: Threads,
+    cancel: &CancelToken,
     count_chunk: impl Fn(&[Vec<ItemId>], &mut [u64]) + Sync,
-) -> Vec<u64> {
-    par_map_reduce(
+) -> Result<Vec<u64>, Interrupt> {
+    let counts = try_par_map_reduce(
         threads,
+        cancel,
+        "mining/apriori.count",
         data.transactions(),
         |_, chunk| {
+            robust::fire("mining/apriori.count", cancel);
             let mut counts = vec![0u64; num_candidates];
             count_chunk(chunk, &mut counts);
             counts
@@ -270,8 +323,8 @@ fn count_chunked(
             }
             a
         },
-    )
-    .unwrap_or_else(|| vec![0u64; num_candidates])
+    )?;
+    Ok(counts.unwrap_or_else(|| vec![0u64; num_candidates]))
 }
 
 /// Counting backend 1: enumerate each transaction's k-subsets over the
@@ -281,14 +334,15 @@ fn count_hash_subset(
     candidates: &[Vec<ItemId>],
     k: usize,
     threads: Threads,
-) -> Vec<u64> {
+    cancel: &CancelToken,
+) -> Result<Vec<u64>, Interrupt> {
     let mut index: HashMap<&[ItemId], usize> = HashMap::with_capacity(candidates.len());
     let mut live_items: HashSet<ItemId> = HashSet::new();
     for (pos, c) in candidates.iter().enumerate() {
         index.insert(c.as_slice(), pos);
         live_items.extend(c.iter().copied());
     }
-    count_chunked(data, candidates.len(), threads, |chunk, counts| {
+    count_chunked(data, candidates.len(), threads, cancel, |chunk, counts| {
         let mut filtered: Vec<ItemId> = Vec::new();
         let mut subset: Vec<ItemId> = Vec::with_capacity(k);
         for t in chunk {
@@ -340,7 +394,8 @@ fn count_prefix_trie(
     candidates: &[Vec<ItemId>],
     _k: usize,
     threads: Threads,
-) -> Vec<u64> {
+    cancel: &CancelToken,
+) -> Result<Vec<u64>, Interrupt> {
     let mut root = TrieNode::default();
     for (pos, c) in candidates.iter().enumerate() {
         let mut node = &mut root;
@@ -349,7 +404,7 @@ fn count_prefix_trie(
         }
         node.leaf = Some(pos);
     }
-    count_chunked(data, candidates.len(), threads, |chunk, counts| {
+    count_chunked(data, candidates.len(), threads, cancel, |chunk, counts| {
         for t in chunk {
             walk_trie(&root, t, counts);
         }

@@ -12,10 +12,13 @@
 //! A fourth independent execution strategy for the same specification —
 //! used as yet another oracle in the equivalence tests.
 
+use crate::apriori::{self, AprioriConfig};
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use crate::robust;
 use geopattern_obs::Recorder;
+use geopattern_par::{CancelToken, Interrupt, MemoryBudget};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -29,6 +32,15 @@ pub struct AprioriTidConfig {
     /// Metric sink for per-pass timings and counters. Disabled by default;
     /// recording never changes the mined output.
     pub recorder: Recorder,
+    /// Cooperative cancellation/deadline token, checked at pass
+    /// boundaries. Disabled by default.
+    pub cancel: CancelToken,
+    /// Memory budget for the transformed database `C̄ₖ` — AprioriTid's
+    /// memory hazard. When a reservation fails the run *degrades*: the
+    /// transformed database is dropped and the same specification is mined
+    /// by plain Apriori (identical output, bounded memory), counted in
+    /// `stats.degradations` and `robust/degradations`.
+    pub budget: MemoryBudget,
 }
 
 impl AprioriTidConfig {
@@ -38,6 +50,8 @@ impl AprioriTidConfig {
             min_support,
             filter: PairFilter::none(),
             recorder: Recorder::disabled(),
+            cancel: CancelToken::none(),
+            budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -52,6 +66,18 @@ impl AprioriTidConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> AprioriTidConfig {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a memory budget (builder style).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> AprioriTidConfig {
+        self.budget = budget;
+        self
+    }
 }
 
 /// A candidate with the indices of its two generators in the previous
@@ -63,7 +89,61 @@ struct Candidate {
 }
 
 /// Runs AprioriTid over a transaction set.
+///
+/// Panics if the run is interrupted — impossible with the default disabled
+/// [`CancelToken`]. Controlled runs should call [`try_mine_apriori_tid`].
 pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> MiningResult {
+    try_mine_apriori_tid(data, config)
+        .expect("uncontrolled AprioriTid cannot be interrupted; use try_mine_apriori_tid")
+}
+
+/// What the budget-aware inner run produced.
+enum TidOutcome {
+    /// AprioriTid completed within budget.
+    Done(MiningResult),
+    /// A `C̄ₖ` reservation failed; all reserved bytes have been returned
+    /// and the caller should re-mine with plain Apriori.
+    Degrade,
+}
+
+/// Fallible [`mine_apriori_tid`]: checks `config.cancel` at pass
+/// boundaries and accounts the transformed database against
+/// `config.budget`. On budget exhaustion the run restarts as plain Apriori
+/// (bit-identical frequent itemsets by construction — both engines
+/// implement the same specification) with `stats.degradations = 1`.
+pub fn try_mine_apriori_tid(
+    data: &TransactionSet,
+    config: &AprioriTidConfig,
+) -> Result<MiningResult, Interrupt> {
+    match mine_tid_within_budget(data, config)? {
+        TidOutcome::Done(result) => Ok(result),
+        TidOutcome::Degrade => {
+            robust::count_degradation(&config.budget, &config.recorder);
+            // Same specification, different engine: the filter removes C₂
+            // pairs exactly as AprioriTid's does (counted under the same
+            // same_type statistic), and plain Apriori's per-pass candidate
+            // sets only ride the budget as tracking, never rejection.
+            let fallback = AprioriConfig::apriori_kc_plus(
+                config.min_support,
+                PairFilter::none(),
+                config.filter.clone(),
+            )
+            .with_recorder(config.recorder.clone())
+            .with_cancel(config.cancel.clone())
+            .with_budget(config.budget.clone());
+            let mut result = apriori::try_mine(data, &fallback)?;
+            result.stats.degradations += 1;
+            Ok(result)
+        }
+    }
+}
+
+/// AprioriTid proper, reporting `Degrade` instead of growing `C̄ₖ` past the
+/// budget.
+fn mine_tid_within_budget(
+    data: &TransactionSet,
+    config: &AprioriTidConfig,
+) -> Result<TidOutcome, Interrupt> {
     let start = Instant::now();
     let rec = &config.recorder;
     let _alg_span = rec.span("apriori_tid");
@@ -104,10 +184,23 @@ pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> Min
         .map(|t| t.iter().filter_map(|&i| l1_index[i as usize]).collect())
         .collect();
 
+    // The transformed database is the structure that can outgrow memory;
+    // keep its current size reserved against the budget for the whole run.
+    let mut reserved = robust::nested_vec_bytes(&cbar);
+    if !config.budget.reserve(reserved) {
+        config.budget.release(reserved);
+        return Ok(TidOutcome::Degrade);
+    }
+
     let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
     let mut k = 2usize;
 
     loop {
+        robust::fire("mining/apriori_tid.pass", &config.cancel);
+        if let Err(interrupt) = robust::checkpoint(&config.cancel, rec) {
+            config.budget.release(reserved);
+            return Err(interrupt);
+        }
         let _pass_span = rec.span(&format!("pass{k}"));
         let prev = &levels[k - 2];
         if prev.len() < 2 {
@@ -202,12 +295,23 @@ pub fn mine_apriori_tid(data: &TransactionSet, config: &AprioriTidConfig) -> Min
             .into_iter()
             .map(|entry| entry.into_iter().filter_map(|ci| remap[ci]).collect())
             .collect();
+        // Re-account C̄ₖ at its new size; refusal means this pass needed
+        // more than the budget allows.
+        let new_size = robust::nested_vec_bytes(&cbar);
+        config.budget.release(reserved);
+        reserved = new_size;
+        if !config.budget.reserve(reserved) {
+            config.budget.release(reserved);
+            return Ok(TidOutcome::Degrade);
+        }
         levels.push(lk);
         k += 1;
     }
 
+    config.budget.release(reserved);
+    robust::record_budget_peak(&config.budget, rec);
     stats.duration = start.elapsed();
-    MiningResult { levels, stats }
+    Ok(TidOutcome::Done(MiningResult { levels, stats }))
 }
 
 #[cfg(test)]
@@ -279,5 +383,46 @@ mod tests {
     fn downward_closure() {
         let r = mine_apriori_tid(&toy(), &AprioriTidConfig::new(MinSupport::Count(2)));
         assert!(r.check_downward_closure());
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_apriori_with_identical_output() {
+        let data = toy();
+        for support in [1u64, 2, 3] {
+            let budget = MemoryBudget::bytes(0);
+            let degraded = try_mine_apriori_tid(
+                &data,
+                &AprioriTidConfig::new(MinSupport::Count(support)).with_budget(budget.clone()),
+            )
+            .expect("degradation is a fallback, not an interrupt");
+            assert_eq!(degraded.stats.degradations, 1, "support {support}");
+            let plain = mine(&data, &AprioriConfig::apriori(MinSupport::Count(support)));
+            assert_eq!(sorted_sets(&plain), sorted_sets(&degraded), "support {support}");
+            assert_eq!(budget.used(), 0, "all reservations returned");
+            assert!(budget.peak() > 0, "the refused C̄₁ still moved the peak");
+        }
+    }
+
+    #[test]
+    fn generous_budget_never_degrades() {
+        let budget = MemoryBudget::bytes(1 << 20);
+        let r = try_mine_apriori_tid(
+            &toy(),
+            &AprioriTidConfig::new(MinSupport::Count(2)).with_budget(budget.clone()),
+        )
+        .expect("within budget");
+        assert_eq!(r.stats.degradations, 0);
+        assert_eq!(budget.used(), 0, "all reservations returned");
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_run() {
+        let token = geopattern_par::CancelToken::new();
+        token.cancel();
+        let got = try_mine_apriori_tid(
+            &toy(),
+            &AprioriTidConfig::new(MinSupport::Count(1)).with_cancel(token),
+        );
+        assert!(matches!(got, Err(Interrupt::Cancelled)), "{got:?}");
     }
 }

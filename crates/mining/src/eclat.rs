@@ -11,8 +11,9 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{par_map, Threads};
+use geopattern_par::{try_par_map, ApproxBytes, CancelToken, Interrupt, MemoryBudget, Threads};
 use std::time::Instant;
 
 /// Eclat configuration.
@@ -28,6 +29,15 @@ pub struct EclatConfig {
     /// Metric sink for phase timings and counters. Disabled by default;
     /// recording never changes the mined output.
     pub recorder: Recorder,
+    /// Cooperative cancellation/deadline token, checked at phase
+    /// boundaries and pool chunk boundaries. Disabled by default.
+    pub cancel: CancelToken,
+    /// Memory budget for the materialised TID-set joins. When a join's
+    /// reservation fails, the branch is *aborted*: the already-counted
+    /// itemset is kept (the bounded count allocates nothing) but its
+    /// extensions are skipped — a lossy degradation counted per branch in
+    /// `stats.degradations` and `robust/degradations`.
+    pub budget: MemoryBudget,
 }
 
 impl EclatConfig {
@@ -38,6 +48,8 @@ impl EclatConfig {
             filter: PairFilter::none(),
             threads: Threads::Serial,
             recorder: Recorder::disabled(),
+            cancel: CancelToken::none(),
+            budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -56,6 +68,18 @@ impl EclatConfig {
     /// Attaches a metric recorder (builder style).
     pub fn with_recorder(mut self, recorder: Recorder) -> EclatConfig {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> EclatConfig {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a memory budget (builder style).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> EclatConfig {
+        self.budget = budget;
         self
     }
 }
@@ -102,6 +126,12 @@ impl TidSet {
         }
     }
 
+    /// Approximate heap footprint, for budget accounting of materialised
+    /// joins without building them first.
+    pub fn projected_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u64>>()
+    }
+
     /// Cardinality of the intersection with `other` if it reaches `min`,
     /// else `None` — aborting the word-wise scan as soon as the population
     /// count so far plus every remaining bit cannot reach `min`. Support
@@ -123,8 +153,28 @@ impl TidSet {
     }
 }
 
+impl ApproxBytes for TidSet {
+    fn approx_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u64>>()
+    }
+}
+
 /// Runs Eclat over a transaction set.
+///
+/// Panics if the run is interrupted — impossible with the default disabled
+/// [`CancelToken`]. Controlled runs should call [`try_mine_eclat`].
 pub fn mine_eclat(data: &TransactionSet, config: &EclatConfig) -> MiningResult {
+    try_mine_eclat(data, config)
+        .expect("uncontrolled Eclat cannot be interrupted; use try_mine_eclat")
+}
+
+/// Fallible [`mine_eclat`]: honours `config.cancel` at phase and pool
+/// chunk boundaries, isolates worker panics, and aborts search branches
+/// whose materialised joins exceed `config.budget`.
+pub fn try_mine_eclat(
+    data: &TransactionSet,
+    config: &EclatConfig,
+) -> Result<MiningResult, Interrupt> {
     let start = Instant::now();
     let rec = &config.recorder;
     let _alg_span = rec.span("eclat");
@@ -151,25 +201,53 @@ pub fn mine_eclat(data: &TransactionSet, config: &EclatConfig) -> MiningResult {
             .collect()
     };
     rec.counter("eclat.frequent_items", frequent.len() as u64);
+    robust::checkpoint(&config.cancel, rec)?;
 
     // Each frequent 1-item roots an independent equivalence class (its
     // DFS only reads `frequent`), so the classes fan out across workers;
     // concatenating the per-class results in item order reproduces the
-    // serial depth-first emission exactly.
+    // serial depth-first emission exactly. Each class reports its aborted
+    // branches alongside its itemsets so the degradation total is summed
+    // in item order — deterministic at any thread count.
     let search_span = rec.span("search");
-    let per_prefix = par_map(config.threads, &frequent, |pos, (item, set)| {
-        let mut out: Vec<FrequentItemset> =
-            vec![FrequentItemset { items: vec![*item], support: set.count() }];
-        extend(&frequent, pos, &mut vec![*item], set, threshold, &config.filter, &mut out);
-        out
-    });
+    let per_prefix = try_par_map(
+        config.threads,
+        &config.cancel,
+        "mining/eclat.class",
+        &frequent,
+        |pos, (item, set)| {
+            robust::fire("mining/eclat.class", &config.cancel);
+            let mut out: Vec<FrequentItemset> =
+                vec![FrequentItemset { items: vec![*item], support: set.count() }];
+            let mut aborted = 0usize;
+            extend(
+                &frequent,
+                pos,
+                &mut vec![*item],
+                set,
+                threshold,
+                &config.filter,
+                &config.budget,
+                &mut aborted,
+                &mut out,
+            );
+            (out, aborted)
+        },
+    )?;
     drop(search_span);
     // Per-class itemset counts, recorded in item order after the ordered
     // merge so the histogram is identical for every thread count.
-    for class in &per_prefix {
+    let mut degradations = 0usize;
+    for (class, aborted) in &per_prefix {
         rec.record("eclat.class_itemsets", class.len() as u64);
+        degradations += aborted;
     }
-    let found: Vec<FrequentItemset> = per_prefix.into_iter().flatten().collect();
+    if degradations > 0 {
+        rec.counter("robust/degradations", degradations as u64);
+    }
+    robust::record_budget_peak(&config.budget, rec);
+    let found: Vec<FrequentItemset> =
+        per_prefix.into_iter().flat_map(|(class, _)| class).collect();
     rec.counter("eclat.itemsets", found.len() as u64);
 
     // Group by size; depth-first emission from sorted 1-items is already
@@ -186,12 +264,14 @@ pub fn mine_eclat(data: &TransactionSet, config: &EclatConfig) -> MiningResult {
 
     let stats = MiningStats {
         frequent_per_level: levels.iter().map(Vec::len).collect(),
+        degradations,
         duration: start.elapsed(),
         ..MiningStats::default()
     };
-    MiningResult { levels, stats }
+    Ok(MiningResult { levels, stats })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn extend(
     frequent: &[(ItemId, TidSet)],
     pos: usize,
@@ -199,6 +279,8 @@ fn extend(
     prefix_tids: &TidSet,
     threshold: u64,
     filter: &PairFilter,
+    budget: &MemoryBudget,
+    aborted: &mut usize,
     out: &mut Vec<FrequentItemset>,
 ) {
     for (next_pos, (item, set)) in frequent.iter().enumerate().skip(pos + 1) {
@@ -212,10 +294,20 @@ fn extend(
         let Some(support) = prefix_tids.intersection_count_bounded(set, threshold) else {
             continue;
         };
-        let joined = prefix_tids.intersect(set);
         prefix.push(*item);
         out.push(FrequentItemset { items: prefix.clone(), support });
-        extend(frequent, next_pos, prefix, &joined, threshold, filter, out);
+        // The materialised join is what recursion costs; if the budget
+        // refuses it, abort the branch — the itemset above was counted
+        // without allocation, only its extensions are lost.
+        match budget.try_guard(prefix_tids.projected_bytes()) {
+            Some(_guard) => {
+                let joined = prefix_tids.intersect(set);
+                extend(
+                    frequent, next_pos, prefix, &joined, threshold, filter, budget, aborted, out,
+                );
+            }
+            None => *aborted += 1,
+        }
         prefix.pop();
     }
 }
@@ -365,5 +457,44 @@ mod tests {
     fn downward_closure() {
         let r = mine_eclat(&toy(), &EclatConfig::new(MinSupport::Count(2)));
         assert!(r.check_downward_closure());
+    }
+
+    #[test]
+    fn zero_budget_aborts_branches_but_keeps_pairs() {
+        // With no budget for materialised joins every branch aborts after
+        // emitting its (allocation-free) 2-set, so levels 1 and 2 survive
+        // intact and everything deeper is lost — the documented lossy
+        // degradation.
+        let data = toy();
+        let full = mine_eclat(&data, &EclatConfig::new(MinSupport::Count(1)));
+        assert!(full.max_size() > 2, "toy data must have deep itemsets");
+        let degraded = try_mine_eclat(
+            &data,
+            &EclatConfig::new(MinSupport::Count(1)).with_budget(MemoryBudget::bytes(0)),
+        )
+        .expect("branch aborts are not interrupts");
+        assert!(degraded.stats.degradations > 0);
+        assert_eq!(degraded.max_size(), 2);
+        assert_eq!(full.levels[0], degraded.levels[0]);
+        assert_eq!(full.levels[1], degraded.levels[1]);
+        // A generous budget changes nothing and leaves nothing reserved.
+        let budget = MemoryBudget::bytes(1 << 24);
+        let within = try_mine_eclat(
+            &data,
+            &EclatConfig::new(MinSupport::Count(1)).with_budget(budget.clone()),
+        )
+        .expect("within budget");
+        assert_eq!(sorted_sets(&full), sorted_sets(&within));
+        assert_eq!(within.stats.degradations, 0);
+        assert_eq!(budget.used(), 0, "branch guards release on drop");
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_run() {
+        let token = geopattern_par::CancelToken::new();
+        token.cancel();
+        let got =
+            try_mine_eclat(&toy(), &EclatConfig::new(MinSupport::Count(1)).with_cancel(token));
+        assert!(matches!(got, Err(Interrupt::Cancelled)), "{got:?}");
     }
 }

@@ -13,7 +13,9 @@
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
+use crate::robust;
 use geopattern_obs::Recorder;
+use geopattern_par::{ApproxBytes, CancelToken, Interrupt, MemoryBudget};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -27,6 +29,14 @@ pub struct FpGrowthConfig {
     /// Metric sink for phase timings and counters. Disabled by default;
     /// recording never changes the mined output.
     pub recorder: Recorder,
+    /// Cooperative cancellation/deadline token, checked at every
+    /// conditional-tree boundary. Disabled by default.
+    pub cancel: CancelToken,
+    /// Memory budget for conditional FP-trees. When a conditional tree's
+    /// reservation fails, its branch of the pattern-growth recursion is
+    /// aborted (the pattern itself is kept) — a lossy degradation counted
+    /// per branch in `stats.degradations` and `robust/degradations`.
+    pub budget: MemoryBudget,
 }
 
 impl FpGrowthConfig {
@@ -36,6 +46,8 @@ impl FpGrowthConfig {
             min_support,
             filter: PairFilter::none(),
             recorder: Recorder::disabled(),
+            cancel: CancelToken::none(),
+            budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -48,6 +60,18 @@ impl FpGrowthConfig {
     /// Attaches a metric recorder (builder style).
     pub fn with_recorder(mut self, recorder: Recorder) -> FpGrowthConfig {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> FpGrowthConfig {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a memory budget (builder style).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> FpGrowthConfig {
+        self.budget = budget;
         self
     }
 }
@@ -127,8 +151,31 @@ impl FpTree {
     }
 }
 
+impl ApproxBytes for FpTree {
+    fn approx_bytes(&self) -> usize {
+        // Node storage dominates; the header's per-item vectors hold one
+        // usize per node in total.
+        self.nodes.capacity() * std::mem::size_of::<FpNode>()
+            + self.nodes.len() * std::mem::size_of::<usize>()
+    }
+}
+
 /// Runs FP-Growth over a transaction set.
+///
+/// Panics if the run is interrupted — impossible with the default disabled
+/// [`CancelToken`]. Controlled runs should call [`try_mine_fp`].
 pub fn mine_fp(data: &TransactionSet, config: &FpGrowthConfig) -> MiningResult {
+    try_mine_fp(data, config)
+        .expect("uncontrolled FP-Growth cannot be interrupted; use try_mine_fp")
+}
+
+/// Fallible [`mine_fp`]: honours `config.cancel` at every conditional-tree
+/// boundary and aborts recursion branches whose conditional trees exceed
+/// `config.budget`.
+pub fn try_mine_fp(
+    data: &TransactionSet,
+    config: &FpGrowthConfig,
+) -> Result<MiningResult, Interrupt> {
     let start = Instant::now();
     let rec = &config.recorder;
     let _alg_span = rec.span("fpgrowth");
@@ -169,8 +216,22 @@ pub fn mine_fp(data: &TransactionSet, config: &FpGrowthConfig) -> MiningResult {
         .into_iter()
         .filter(|&(_, c)| c >= threshold)
         .collect();
-    fp_mine(&tree, &item_counts, threshold, &config.filter, &[], &mut found);
+    let mut degradations = 0usize;
+    let grown = fp_mine(
+        &tree,
+        &item_counts,
+        threshold,
+        config,
+        &[],
+        &mut degradations,
+        &mut found,
+    );
     drop(grow_span);
+    grown?;
+    if degradations > 0 {
+        rec.counter("robust/degradations", degradations as u64);
+    }
+    robust::record_budget_peak(&config.budget, rec);
     rec.counter("fpgrowth.itemsets", found.len() as u64);
 
     // Group into levels and sort lexicographically for stable comparison
@@ -188,20 +249,27 @@ pub fn mine_fp(data: &TransactionSet, config: &FpGrowthConfig) -> MiningResult {
 
     let stats = MiningStats {
         frequent_per_level: levels.iter().map(Vec::len).collect(),
+        degradations,
         duration: start.elapsed(),
         ..MiningStats::default()
     };
-    MiningResult { levels, stats }
+    Ok(MiningResult { levels, stats })
 }
 
 fn fp_mine(
     tree: &FpTree,
     item_counts: &HashMap<ItemId, u64>,
     threshold: u64,
-    filter: &PairFilter,
+    config: &FpGrowthConfig,
     suffix: &[ItemId],
+    degradations: &mut usize,
     out: &mut Vec<FrequentItemset>,
-) {
+) -> Result<(), Interrupt> {
+    // Each conditional tree is FP-Growth's "pass": fail-point site and
+    // cooperative cancellation point.
+    robust::fire("mining/fpgrowth.grow", &config.cancel);
+    robust::checkpoint(&config.cancel, &config.recorder)?;
+
     // Process items in ascending frequency (reverse of insertion order is
     // not required for correctness — any order works; use ascending count).
     let mut items: Vec<(&ItemId, &u64)> = item_counts.iter().collect();
@@ -210,7 +278,7 @@ fn fp_mine(
     for (&item, &count) in items {
         // The KC/KC+ pruning point: a pattern containing a blocked pair —
         // and every extension of it — is never generated.
-        if suffix.iter().any(|&s| filter.blocks(s, item)) {
+        if suffix.iter().any(|&s| config.filter.blocks(s, item)) {
             continue;
         }
         let mut pattern = suffix.to_vec();
@@ -239,8 +307,17 @@ fn fp_mine(
                 cond_tree.insert(&filtered, *c);
             }
         }
-        fp_mine(&cond_tree, &cond_counts, threshold, filter, &pattern, out);
+        // The conditional tree is the recursion's memory cost; if the
+        // budget refuses it, abort this branch (the pattern above is kept,
+        // its extensions are lost) and keep growing the siblings.
+        match config.budget.try_guard(cond_tree.approx_bytes()) {
+            Some(_guard) => {
+                fp_mine(&cond_tree, &cond_counts, threshold, config, &pattern, degradations, out)?;
+            }
+            None => *degradations += 1,
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -323,5 +400,29 @@ mod tests {
         let r = mine_fp(&ts, &FpGrowthConfig::new(MinSupport::Fraction(1.0)));
         assert_eq!(r.num_frequent(), 7); // 2^3 - 1
         assert!(r.all().all(|f| f.support == 3));
+    }
+
+    #[test]
+    fn zero_budget_aborts_growth_but_keeps_single_items() {
+        let data = toy();
+        let full = mine_fp(&data, &FpGrowthConfig::new(MinSupport::Count(1)));
+        assert!(full.max_size() > 1);
+        let degraded = try_mine_fp(
+            &data,
+            &FpGrowthConfig::new(MinSupport::Count(1))
+                .with_budget(geopattern_par::MemoryBudget::bytes(0)),
+        )
+        .expect("branch aborts are not interrupts");
+        assert!(degraded.stats.degradations > 0);
+        assert_eq!(degraded.max_size(), 1, "no conditional tree fits, so no growth");
+        assert_eq!(full.levels[0], degraded.levels[0]);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_run() {
+        let token = geopattern_par::CancelToken::new();
+        token.cancel();
+        let got = try_mine_fp(&toy(), &FpGrowthConfig::new(MinSupport::Count(1)).with_cancel(token));
+        assert!(matches!(got, Err(geopattern_par::Interrupt::Cancelled)), "{got:?}");
     }
 }

@@ -57,14 +57,15 @@ pub mod fpgrowth;
 pub mod gain;
 pub mod item;
 pub mod result;
+pub(crate) mod robust;
 pub mod rules;
 
-pub use apriori::{apriori_gen, mine, AprioriConfig, CountingStrategy};
-pub use apriori_tid::{mine_apriori_tid, AprioriTidConfig};
+pub use apriori::{apriori_gen, mine, try_mine, AprioriConfig, CountingStrategy};
+pub use apriori_tid::{mine_apriori_tid, try_mine_apriori_tid, AprioriTidConfig};
 pub use closed::{closed_itemsets, maximal_itemsets};
-pub use eclat::{mine_eclat, EclatConfig, TidSet};
+pub use eclat::{mine_eclat, try_mine_eclat, EclatConfig, TidSet};
 pub use filter::PairFilter;
-pub use fpgrowth::{mine_fp, FpGrowthConfig};
+pub use fpgrowth::{mine_fp, try_mine_fp, FpGrowthConfig};
 pub use gain::{binomial, itemset_count_lower_bound, minimal_gain, table3};
 pub use item::{ItemCatalog, ItemId, TransactionSet};
 pub use result::{FrequentItemset, MiningResult, MiningStats, MinSupport};

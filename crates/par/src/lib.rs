@@ -7,7 +7,15 @@
 //!
 //! * [`par_map`] — order-preserving parallel map over a slice;
 //! * [`par_map_reduce`] — parallel fold over contiguous chunks with a
-//!   deterministic in-order reduction of the per-chunk accumulators.
+//!   deterministic in-order reduction of the per-chunk accumulators;
+//! * [`try_par_map`] / [`try_par_map_reduce`] — fallible variants that
+//!   check a [`CancelToken`] at every chunk boundary and catch worker
+//!   panics ([`Interrupt::WorkerPanic`]) instead of aborting, draining
+//!   and joining the pool cleanly on any interruption;
+//! * [`control`] — the cooperative fault-tolerance primitives shared by
+//!   the whole system: [`CancelToken`] (atomic flag + optional monotonic
+//!   deadline), [`MemoryBudget`] (byte accounting with a peak watermark
+//!   for graceful degradation), and the [`ApproxBytes`] estimate trait.
 //!
 //! Work distribution is *chunked self-scheduling*: the input is cut into
 //! more chunks than workers (bounding imbalance to one chunk) and workers
@@ -20,7 +28,17 @@
 //! `Auto`, which honours the `GEOPATTERN_THREADS` environment variable and
 //! falls back to [`std::thread::available_parallelism`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod control;
+
+pub use control::{ApproxBytes, BudgetGuard, CancelToken, Interrupt, MemoryBudget};
+
+/// Upper bound on configurable worker counts; anything above this is a
+/// typo or an attack, not a machine.
+pub const MAX_THREADS: usize = 4096;
 
 /// How many worker threads a parallel stage may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,31 +58,39 @@ impl Threads {
     pub fn get(self) -> usize {
         match self {
             Threads::Serial => 1,
-            Threads::Fixed(n) => n.max(1),
+            Threads::Fixed(n) => n.clamp(1, MAX_THREADS),
             Threads::Auto => env_threads().unwrap_or_else(available_threads),
         }
     }
 
     /// Parses a CLI-style value: `"auto"`/`"0"` → `Auto`, `"1"` → `Serial`,
-    /// `"n"` → `Fixed(n)`.
+    /// `"n"` → `Fixed(n)`. Counts above [`MAX_THREADS`] are rejected — no
+    /// real machine wants them and spawning unbounded workers is how a
+    /// typo becomes an outage.
     pub fn parse(s: &str) -> Result<Threads, String> {
         match s.to_ascii_lowercase().as_str() {
             "auto" | "0" => Ok(Threads::Auto),
             "1" => Ok(Threads::Serial),
-            n => n
-                .parse::<usize>()
-                .map(Threads::Fixed)
-                .map_err(|_| format!("bad thread count {s:?} (expected a number or \"auto\")")),
+            n => match n.parse::<usize>() {
+                Ok(count) if count > MAX_THREADS => Err(format!(
+                    "thread count {count} is absurd (maximum {MAX_THREADS})"
+                )),
+                Ok(count) => Ok(Threads::Fixed(count)),
+                Err(_) => {
+                    Err(format!("bad thread count {s:?} (expected a number or \"auto\")"))
+                }
+            },
         }
     }
 }
 
-/// The `GEOPATTERN_THREADS` override, when set to a positive integer.
+/// The `GEOPATTERN_THREADS` override, when set to a positive integer no
+/// larger than [`MAX_THREADS`].
 fn env_threads() -> Option<usize> {
     std::env::var("GEOPATTERN_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+        .filter(|&n| n > 0 && n <= MAX_THREADS)
 }
 
 /// The machine's available parallelism (1 when unknown).
@@ -162,6 +188,182 @@ where
     accs.into_iter().reduce(reduce)
 }
 
+/// Records the first interrupt and tells every worker to stop claiming
+/// chunks. Later interrupts are dropped: the first is the cause, the rest
+/// are echoes of the shutdown.
+fn report_interrupt(error: &Mutex<Option<Interrupt>>, stop: &AtomicBool, interrupt: Interrupt) {
+    let mut slot = error.lock().unwrap_or_else(|poison| poison.into_inner());
+    if slot.is_none() {
+        *slot = Some(interrupt);
+    }
+    stop.store(true, Ordering::Release);
+}
+
+/// Fallible [`par_map`]: identical output on success, but the token is
+/// checked at every chunk boundary and worker panics are caught instead of
+/// aborting the process.
+///
+/// On any interrupt the pool *drains and joins cleanly* — remaining chunks
+/// are abandoned, every scoped thread exits, and the first interrupt (in
+/// wall-clock order) is returned as [`Interrupt::Cancelled`],
+/// [`Interrupt::DeadlineExceeded`] or [`Interrupt::WorkerPanic`] tagged
+/// with `stage`. With a disabled token and no panic this computes exactly
+/// what [`par_map`] computes, at any thread count.
+pub fn try_par_map<T, R, F>(
+    threads: Threads,
+    cancel: &CancelToken,
+    stage: &str,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, Interrupt>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.get().min(items.len().max(1));
+    let chunk = chunk_size(items.len(), workers);
+    if workers <= 1 || items.len() <= 1 {
+        // Serial path: same cadence of cancel checks (one per chunk-sized
+        // run of items), one catch_unwind around the whole loop.
+        let mut out = Vec::with_capacity(items.len());
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), Interrupt> {
+            for (i, item) in items.iter().enumerate() {
+                if i % chunk == 0 {
+                    cancel.check()?;
+                }
+                out.push(f(i, item));
+            }
+            Ok(())
+        }));
+        return match run {
+            Ok(Ok(())) => {
+                // Final check: a token tripped during the last items (e.g.
+                // by a cooperating closure that then truncated its own
+                // work) must surface as an interrupt, never as Ok with
+                // partial output.
+                cancel.check()?;
+                Ok(out)
+            }
+            Ok(Err(interrupt)) => Err(interrupt),
+            Err(payload) => Err(Interrupt::WorkerPanic {
+                stage: stage.to_string(),
+                message: control::panic_message(payload.as_ref()),
+            }),
+        };
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let error: Mutex<Option<Interrupt>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    {
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let slots_ptr = &slots_ptr;
+                let cursor = &cursor;
+                let f = &f;
+                let error = &error;
+                let stop = &stop;
+                scope.spawn(move || loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Err(interrupt) = cancel.check() {
+                        report_interrupt(error, stop, interrupt);
+                        break;
+                    }
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    // Catch per chunk: a panicking closure poisons only its
+                    // own chunk; the slots it did write are discarded with
+                    // the buffer when the error path returns.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let idx = start + i;
+                            // SAFETY: as in `par_map` — the cursor hands out
+                            // disjoint ranges and `slots` outlives the scope.
+                            unsafe { *slots_ptr.0.add(idx) = Some(f(idx, item)) };
+                        }
+                    }));
+                    if let Err(payload) = outcome {
+                        report_interrupt(
+                            error,
+                            stop,
+                            Interrupt::WorkerPanic {
+                                stage: stage.to_string(),
+                                message: control::panic_message(payload.as_ref()),
+                            },
+                        );
+                        break;
+                    }
+                });
+            }
+        });
+    }
+    if let Some(interrupt) = error.into_inner().unwrap_or_else(|poison| poison.into_inner()) {
+        return Err(interrupt);
+    }
+    // Same final check as the serial path: a cancellation that landed
+    // after every chunk was claimed (so no worker re-checked the token)
+    // must not yield Ok — closures cooperating with the token may have
+    // truncated their own output.
+    cancel.check()?;
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every slot written by the pool"))
+        .collect())
+}
+
+/// Fallible [`par_map_reduce`]: same deterministic chunk-ordered reduction,
+/// with cancellation and panic isolation from [`try_par_map`]. The serial
+/// `map` call is also guarded, so a panic in single-threaded mode surfaces
+/// as [`Interrupt::WorkerPanic`] rather than unwinding through the caller.
+pub fn try_par_map_reduce<T, A, M, R>(
+    threads: Threads,
+    cancel: &CancelToken,
+    stage: &str,
+    items: &[T],
+    map: M,
+    reduce: R,
+) -> Result<Option<A>, Interrupt>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
+    if items.is_empty() {
+        return Ok(None);
+    }
+    cancel.check()?;
+    let workers = threads.get().min(items.len());
+    if workers <= 1 {
+        return match std::panic::catch_unwind(AssertUnwindSafe(|| map(0, items))) {
+            Ok(acc) => {
+                cancel.check()?;
+                Ok(Some(acc))
+            }
+            Err(payload) => Err(Interrupt::WorkerPanic {
+                stage: stage.to_string(),
+                message: control::panic_message(payload.as_ref()),
+            }),
+        };
+    }
+    let chunk = chunk_size(items.len(), workers);
+    let starts: Vec<usize> = (0..items.len()).step_by(chunk).collect();
+    let accs = try_par_map(threads, cancel, stage, &starts, |_, &start| {
+        let end = (start + chunk).min(items.len());
+        map(start, &items[start..end])
+    })?;
+    Ok(accs.into_iter().reduce(reduce))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,8 +430,136 @@ mod tests {
                 a
             },
         )
-        .unwrap();
+        .expect("non-empty input always yields a reduction");
         assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_when_uncontrolled() {
+        let items: Vec<u64> = (0..1000).collect();
+        let token = CancelToken::none();
+        for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+            let plain = par_map(threads, &items, |_, &x| x * 3 + 1);
+            let tried = try_par_map(threads, &token, "test", &items, |_, &x| x * 3 + 1)
+                .expect("disabled token never interrupts");
+            assert_eq!(tried, plain, "{threads:?}");
+        }
+        // An enabled-but-untripped token also changes nothing.
+        let live = CancelToken::new();
+        let tried = try_par_map(Threads::Fixed(4), &live, "test", &items, |_, &x| x + 1)
+            .expect("untripped token never interrupts");
+        assert_eq!(tried, par_map(Threads::Fixed(4), &items, |_, &x| x + 1));
+    }
+
+    #[test]
+    fn try_par_map_observes_pre_cancelled_token() {
+        let items: Vec<u64> = (0..100).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [Threads::Serial, Threads::Fixed(4)] {
+            let got = try_par_map(threads, &token, "test", &items, |_, &x| x);
+            assert_eq!(got, Err(Interrupt::Cancelled), "{threads:?}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_stops_after_mid_run_cancel() {
+        // A worker closure trips the token itself; later chunks must be
+        // abandoned and the call must report Cancelled, not complete.
+        let items: Vec<u64> = (0..10_000).collect();
+        let token = CancelToken::new();
+        let calls = AtomicUsize::new(0);
+        let got = try_par_map(Threads::Fixed(4), &token, "test", &items, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                token.cancel();
+            }
+            x
+        });
+        assert_eq!(got, Err(Interrupt::Cancelled));
+        assert!(
+            calls.load(Ordering::Relaxed) < items.len(),
+            "cancellation should abandon the tail of the input"
+        );
+    }
+
+    #[test]
+    fn try_par_map_reports_expired_deadline() {
+        let items: Vec<u64> = (0..100).collect();
+        let token =
+            CancelToken::with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let got = try_par_map(Threads::Fixed(4), &token, "test", &items, |_, &x| x);
+        assert_eq!(got, Err(Interrupt::DeadlineExceeded));
+    }
+
+    #[test]
+    fn try_par_map_isolates_worker_panics() {
+        let items: Vec<u64> = (0..1000).collect();
+        let token = CancelToken::none();
+        for threads in [Threads::Serial, Threads::Fixed(4)] {
+            let got = try_par_map(threads, &token, "unit/panic", &items, |i, &x| {
+                if i == 500 {
+                    panic!("injected failure at {i}");
+                }
+                x
+            });
+            match got {
+                Err(Interrupt::WorkerPanic { stage, message }) => {
+                    assert_eq!(stage, "unit/panic", "{threads:?}");
+                    assert!(message.contains("injected failure"), "{threads:?}: {message}");
+                }
+                other => panic!("{threads:?}: expected WorkerPanic, got {other:?}"),
+            }
+        }
+        // The pool is an ordinary scoped construct: a panic in one call
+        // leaves nothing behind, and the next call works.
+        let again = try_par_map(Threads::Fixed(4), &token, "test", &items, |_, &x| x + 1)
+            .expect("pool must be reusable after a caught panic");
+        assert_eq!(again.len(), items.len());
+    }
+
+    #[test]
+    fn try_par_map_reduce_matches_infallible_variant() {
+        let items: Vec<u64> = (1..=10_000).collect();
+        let token = CancelToken::none();
+        for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+            let got = try_par_map_reduce(
+                threads,
+                &token,
+                "test",
+                &items,
+                |_, chunk| chunk.iter().sum::<u64>(),
+                |a, b| a + b,
+            )
+            .expect("disabled token never interrupts");
+            assert_eq!(got, Some(items.iter().sum::<u64>()), "{threads:?}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(
+            try_par_map_reduce(Threads::Fixed(4), &token, "test", &empty, |_, c| c.len(), |a, b| a
+                + b),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn try_par_map_reduce_propagates_serial_panic() {
+        let items: Vec<u64> = (0..10).collect();
+        let got = try_par_map_reduce(
+            Threads::Serial,
+            &CancelToken::none(),
+            "unit/serial-panic",
+            &items,
+            |_, _chunk| -> u64 { panic!("serial map panicked") },
+            |a, b| a + b,
+        );
+        match got {
+            Err(Interrupt::WorkerPanic { stage, message }) => {
+                assert_eq!(stage, "unit/serial-panic");
+                assert!(message.contains("serial map panicked"));
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]
@@ -247,6 +577,11 @@ mod tests {
         assert_eq!(Threads::parse("1"), Ok(Threads::Serial));
         assert_eq!(Threads::parse("6"), Ok(Threads::Fixed(6)));
         assert!(Threads::parse("six").is_err());
+        // The absurdity guard: 4096 is the last acceptable count.
+        assert_eq!(Threads::parse("4096"), Ok(Threads::Fixed(MAX_THREADS)));
+        let err = Threads::parse("4097").expect_err("counts above MAX_THREADS are rejected");
+        assert!(err.contains("absurd"), "{err}");
+        assert!(Threads::parse("1000000").is_err());
     }
 
     #[test]

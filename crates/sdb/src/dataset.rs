@@ -249,4 +249,26 @@ mod tests {
             Err(DatasetError::Syntax { line: 1, .. })
         ));
     }
+
+    #[test]
+    fn non_finite_coordinates_rejected_with_line_number() {
+        // `1e400` overflows to +inf; it must surface as a typed geometry
+        // error pointing at the offending line, never reach the distance
+        // kernel as NaN/inf.
+        let text = "layer d reference\nok|POINT (1 2)|\nbad|POINT (1e400 0)|\n";
+        match SpatialDataset::from_text(text) {
+            Err(DatasetError::Geometry { line, source }) => {
+                assert_eq!(line, 3);
+                assert_eq!(source, GeomError::NonFiniteCoordinate);
+            }
+            other => panic!("expected Geometry error, got {other:?}"),
+        }
+        let poly = "layer d reference\np|POLYGON ((0 0, 1 0, 1e999 1, 0 0))|\n";
+        match SpatialDataset::from_text(poly) {
+            Err(DatasetError::Geometry { line: 2, source }) => {
+                assert_eq!(source, GeomError::NonFiniteCoordinate);
+            }
+            other => panic!("expected Geometry error on line 2, got {other:?}"),
+        }
+    }
 }

@@ -37,12 +37,19 @@
 //! [`geopattern_obs::Metrics`] (no locking on the hot path) which the
 //! row-order merge absorbs — the same discipline that keeps the table
 //! deterministic keeps the metrics deterministic.
+//!
+//! [`try_extract_recorded`] is the fault-tolerant entry point: it takes a
+//! [`CancelToken`] checked between chunks by the pool *and inside each
+//! row's pair loops*, so even a single enormous row stops promptly; a
+//! worker panic is isolated by the pool and surfaced as
+//! [`Interrupt::WorkerPanic`]. Runs that complete normally are
+//! byte-identical to uncontrolled runs.
 
 use crate::feature::{Feature, Layer};
 use crate::predicate_table::{Predicate, PredicateTable};
 use geopattern_geom::{take_kernel_counters, GeomDim, IntersectionMatrix, PreparedGeometry};
 use geopattern_obs::{Metrics, Recorder};
-use geopattern_par::{par_map, Threads};
+use geopattern_par::{try_par_map, CancelToken, Interrupt, Threads};
 use geopattern_qsr::{
     classify, geometry_direction, DistanceScheme, SpatialPredicate, TopologicalRelation,
 };
@@ -226,6 +233,29 @@ pub fn extract_recorded(
     config: &ExtractionConfig,
     recorder: &Recorder,
 ) -> (PredicateTable, ExtractionStats) {
+    try_extract_recorded(reference, relevant, config, recorder, &CancelToken::none())
+        .expect("uncontrolled extraction cannot be interrupted; use try_extract_recorded")
+}
+
+/// [`extract_recorded`] with cooperative fault tolerance.
+///
+/// `cancel` is observed at pool chunk boundaries and inside each row's
+/// per-pair loops (fail point: `sdb/extract.row`, fired once per row). A
+/// cancelled or deadline-expired run returns [`Interrupt::Cancelled`] /
+/// [`Interrupt::DeadlineExceeded`]; a panicking worker is isolated and
+/// reported as [`Interrupt::WorkerPanic`] with stage `extract/rows` (or
+/// `extract/prepare` for the self-join memo). When the token is enabled,
+/// the per-pair checks are counted under `robust/cancel_checks` — a
+/// per-row quantity absorbed in row order, so it is thread-count
+/// invariant. Runs that complete normally produce exactly the
+/// [`extract_recorded`] output.
+pub fn try_extract_recorded(
+    reference: &Layer,
+    relevant: &[&Layer],
+    config: &ExtractionConfig,
+    recorder: &Recorder,
+    cancel: &CancelToken,
+) -> Result<(PredicateTable, ExtractionStats), Interrupt> {
     let _extract_span = recorder.span("extract");
     // The window query applies only when every classifiable distance is
     // bounded (last band finite) and no direction predicates are wanted —
@@ -255,18 +285,28 @@ pub fn extract_recorded(
             .into_iter()
             .map(|mut pl| {
                 if std::ptr::eq(pl.layer as *const Layer, reference as *const Layer) {
-                    pl.memo = Some(build_self_join_memo(&pl, config, record, recorder));
+                    pl.memo =
+                        Some(build_self_join_memo(&pl, config, record, recorder, cancel)?);
                 }
-                pl
+                Ok(pl)
             })
-            .collect()
+            .collect::<Result<_, Interrupt>>()?
     };
 
     let batches = {
         let _rows_span = recorder.span("rows");
-        par_map(config.threads, reference.features(), |row, ref_feature| {
-            extract_row(row, ref_feature, &layers, config, record)
-        })
+        try_par_map(
+            config.threads,
+            cancel,
+            "extract/rows",
+            reference.features(),
+            |row, ref_feature| {
+                if geopattern_testkit::failpoint::trigger("sdb/extract.row") {
+                    cancel.cancel();
+                }
+                extract_row(row, ref_feature, &layers, config, record, cancel)
+            },
+        )?
     };
 
     // Single-threaded merge: interning in row order reproduces the serial
@@ -286,7 +326,7 @@ pub fn extract_recorded(
     recorder.counter("extract.candidate_pairs", stats.candidate_pairs as u64);
     recorder.counter("extract.pruned_pairs", stats.pruned_pairs as u64);
     recorder.counter("extract.spatial_predicates", stats.spatial_predicates as u64);
-    (table, stats)
+    Ok((table, stats))
 }
 
 /// Precomputes every unordered pair result of a self-join layer, in
@@ -299,12 +339,14 @@ fn build_self_join_memo(
     config: &ExtractionConfig,
     record: bool,
     recorder: &Recorder,
-) -> SelfJoinMemo {
+    cancel: &CancelToken,
+) -> Result<SelfJoinMemo, Interrupt> {
     let layer = pl.layer;
     let cutoff = pl.window.unwrap_or(f64::INFINITY);
     let want_dist = config.distance.is_some() || config.direction;
     type MemoRow = (Vec<(u32, IntersectionMatrix)>, Vec<(u32, Option<f64>)>, Metrics);
-    let rows: Vec<MemoRow> = par_map(config.threads, layer.features(), |row, feature| {
+    let rows: Vec<MemoRow> =
+        try_par_map(config.threads, cancel, "extract/prepare", layer.features(), |row, feature| {
         // Discard counter residue left on this worker thread by other rows.
         let _ = take_kernel_counters();
         let envelope = feature.envelope();
@@ -333,7 +375,7 @@ fn build_self_join_memo(
             drain_kernel_counters(&mut metrics);
         }
         (topo, dist, metrics)
-    });
+    })?;
     let mut topo = Vec::with_capacity(rows.len());
     let mut dist = Vec::with_capacity(rows.len());
     for (t, d, metrics) in rows {
@@ -341,10 +383,10 @@ fn build_self_join_memo(
         dist.push(d);
         recorder.absorb(&metrics);
     }
-    SelfJoinMemo {
+    Ok(SelfJoinMemo {
         topo: config.topological.then_some(topo),
         dist: want_dist.then_some(dist),
-    }
+    })
 }
 
 /// Moves the thread-local geometry-kernel counters accumulated since the
@@ -358,15 +400,25 @@ fn drain_kernel_counters(metrics: &mut Metrics) {
 
 /// Computes one reference feature's predicates, in the exact order the
 /// serial implementation emits them.
+///
+/// When `cancel` is enabled, the token is checked once per candidate pair
+/// (counted under `robust/cancel_checks`); on interruption the row bails
+/// out with a truncated batch, which is safe because [`try_par_map`]
+/// re-checks the token before returning `Ok` and discards all output on
+/// interruption.
 fn extract_row(
     row: usize,
     ref_feature: &Feature,
     layers: &[PreparedLayer],
     config: &ExtractionConfig,
     record: bool,
+    cancel: &CancelToken,
 ) -> RowBatch {
     let mut predicates: Vec<Predicate> = Vec::new();
     let mut stats = ExtractionStats::default();
+    let watch = cancel.is_enabled();
+    let mut cancel_checks: u64 = 0;
+    let mut interrupted = false;
 
     if config.nonspatial_attributes {
         for (attribute, value) in &ref_feature.attributes {
@@ -385,7 +437,7 @@ fn extract_row(
     let ref_dim = ref_feature.geometry.dimension();
     let ref_envelope = ref_feature.envelope();
 
-    for pl in layers {
+    'layers: for pl in layers {
         let layer = pl.layer;
         let ft = layer.feature_type.as_str();
 
@@ -396,6 +448,13 @@ fn extract_row(
             stats.pruned_pairs += layer.len() - candidates.len();
             let mut disjoint_count = layer.len() - candidates.len();
             for ci in candidates {
+                if watch {
+                    cancel_checks += 1;
+                    if cancel.interrupted() {
+                        interrupted = true;
+                        break 'layers;
+                    }
+                }
                 stats.candidate_pairs += 1;
                 let m = match pl.memo.as_ref().and_then(|memo| memo.lookup_topo(row, ci)) {
                     Some(m) => m,
@@ -433,6 +492,13 @@ fn extract_row(
             // unbounded kernel's too-large distance would.
             let cutoff = pl.window.unwrap_or(f64::INFINITY);
             for ci in scan {
+                if watch {
+                    cancel_checks += 1;
+                    if cancel.interrupted() {
+                        interrupted = true;
+                        break 'layers;
+                    }
+                }
                 let rel_feature = &layer.features()[ci];
                 stats.candidate_pairs += 1;
                 let within = match pl.memo.as_ref().and_then(|memo| memo.lookup_dist(row, ci)) {
@@ -462,11 +528,16 @@ fn extract_row(
     }
 
     // Worker-local metrics: filled without locks, absorbed by the merge
-    // in row order.
+    // in row order. A truncated (interrupted) batch skips them — the pool
+    // discards the whole output on interruption, so nothing partial can
+    // leak into the aggregate.
     let mut metrics = Metrics::new();
-    if record {
+    if record && !interrupted {
         metrics.record("extract.row_predicates", predicates.len() as u64);
         metrics.record("extract.row_candidate_pairs", stats.candidate_pairs as u64);
+        if watch {
+            metrics.add_counter("robust/cancel_checks", cancel_checks);
+        }
         drain_kernel_counters(&mut metrics);
     }
     RowBatch { predicates, stats, metrics }
@@ -744,6 +815,67 @@ mod tests {
                 "{n} threads"
             );
         }
+    }
+
+    #[test]
+    fn try_extract_with_idle_token_is_identical_and_counts_checks() {
+        let (district, slums, schools, police) = toy_layers();
+        let layers = [&slums, &schools, &police];
+        let config = ExtractionConfig::topological_only();
+        let (plain_table, plain_stats) = extract(&district, &layers, &config);
+        let rec = Recorder::new();
+        let cancel = CancelToken::new();
+        let (table, stats) =
+            try_extract_recorded(&district, &layers, &config, &rec, &cancel).unwrap();
+        assert_eq!(table.predicates(), plain_table.predicates());
+        assert_eq!(table.rows(), plain_table.rows());
+        assert_eq!(stats, plain_stats);
+        // One check per candidate pair, a per-row quantity.
+        let m = rec.snapshot();
+        assert_eq!(m.counter("robust/cancel_checks"), Some(stats.candidate_pairs as u64));
+    }
+
+    #[test]
+    fn try_extract_without_token_records_no_robust_counters() {
+        let (district, slums, _schools, _police) = toy_layers();
+        let rec = Recorder::new();
+        let config = ExtractionConfig::topological_only();
+        try_extract_recorded(&district, &[&slums], &config, &rec, &CancelToken::none()).unwrap();
+        assert_eq!(rec.snapshot().counter("robust/cancel_checks"), None);
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_extraction() {
+        let (district, slums, _schools, _police) = toy_layers();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = try_extract_recorded(
+            &district,
+            &[&slums],
+            &ExtractionConfig::topological_only(),
+            &Recorder::disabled(),
+            &cancel,
+        )
+        .unwrap_err();
+        assert_eq!(err, Interrupt::Cancelled);
+    }
+
+    #[test]
+    fn extract_row_fail_point_cancels_deterministically() {
+        use geopattern_testkit::failpoint;
+        let (district, slums, _schools, _police) = toy_layers();
+        failpoint::activate("sdb/extract.row", failpoint::FailAction::Cancel, 1.0, 7);
+        let cancel = CancelToken::new();
+        let err = try_extract_recorded(
+            &district,
+            &[&slums],
+            &ExtractionConfig::topological_only(),
+            &Recorder::disabled(),
+            &cancel,
+        )
+        .unwrap_err();
+        failpoint::deactivate("sdb/extract.row");
+        assert_eq!(err, Interrupt::Cancelled);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod taxonomy;
 
 pub use dataset::{DatasetError, SpatialDataset};
 pub use discretize::{discretize_attribute, BinningStrategy, DiscretizeError};
-pub use extract::{extract, extract_recorded, ExtractionConfig, ExtractionStats};
+pub use extract::{extract, extract_recorded, try_extract_recorded, ExtractionConfig, ExtractionStats};
 pub use feature::{Feature, Layer};
 pub use join::{spatial_join, spatial_join_intersecting, JoinPair};
 pub use knowledge::KnowledgeBase;

@@ -14,6 +14,11 @@
 //!   oracle and must never drift.
 //!
 //! The generator is *not* cryptographic and is not meant to be.
+//!
+//! The crate also hosts the [`failpoint`] registry — deterministic,
+//! seedable fault injection for the fault-tolerance test suite.
+
+pub mod failpoint;
 
 /// SplitMix64 step: the seed-expansion PRNG (Steele, Lea & Flood 2014).
 #[inline]

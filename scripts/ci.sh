@@ -16,6 +16,33 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> fault-injection suite (fail points armed, fixed seeds)"
+cargo test --release -q -p geopattern-integration --test fault_injection
+cargo test --release -q -p geopattern-integration --test dataset_fuzz
+
+echo "==> degradation-equivalence gate (AprioriTid degraded == plain Apriori, Fig 5 data)"
+cargo test --release -q -p geopattern-integration --test robustness \
+    apriori_tid_degradation_is_equivalent_to_plain_apriori
+
+echo "==> CLI exit-code contract (timeout=4, worker panic=5)"
+DATASET="$(mktemp -t geopattern-ci-XXXXXX.gpd)"
+trap 'rm -f "$DATASET"' EXIT
+cargo run --release -q -p geopattern --bin geopattern -- \
+    generate-city --grid 4 --seed 9 --out "$DATASET"
+set +e
+cargo run --release -q -p geopattern --bin geopattern -- \
+    mine "$DATASET" --timeout 0 >/dev/null 2>&1
+code=$?
+set -e
+test "$code" -eq 4 || { echo "expected exit 4 on --timeout 0, got $code"; exit 1; }
+set +e
+GEOPATTERN_FAILPOINTS='mining/apriori.count=panic@1:42' \
+    cargo run --release -q -p geopattern --bin geopattern -- \
+    mine "$DATASET" --algorithm apriori >/dev/null 2>&1
+code=$?
+set -e
+test "$code" -eq 5 || { echo "expected exit 5 on injected worker panic, got $code"; exit 1; }
+
 echo "==> experiments scaling (emits BENCH_scaling.json)"
 cargo run --release -q -p geopattern-bench --bin experiments -- scaling --grid 12
 test -s BENCH_scaling.json

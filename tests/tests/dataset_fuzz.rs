@@ -1,0 +1,114 @@
+//! Seeded corpus-mutation fuzzing of the dataset parser: ~1k PRNG-mutated
+//! dataset files go through `SpatialDataset::from_text`, which must return
+//! `Ok` or a typed `DatasetError` — never panic — on every one of them.
+//!
+//! The corpus starts from a well-formed generated city, and each
+//! iteration applies a random stack of mutations: byte flips, truncation,
+//! duplication, splicing, digit scrambling, and injection of hostile
+//! tokens (`1e400`, `nan`, stray separators). Everything derives from one
+//! fixed seed, so a failure is exactly reproducible.
+
+use geopattern::SpatialDataset;
+use geopattern_datagen::{generate_city, CityConfig};
+use geopattern_testkit::Rng;
+
+/// Hostile fragments spliced into the text at random positions.
+const POISON: &[&str] = &[
+    "1e400",
+    "-1e999",
+    "nan",
+    "inf",
+    "|",
+    "||",
+    ";",
+    "=",
+    "layer ",
+    "layer x reference\n",
+    "POINT (",
+    "POLYGON ((",
+    ")))",
+    "\u{0}",
+    "é",
+    "\n\n",
+];
+
+fn mutate(rng: &mut Rng, base: &str) -> String {
+    let mut bytes = base.as_bytes().to_vec();
+    let edits = 1 + rng.below_usize(8);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        match rng.below(6) {
+            // Flip a byte to something printable-ish (or not).
+            0 => {
+                let at = rng.below_usize(bytes.len());
+                bytes[at] = (rng.below(256)) as u8;
+            }
+            // Truncate at a random point.
+            1 => {
+                let at = rng.below_usize(bytes.len());
+                bytes.truncate(at);
+            }
+            // Duplicate a random slice.
+            2 => {
+                let start = rng.below_usize(bytes.len());
+                let len = rng.below_usize((bytes.len() - start).min(64) + 1);
+                let slice: Vec<u8> = bytes[start..start + len].to_vec();
+                let at = rng.below_usize(bytes.len() + 1);
+                bytes.splice(at..at, slice);
+            }
+            // Delete a random slice.
+            3 => {
+                let start = rng.below_usize(bytes.len());
+                let len = rng.below_usize((bytes.len() - start).min(64) + 1);
+                bytes.drain(start..start + len);
+            }
+            // Inject a hostile token.
+            4 => {
+                let token = POISON[rng.below_usize(POISON.len())];
+                let at = rng.below_usize(bytes.len() + 1);
+                bytes.splice(at..at, token.bytes());
+            }
+            // Scramble a digit (turns valid numbers into huge/odd ones).
+            _ => {
+                let at = rng.below_usize(bytes.len());
+                if bytes[at].is_ascii_digit() {
+                    bytes[at] = b'0' + (rng.below(10)) as u8;
+                } else {
+                    bytes[at] = b'9';
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn one_thousand_mutated_datasets_never_panic_the_parser() {
+    let base = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() }).to_text();
+    let mut rng = Rng::seed_from_u64(0xDA7A_F422);
+    let mut ok = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..1000 {
+        let mutated = mutate(&mut rng, &base);
+        // The property under test: parsing either succeeds or returns a
+        // typed error. A panic fails the test with `i` identifying the
+        // reproducible offending input.
+        match SpatialDataset::from_text(&mutated) {
+            Ok(_) => ok += 1,
+            Err(_) => rejected += 1,
+        }
+        let _ = i;
+    }
+    assert_eq!(ok + rejected, 1000);
+    // Sanity: the corpus is not degenerate — mutations produce both
+    // accepted and rejected inputs.
+    assert!(rejected > 0, "every mutation parsed cleanly; corpus too tame");
+}
+
+#[test]
+fn unmutated_base_still_parses() {
+    let base = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() }).to_text();
+    SpatialDataset::from_text(&base).expect("pristine dataset parses");
+}
