@@ -5,6 +5,7 @@
 //!     --table3|--fig3|--fig4|--fig5|--fig6|--fig7|--formula|--city]
 //! cargo run --release -p geopattern-bench --bin experiments -- scaling [--grid N]
 //! cargo run --release -p geopattern-bench --bin experiments -- kernel [--max V]
+//! cargo run --release -p geopattern-bench --bin experiments -- counting [--check]
 //! ```
 //!
 //! Counts (Tables 1–3, Figures 3, 4, 6, the formula cross-checks) are
@@ -13,13 +14,18 @@
 //! serial vs N-thread wall-clock for predicate extraction and support
 //! counting on a large generated city, with outputs verified identical.
 //! The `kernel` subcommand benchmarks the segment-indexed geometry kernel
-//! against the brute-force one on layers of growing vertex count. Both
-//! are excluded from `--all` because of their size.
+//! against the brute-force one on layers of growing vertex count. The
+//! `counting` subcommand races every support-counting strategy
+//! (hash-subset, prefix-trie, eclat, bitmap, diffset) on the canonical
+//! seed-42 workload after verifying their outputs identical; with
+//! `--check` it exits non-zero if the bitmap kernel is slower than
+//! hash-subset. All three are excluded from `--all` because of their
+//! size.
 //!
 //! The measured experiments additionally dump machine-readable
-//! `BENCH_fig5.json`, `BENCH_fig7.json`, `BENCH_scaling.json` and
-//! `BENCH_kernel.json` files to the working directory, so perf
-//! trajectories accumulate across runs.
+//! `BENCH_fig5.json`, `BENCH_fig7.json`, `BENCH_scaling.json`,
+//! `BENCH_counting.json` and `BENCH_kernel.json` files to the working
+//! directory, so perf trajectories accumulate across runs.
 
 use geopattern::obs::json::{json_f64, JsonBuf};
 use geopattern::{Algorithm, MiningPipeline, MinSupport, PairFilter, Threads};
@@ -50,8 +56,13 @@ fn main() {
             .position(|a| a == "--grid")
             .and_then(|p| args.get(p + 1))
             .and_then(|v| v.parse().ok())
-            .unwrap_or(45);
+            .unwrap_or(24);
         print_scaling(grid);
+        return;
+    }
+    if args.iter().any(|a| a == "counting" || a == "--counting") {
+        let check = args.iter().any(|a| a == "--check");
+        print_counting(check);
         return;
     }
     if args.iter().any(|a| a == "kernel" || a == "--kernel") {
@@ -410,10 +421,145 @@ fn print_formula_crosschecks() {
     );
 }
 
+/// The canonical seed-42 counting workload shared by the `scaling` and
+/// `counting` subcommands: 60k synthetic transactions with controlled
+/// lattice depth. (Tiling an extracted city table does not work here: its
+/// rows are near-duplicates, so at any usable support whole rows become
+/// frequent itemsets and candidate enumeration explodes combinatorially.)
+fn counting_workload() -> TransactionSet {
+    experiments::ExperimentSpec {
+        relations_per_type: vec![3, 3, 2, 2, 2, 1],
+        nonspatial_values: 4,
+        dependencies: Vec::new(),
+        rows: 60_000,
+        seed: 42,
+        type_presence: 0.33,
+        rel_given_present: 0.90,
+        rel_noise: 0.04,
+        dependency_strength: 0.0,
+        core_patterns: vec![(vec![0, 1, 2, 6, 13], 0.20), (vec![3, 4, 5, 10, 14], 0.13)],
+    }
+    .generate()
+    .data
+}
+
+type StrategyRunner<'a> = Box<dyn Fn(Threads) -> geopattern_mining::MiningResult + 'a>;
+
+/// Every support-counting backend as a labelled closure over the thread
+/// policy, so `scaling` and `counting` race the same set.
+fn strategy_runners<'a>(
+    data: &'a TransactionSet,
+    minsup: MinSupport,
+) -> Vec<(&'static str, StrategyRunner<'a>)> {
+    let apriori = move |strategy: CountingStrategy| {
+        move |t: Threads| {
+            mine(data, &AprioriConfig::apriori(minsup).with_counting(strategy).with_threads(t))
+        }
+    };
+    vec![
+        ("hash-subset", Box::new(apriori(CountingStrategy::HashSubset)) as StrategyRunner<'a>),
+        ("prefix-trie", Box::new(apriori(CountingStrategy::PrefixTrie))),
+        ("eclat", Box::new(move |t| mine_eclat(data, &EclatConfig::new(minsup).with_threads(t)))),
+        ("bitmap", Box::new(apriori(CountingStrategy::VerticalBitmap))),
+        ("diffset", Box::new(apriori(CountingStrategy::Diffset))),
+    ]
+}
+
+/// `counting`: races every support-counting strategy serially on the
+/// canonical seed-42 workload (the same one `scaling` uses), after
+/// verifying that all of them produce identical frequent itemsets and
+/// supports. Emits `BENCH_counting.json`; with `check` the process exits
+/// non-zero if the bitmap kernel does not beat hash-subset.
+fn print_counting(check: bool) {
+    header("Counting strategies — one workload, five backends");
+    let data = counting_workload();
+    let minsup = MinSupport::Fraction(0.15);
+    println!(
+        "workload: {} transactions ({} items), minsup 15%, seed 42",
+        data.len(),
+        data.catalog.len()
+    );
+
+    let mut reference: Option<Vec<(Vec<geopattern_mining::ItemId>, u64)>> = None;
+    let mut rows = Vec::new();
+    let mut hash_us = 0u128;
+    let mut bitmap_us = 0u128;
+    println!("\n{:>12} {:>12} {:>16}", "strategy", "median µs", "vs hash-subset");
+    for (label, runner) in strategy_runners(&data, minsup) {
+        let mut result = None;
+        let us = time_us_n(3, || result = Some(runner(Threads::Serial)));
+        let sets: Vec<_> = result
+            .expect("timed at least once")
+            .all()
+            .map(|f| (f.items.clone(), f.support))
+            .collect();
+        match &reference {
+            None => reference = Some(sets),
+            Some(r) => assert_eq!(&sets, r, "{label} output differs from hash-subset"),
+        }
+        if label == "hash-subset" {
+            hash_us = us;
+        }
+        if label == "bitmap" {
+            bitmap_us = us;
+        }
+        let speedup = hash_us as f64 / us.max(1) as f64;
+        println!("{label:>12} {us:>12} {speedup:>15.2}x");
+        rows.push(format!(
+            "{{\"strategy\":{},\"median_us\":{us},\"speedup_vs_hash\":{}}}",
+            geopattern::obs::json::json_string(label),
+            json_f64(speedup)
+        ));
+    }
+    let frequent = reference.as_ref().map(Vec::len).unwrap_or(0);
+    println!("\nall strategies produced identical output ({frequent} frequent itemsets)");
+
+    let mut doc = JsonBuf::new();
+    doc.raw("{");
+    doc.key("experiment");
+    doc.raw("\"counting\",");
+    doc.key("rows");
+    doc.raw(&data.len().to_string());
+    doc.raw(",");
+    doc.key("items");
+    doc.raw(&data.catalog.len().to_string());
+    doc.raw(",");
+    doc.key("seed");
+    doc.raw("42,");
+    doc.key("minsup");
+    doc.raw(&json_f64(0.15));
+    doc.raw(",");
+    doc.key("frequent_itemsets");
+    doc.raw(&frequent.to_string());
+    doc.raw(",");
+    doc.key("series");
+    doc.raw(&format!("[{}]}}", rows.join(",")));
+    write_bench("counting", &doc.into_string());
+
+    if check && bitmap_us >= hash_us {
+        eprintln!(
+            "FAIL: bitmap kernel ({bitmap_us} µs) is not faster than hash-subset ({hash_us} µs)"
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!(
+            "check passed: bitmap ({bitmap_us} µs) beats hash-subset ({hash_us} µs), \
+             {:.2}x",
+            hash_us as f64 / bitmap_us.max(1) as f64
+        );
+    }
+}
+
 /// `scaling`: serial vs N-thread wall-clock for the two hot paths —
 /// predicate extraction over reference features and Apriori/Eclat support
 /// counting over transactions — on a generated city, verifying that every
 /// parallel run produces byte-identical output.
+///
+/// On a single-core host the pool clamps every worker count to one, so a
+/// "parallel" run executes the exact serial code path. Those rows reuse
+/// the serial baseline and report speedup 1.00 by construction (marked
+/// `clamped_to_serial` in the JSON) instead of re-measuring noise.
 fn print_scaling(grid: usize) {
     header("Thread scaling — extraction & counting on the in-tree pool");
     let ds = generate_city(&CityConfig { grid, ..Default::default() });
@@ -425,9 +571,10 @@ fn print_scaling(grid: usize) {
         ds.relevant.len()
     );
     let threads = [1usize, 2, 4, 8];
+    let host = geopattern_par::host_parallelism();
     println!(
-        "host parallelism: {} (timings with more threads than cores measure overhead only)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        "host parallelism: {host} (requests beyond it are clamped; on a single-core host \
+         every run below is the serial code path)"
     );
 
     // Extraction: topological + a bounded distance scheme, so both the
@@ -451,100 +598,82 @@ fn print_scaling(grid: usize) {
     let mut bench_stages: Vec<String> = Vec::new();
     let mut extract_us = Vec::new();
     for &n in &threads {
-        let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
-        let cfg = config.clone().with_threads(t);
-        let mut out = None;
-        let us = time_us_n(3, || out = Some(extract(&ds.reference, &refs, &cfg)));
-        let (table, stats) = out.expect("timed at least once");
-        assert_eq!(table.predicates(), serial_table.predicates(), "{n}-thread predicates differ");
-        assert_eq!(table.rows(), serial_table.rows(), "{n}-thread rows differ");
-        assert_eq!(stats, serial_stats, "{n}-thread stats differ");
-        extract_us.push(us);
-        let speedup = extract_us[0] as f64 / us as f64;
-        println!("{:>22} {:>12} {:>8.2}x", format!("extract ({n} thr)"), us, speedup);
+        let clamped = n > 1 && host == 1;
+        let us = if clamped {
+            extract_us[0]
+        } else {
+            let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
+            let cfg = config.clone().with_threads(t);
+            let mut out = None;
+            let us = time_us_n(3, || out = Some(extract(&ds.reference, &refs, &cfg)));
+            let (table, stats) = out.expect("timed at least once");
+            assert_eq!(
+                table.predicates(),
+                serial_table.predicates(),
+                "{n}-thread predicates differ"
+            );
+            assert_eq!(table.rows(), serial_table.rows(), "{n}-thread rows differ");
+            assert_eq!(stats, serial_stats, "{n}-thread stats differ");
+            us
+        };
+        if extract_us.is_empty() {
+            extract_us.push(us);
+        }
+        let speedup = if clamped { 1.0 } else { extract_us[0] as f64 / us as f64 };
+        let note = if clamped { "  (= serial: host clamp)" } else { "" };
+        println!("{:>22} {:>12} {:>8.2}x{note}", format!("extract ({n} thr)"), us, speedup);
         bench_stages.push(format!(
-            "{{\"stage\":\"extract\",\"threads\":{n},\"median_us\":{us},\"speedup\":{}}}",
+            "{{\"stage\":\"extract\",\"threads\":{n},\"median_us\":{us},\"speedup\":{},\
+             \"clamped_to_serial\":{clamped}}}",
             json_f64(speedup)
         ));
     }
 
-    // Counting: a synthetic transactional workload with controlled lattice
-    // depth. (Tiling the extracted city table does not work here: its rows
-    // are near-duplicates, so at any usable support whole rows become
-    // frequent itemsets and candidate enumeration explodes combinatorially.)
-    let data = experiments::ExperimentSpec {
-        relations_per_type: vec![3, 3, 2, 2, 2, 1],
-        nonspatial_values: 4,
-        dependencies: Vec::new(),
-        rows: 60_000,
-        seed: 42,
-        type_presence: 0.33,
-        rel_given_present: 0.90,
-        rel_noise: 0.04,
-        dependency_strength: 0.0,
-        core_patterns: vec![(vec![0, 1, 2, 6, 13], 0.20), (vec![3, 4, 5, 10, 14], 0.13)],
-    }
-    .generate()
-    .data;
+    // Counting: the canonical seed-42 synthetic transactional workload.
+    let data = counting_workload();
     let minsup = MinSupport::Fraction(0.15);
     println!(
         "\ncounting workload: {} transactions ({} items), minsup 15%",
         data.len(),
         data.catalog.len()
     );
-    for (label, runner) in [
-        (
-            "hash-subset",
-            Box::new(|t: Threads| {
-                mine(
-                    &data,
-                    &AprioriConfig::apriori(minsup)
-                        .with_counting(CountingStrategy::HashSubset)
-                        .with_threads(t),
-                )
-            }) as Box<dyn Fn(Threads) -> geopattern_mining::MiningResult>,
-        ),
-        (
-            "prefix-trie",
-            Box::new(|t: Threads| {
-                mine(
-                    &data,
-                    &AprioriConfig::apriori(minsup)
-                        .with_counting(CountingStrategy::PrefixTrie)
-                        .with_threads(t),
-                )
-            }),
-        ),
-        (
-            "eclat",
-            Box::new(|t: Threads| mine_eclat(&data, &EclatConfig::new(minsup).with_threads(t))),
-        ),
-    ] {
+    for (label, runner) in strategy_runners(&data, minsup) {
         let mut serial_sets: Option<Vec<_>> = None;
         let mut base_us = 0u128;
         for &n in &threads {
-            let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
-            let mut result = None;
-            let us = time_us_n(3, || result = Some(runner(t)));
-            let sets: Vec<_> =
-                result.expect("timed at least once").all().map(|f| (f.items.clone(), f.support)).collect();
-            match &serial_sets {
-                None => serial_sets = Some(sets),
-                Some(s) => assert_eq!(&sets, s, "{label} differs at {n} threads"),
-            }
+            let clamped = n > 1 && host == 1;
+            let us = if clamped {
+                base_us
+            } else {
+                let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
+                let mut result = None;
+                let us = time_us_n(3, || result = Some(runner(t)));
+                let sets: Vec<_> = result
+                    .expect("timed at least once")
+                    .all()
+                    .map(|f| (f.items.clone(), f.support))
+                    .collect();
+                match &serial_sets {
+                    None => serial_sets = Some(sets),
+                    Some(s) => assert_eq!(&sets, s, "{label} differs at {n} threads"),
+                }
+                us
+            };
             if n == 1 {
                 base_us = us;
             }
-            let speedup = base_us as f64 / us as f64;
-            println!("{:>22} {:>12} {:>8.2}x", format!("{label} ({n} thr)"), us, speedup);
+            let speedup = if clamped { 1.0 } else { base_us as f64 / us as f64 };
+            let note = if clamped { "  (= serial: host clamp)" } else { "" };
+            println!("{:>22} {:>12} {:>8.2}x{note}", format!("{label} ({n} thr)"), us, speedup);
             bench_stages.push(format!(
-                "{{\"stage\":{},\"threads\":{n},\"median_us\":{us},\"speedup\":{}}}",
+                "{{\"stage\":{},\"threads\":{n},\"median_us\":{us},\"speedup\":{},\
+                 \"clamped_to_serial\":{clamped}}}",
                 geopattern::obs::json::json_string(label),
                 json_f64(speedup)
             ));
         }
     }
-    println!("\nall parallel outputs verified identical to serial");
+    println!("\nall measured parallel outputs verified identical to serial");
 
     let mut doc = JsonBuf::new();
     doc.raw("{");
@@ -557,9 +686,7 @@ fn print_scaling(grid: usize) {
     doc.raw(&ds.reference.len().to_string());
     doc.raw(",");
     doc.key("host_parallelism");
-    doc.raw(
-        &std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).to_string(),
-    );
+    doc.raw(&host.to_string());
     doc.raw(",");
     doc.key("measurements");
     doc.raw(&format!("[{}]}}", bench_stages.join(",")));

@@ -3,6 +3,7 @@
 //! ```text
 //! geopattern mine <dataset.gpd> [--minsup 0.3] [--minconf 0.7]
 //!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+|tid|tid-kc+]
+//!                 [--counting hash-subset|prefix-trie|bitmap|diffset]
 //!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
 //!                 [--metrics json] [--timeout SECS] [--memory-budget BYTES]
 //! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd]
@@ -23,8 +24,8 @@
 //! `geopattern_testkit::failpoint`.
 
 use geopattern::{
-    Algorithm, CancelToken, KnowledgeBase, MemoryBudget, MiningPipeline, MinSupport, Recorder,
-    SpatialDataset, Threads,
+    Algorithm, CancelToken, CountingStrategy, KnowledgeBase, MemoryBudget, MiningPipeline,
+    MinSupport, Recorder, SpatialDataset, Threads,
 };
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_geom::from_wkt;
@@ -90,13 +91,16 @@ fn print_usage() {
         "geopattern — frequent geographic pattern mining with QSR filters\n\n\
          USAGE:\n  \
          geopattern mine <dataset.gpd> [--minsup F] [--minconf F] [--algorithm A]\n                  \
-         [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]\n                  \
-         [--metrics json] [--timeout SECS] [--memory-budget BYTES]\n  \
+         [--counting C] [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets]\n                  \
+         [--rules] [--metrics json] [--timeout SECS] [--memory-budget BYTES]\n  \
          geopattern generate-city [--grid N] [--seed S] [--out FILE]\n  \
          geopattern relate <WKT_A> <WKT_B>\n  \
          geopattern gain --t T1,T2,... --n N\n\n\
          ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+,\n            \
-         tid, tid-kc+\n\n\
+         tid, tid-kc+\n\
+         COUNTING (Apriori variants): hash-subset, prefix-trie (default), bitmap, diffset\n            \
+         — all backends produce identical itemsets; bitmap/diffset run the\n            \
+         vertical triangular-C2 engine\n\n\
          --metrics json dumps span timings / counters / histograms for the run as JSON\n\
          on stdout after the report (a partial report on interrupted runs).\n\
          --timeout SECS cancels the run at a deadline (exit code 4).\n\
@@ -174,6 +178,10 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         .map(|v| parse_algorithm(&v))
         .transpose()?
         .unwrap_or(Algorithm::AprioriKcPlus);
+    let counting = take_flag(&mut args, "--counting")?
+        .map(|v| CountingStrategy::parse(&v))
+        .transpose()?
+        .unwrap_or_default();
     let threads = take_flag(&mut args, "--threads")?
         .map(|v| Threads::parse(&v))
         .transpose()?
@@ -229,6 +237,7 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         .min_support(MinSupport::Fraction(minsup))
         .min_confidence(minconf)
         .knowledge(knowledge)
+        .counting(counting)
         .threads(threads)
         .recorder(recorder.clone())
         .cancel_token(cancel)

@@ -65,6 +65,12 @@
 //! [`MiningPipeline::mine`]. Each stage validates its inputs and returns
 //! `Result<_, `[`Error`]`>`.
 //!
+//! Support counting is pluggable via
+//! [`MiningPipeline::counting`] ([`CountingStrategy`]): horizontal
+//! hash-subset / prefix-trie backends, or the vertical bitmap / diffset
+//! engine (triangular C₂ kernel over hybrid TID lists). All backends are
+//! bit-identical in output; they differ only in speed and memory shape.
+//!
 //! # Observability
 //!
 //! Attach a [`Recorder`] to see where a run spends its time and what the

@@ -172,7 +172,10 @@ impl MiningPipeline {
         self
     }
 
-    /// Selects the Apriori counting backend.
+    /// Selects the Apriori counting backend: horizontal `HashSubset` /
+    /// `PrefixTrie`, or the vertical `VerticalBitmap` / `Diffset` engine
+    /// (triangular C₂ kernel + hybrid TID lists or dEclat diffsets).
+    /// Every backend produces bit-identical itemsets, supports and rules.
     pub fn counting(mut self, c: CountingStrategy) -> Self {
         self.counting = c;
         self

@@ -104,6 +104,34 @@ fn exit_4_on_timeout_with_partial_metrics() {
 }
 
 #[test]
+fn counting_strategies_all_mine_the_same_summary() {
+    let path = city_file("counting");
+    let mut summaries = Vec::new();
+    for strategy in ["hash-subset", "prefix-trie", "bitmap", "diffset"] {
+        let out = run(&[
+            "mine",
+            path.to_str().unwrap(),
+            "--minsup",
+            "0.3",
+            "--counting",
+            strategy,
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{strategy} stderr: {}", stderr(&out));
+        summaries.push(stdout(&out));
+    }
+    // Every backend prints the identical report — same itemsets, same
+    // supports, same rules.
+    assert!(summaries.windows(2).all(|w| w[0] == w[1]), "backend summaries diverge");
+}
+
+#[test]
+fn bad_counting_strategy_is_usage_error() {
+    let out = run(&["mine", "x.gpd", "--counting", "quantum"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown counting strategy"));
+}
+
+#[test]
 fn exit_4_on_negative_or_bad_timeout_is_usage_error() {
     let out = run(&["mine", "x.gpd", "--timeout", "-1"]);
     assert_eq!(out.status.code(), Some(1));

@@ -24,7 +24,7 @@ use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
 use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{try_par_map_reduce, CancelToken, Interrupt, MemoryBudget, Threads};
+use geopattern_par::{try_par_map_reduce_grained, CancelToken, Grain, Interrupt, MemoryBudget, Threads};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -37,6 +37,45 @@ pub enum CountingStrategy {
     /// Walk a prefix trie of candidates along each transaction.
     #[default]
     PrefixTrie,
+    /// Vertical engine: pass 2 through the triangular C₂ kernel (one
+    /// streaming scan, one array cell per post-filter pair), deeper
+    /// passes by equivalence-class DFS over hybrid dense/sparse TID
+    /// lists ([`crate::bitmap::TidList`]).
+    VerticalBitmap,
+    /// Vertical engine with dEclat *diffsets* below pass 2: memory is
+    /// proportional to support deltas, which is what deep, dense
+    /// recursions want.
+    Diffset,
+}
+
+impl CountingStrategy {
+    /// The CLI/bench name of the strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            CountingStrategy::HashSubset => "hash-subset",
+            CountingStrategy::PrefixTrie => "prefix-trie",
+            CountingStrategy::VerticalBitmap => "bitmap",
+            CountingStrategy::Diffset => "diffset",
+        }
+    }
+
+    /// Parses a CLI/bench name.
+    pub fn parse(s: &str) -> Result<CountingStrategy, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "hash-subset" | "hash" => Ok(CountingStrategy::HashSubset),
+            "prefix-trie" | "trie" => Ok(CountingStrategy::PrefixTrie),
+            "bitmap" | "vertical-bitmap" => Ok(CountingStrategy::VerticalBitmap),
+            "diffset" | "declat" => Ok(CountingStrategy::Diffset),
+            other => Err(format!(
+                "unknown counting strategy {other:?} (expected hash-subset, prefix-trie, bitmap or diffset)"
+            )),
+        }
+    }
+
+    /// True for the vertical (bitmap/diffset) engine.
+    pub fn is_vertical(self) -> bool {
+        matches!(self, CountingStrategy::VerticalBitmap | CountingStrategy::Diffset)
+    }
 }
 
 /// Configuration of one mining run.
@@ -173,6 +212,10 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
 
     let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
 
+    if config.counting.is_vertical() {
+        return try_mine_vertical(data, config, threshold, stats, levels, start);
+    }
+
     let mut k = 2;
     loop {
         // Pass boundary: the cooperative cancellation point of Listing 1's
@@ -220,6 +263,9 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
             CountingStrategy::PrefixTrie => {
                 count_prefix_trie(data, &candidates, k, config.threads, &config.cancel)
             }
+            CountingStrategy::VerticalBitmap | CountingStrategy::Diffset => {
+                unreachable!("vertical strategies branch off before the horizontal loop")
+            }
         };
         config.budget.release(candidate_bytes);
         let counts = counts?;
@@ -237,6 +283,133 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
         }
         levels.push(lk);
         k += 1;
+    }
+
+    rec.counter("apriori.passes", levels.len() as u64);
+    rec.counter("apriori.frequent_itemsets", levels.iter().map(Vec::len).sum::<usize>() as u64);
+    robust::record_budget_peak(&config.budget, rec);
+    stats.duration = start.elapsed();
+    Ok(MiningResult { levels, stats })
+}
+
+/// The vertical engine behind [`CountingStrategy::VerticalBitmap`] and
+/// [`CountingStrategy::Diffset`].
+///
+/// Pass 2 reuses `apriori_gen` and the KC/KC+ retain step verbatim (so
+/// the filter statistics are identical to the horizontal backends), then
+/// counts the surviving C₂ with the triangular kernel — one streaming
+/// scan of the transactions, one array cell per post-filter pair, no
+/// hashing. Passes 3 and up switch to an equivalence-class DFS over
+/// vertical TID structures ([`crate::bitmap::mine_vertical_levels`]).
+/// Output is bit-identical to the horizontal backends at any thread
+/// count; only wall-clock and memory shape change.
+fn try_mine_vertical(
+    data: &TransactionSet,
+    config: &AprioriConfig,
+    threshold: u64,
+    mut stats: MiningStats,
+    mut levels: Vec<Vec<FrequentItemset>>,
+    start: Instant,
+) -> Result<MiningResult, Interrupt> {
+    let rec = &config.recorder;
+    'mining: {
+        // Pass-2 boundary: same fail-point and cancellation cadence as
+        // the horizontal loop.
+        robust::fire("mining/apriori.pass", &config.cancel);
+        robust::checkpoint(&config.cancel, rec)?;
+        let pass_span = rec.span("pass2");
+        let prev: Vec<&[ItemId]> = levels[0].iter().map(|f| f.items.as_slice()).collect();
+        if prev.is_empty() {
+            break 'mining;
+        }
+        let mut candidates = apriori_gen(&prev);
+        rec.counter("apriori.pass2.candidates", candidates.len() as u64);
+        // Listing 1: C₂ = C₂ − Φ − {pairs with the same feature type},
+        // applied *before* the kernel is built so filtered pairs never
+        // occupy a counter.
+        let before = candidates.len();
+        candidates.retain(|c| {
+            if config.dependencies.blocks(c[0], c[1]) {
+                stats.pairs_removed_dependencies += 1;
+                false
+            } else if config.same_type.blocks(c[0], c[1]) {
+                stats.pairs_removed_same_type += 1;
+                false
+            } else {
+                true
+            }
+        });
+        rec.counter("apriori.c2.removed_dependencies", stats.pairs_removed_dependencies as u64);
+        rec.counter("apriori.c2.removed_same_type", stats.pairs_removed_same_type as u64);
+        rec.counter("apriori.pass2.pruned", (before - candidates.len()) as u64);
+        rec.counter("mining/c2_pairs_filtered", (before - candidates.len()) as u64);
+        stats.candidates_per_level.push(candidates.len());
+        if candidates.is_empty() {
+            break 'mining;
+        }
+
+        let candidate_bytes = robust::nested_vec_bytes(&candidates);
+        let _ = config.budget.reserve(candidate_bytes);
+        let l1_items: Vec<ItemId> = levels[0].iter().map(|f| f.items[0]).collect();
+        let kernel = crate::bitmap::TriangularC2::new(data.catalog.len(), &l1_items, &candidates);
+        let counts = count_chunked(data, candidates.len(), config.threads, &config.cancel, {
+            let kernel = &kernel;
+            move |chunk, counts| kernel.count_chunk(chunk, counts)
+        });
+        config.budget.release(candidate_bytes);
+        let counts = counts?;
+
+        let l2: Vec<FrequentItemset> = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c >= threshold)
+            .map(|(items, support)| FrequentItemset { items, support })
+            .collect();
+        rec.counter("apriori.pass2.frequent", l2.len() as u64);
+        stats.frequent_per_level.push(l2.len());
+        drop(pass_span);
+        if l2.is_empty() {
+            break 'mining;
+        }
+        levels.push(l2);
+
+        // Passes 3 and up in one vertical descent.
+        robust::fire("mining/apriori.pass", &config.cancel);
+        robust::checkpoint(&config.cancel, rec)?;
+        let deep_span = rec.span("vertical");
+        let filter = config.combined_filter();
+        let outcome = crate::bitmap::mine_vertical_levels(
+            data,
+            &levels[0],
+            &levels[1],
+            threshold,
+            &filter,
+            config.counting == CountingStrategy::Diffset,
+            config.threads,
+            &config.cancel,
+            &config.budget,
+        )?;
+        drop(deep_span);
+        match config.counting {
+            CountingStrategy::VerticalBitmap => {
+                rec.counter("mining/bitmap_words", outcome.bitmap_words);
+            }
+            CountingStrategy::Diffset => {
+                rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
+            }
+            _ => unreachable!("vertical path entered with a horizontal strategy"),
+        }
+        for (d, &attempts) in outcome.attempts_per_level.iter().enumerate() {
+            let k = d + 3;
+            rec.counter(&format!("apriori.pass{k}.candidates"), attempts as u64);
+            stats.candidates_per_level.push(attempts);
+            let frequent = outcome.levels.get(d).map(Vec::len).unwrap_or(0);
+            rec.counter(&format!("apriori.pass{k}.frequent"), frequent as u64);
+            stats.frequent_per_level.push(frequent);
+        }
+        // Downward closure means no gaps: every non-empty level extends
+        // the previous one.
+        levels.extend(outcome.levels.into_iter().filter(|l| !l.is_empty()));
     }
 
     rec.counter("apriori.passes", levels.len() as u64);
@@ -306,8 +479,11 @@ fn count_chunked(
     cancel: &CancelToken,
     count_chunk: impl Fn(&[Vec<ItemId>], &mut [u64]) + Sync,
 ) -> Result<Vec<u64>, Interrupt> {
-    let counts = try_par_map_reduce(
+    // Fine grain: one transaction is cheap to count, so workers only pay
+    // off with thousands of transactions each.
+    let counts = try_par_map_reduce_grained(
         threads,
+        Grain::Fine,
         cancel,
         "mining/apriori.count",
         data.transactions(),
@@ -478,6 +654,41 @@ mod tests {
             let t: Vec<_> = trie.all().collect();
             assert_eq!(h, t, "support {support}");
         }
+    }
+
+    #[test]
+    fn vertical_backends_match_horizontal_levels_exactly() {
+        let data = toy();
+        for support in [1u64, 2, 3] {
+            for filter in
+                [PairFilter::none(), PairFilter::from_pairs([(0u32, 1u32), (2u32, 3u32)])]
+            {
+                let base = AprioriConfig::apriori_kc(MinSupport::Count(support), filter);
+                let oracle = mine(&data, &base.clone().with_counting(CountingStrategy::HashSubset));
+                for strategy in [CountingStrategy::VerticalBitmap, CountingStrategy::Diffset] {
+                    let got = mine(&data, &base.clone().with_counting(strategy));
+                    assert_eq!(oracle.levels, got.levels, "{strategy:?} support {support}");
+                    assert_eq!(
+                        oracle.stats.pairs_removed_dependencies,
+                        got.stats.pairs_removed_dependencies,
+                        "{strategy:?} support {support}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_strategy_names_round_trip() {
+        for s in [
+            CountingStrategy::HashSubset,
+            CountingStrategy::PrefixTrie,
+            CountingStrategy::VerticalBitmap,
+            CountingStrategy::Diffset,
+        ] {
+            assert_eq!(CountingStrategy::parse(s.name()), Ok(s));
+        }
+        assert!(CountingStrategy::parse("quantum").is_err());
     }
 
     #[test]

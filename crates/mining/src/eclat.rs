@@ -13,8 +13,10 @@ use crate::item::{ItemId, TransactionSet};
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
 use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{try_par_map, ApproxBytes, CancelToken, Interrupt, MemoryBudget, Threads};
+use geopattern_par::{try_par_map, CancelToken, Interrupt, MemoryBudget, Threads};
 use std::time::Instant;
+
+pub use crate::bitmap::TidSet;
 
 /// Eclat configuration.
 #[derive(Debug, Clone)]
@@ -81,81 +83,6 @@ impl EclatConfig {
     pub fn with_budget(mut self, budget: MemoryBudget) -> EclatConfig {
         self.budget = budget;
         self
-    }
-}
-
-/// A transaction-id set as a packed bitset.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TidSet {
-    words: Vec<u64>,
-}
-
-impl TidSet {
-    /// Empty set sized for `n` transactions.
-    pub fn new(n: usize) -> TidSet {
-        TidSet { words: vec![0; n.div_ceil(64)] }
-    }
-
-    /// Marks transaction `tid`.
-    pub fn insert(&mut self, tid: usize) {
-        self.words[tid / 64] |= 1u64 << (tid % 64);
-    }
-
-    /// True when `tid` is present.
-    pub fn contains(&self, tid: usize) -> bool {
-        self.words
-            .get(tid / 64)
-            .map(|w| w & (1u64 << (tid % 64)) != 0)
-            .unwrap_or(false)
-    }
-
-    /// Cardinality (the itemset's support).
-    pub fn count(&self) -> u64 {
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
-    }
-
-    /// Intersection with `other`.
-    pub fn intersect(&self, other: &TidSet) -> TidSet {
-        TidSet {
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
-        }
-    }
-
-    /// Approximate heap footprint, for budget accounting of materialised
-    /// joins without building them first.
-    pub fn projected_bytes(&self) -> usize {
-        self.words.len() * std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u64>>()
-    }
-
-    /// Cardinality of the intersection with `other` if it reaches `min`,
-    /// else `None` — aborting the word-wise scan as soon as the population
-    /// count so far plus every remaining bit cannot reach `min`. Support
-    /// checks fail far more often than they pass deep in the search, so
-    /// the abort usually fires within a few words without materialising
-    /// the joined set.
-    pub fn intersection_count_bounded(&self, other: &TidSet, min: u64) -> Option<u64> {
-        let n = self.words.len().min(other.words.len());
-        let mut count = 0u64;
-        let mut remaining = 64 * n as u64;
-        for k in 0..n {
-            remaining -= 64;
-            count += (self.words[k] & other.words[k]).count_ones() as u64;
-            if count + remaining < min {
-                return None;
-            }
-        }
-        (count >= min).then_some(count)
-    }
-}
-
-impl ApproxBytes for TidSet {
-    fn approx_bytes(&self) -> usize {
-        self.words.capacity() * std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u64>>()
     }
 }
 

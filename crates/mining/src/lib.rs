@@ -7,6 +7,9 @@
 //! * [`apriori`] — **Apriori**, **Apriori-KC** and **Apriori-KC+**
 //!   (Listing 1 of the paper) as one engine parameterised by the pairs
 //!   removed from `C₂`, with two support-counting backends;
+//! * [`bitmap`] — vertical TID representations (word-packed bitsets, a
+//!   hybrid dense/sparse [`TidList`], dEclat diffsets) and the triangular
+//!   pass-2 kernel behind the `bitmap`/`diffset` counting strategies;
 //! * [`filter`] — the [`PairFilter`] abstraction: `Φ` dependency pairs
 //!   (KC) and same-feature-type pairs (KC+);
 //! * [`fpgrowth`] — FP-Growth with the same filter, demonstrating the
@@ -50,6 +53,7 @@
 
 pub mod apriori;
 pub mod apriori_tid;
+pub mod bitmap;
 pub mod closed;
 pub mod eclat;
 pub mod filter;
@@ -62,8 +66,9 @@ pub mod rules;
 
 pub use apriori::{apriori_gen, mine, try_mine, AprioriConfig, CountingStrategy};
 pub use apriori_tid::{mine_apriori_tid, try_mine_apriori_tid, AprioriTidConfig};
+pub use bitmap::{diff_sorted, TidList, TidSet, TriangularC2, SPARSE_FACTOR};
 pub use closed::{closed_itemsets, maximal_itemsets};
-pub use eclat::{mine_eclat, try_mine_eclat, EclatConfig, TidSet};
+pub use eclat::{mine_eclat, try_mine_eclat, EclatConfig};
 pub use filter::PairFilter;
 pub use fpgrowth::{mine_fp, try_mine_fp, FpGrowthConfig};
 pub use gain::{binomial, itemset_count_lower_bound, minimal_gain, table3};

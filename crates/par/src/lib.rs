@@ -27,6 +27,29 @@
 //! Thread counts come from [`Threads`]: `Serial` (1), `Fixed(n)`, or
 //! `Auto`, which honours the `GEOPATTERN_THREADS` environment variable and
 //! falls back to [`std::thread::available_parallelism`].
+//!
+//! ## Adaptive granularity
+//!
+//! Spawning workers is only worth it when each worker gets enough work to
+//! amortise thread start-up and scheduling. Every pool entry point
+//! therefore *plans* its worker count instead of taking the request at
+//! face value:
+//!
+//! * the request is clamped to the host's available parallelism — more
+//!   workers than cores can never reduce wall-clock, only add
+//!   oversubscription overhead (`GEOPATTERN_HOST_PARALLELISM` overrides
+//!   the detected value, which the test suite uses to exercise the real
+//!   pool on single-core CI hosts);
+//! * a minimum-work-per-worker threshold, estimated from the item count
+//!   and the stage's declared [`Grain`], drops workers until every one of
+//!   them has enough items — down to the exact serial code path when the
+//!   input is too small to parallelise at all;
+//! * cheap-per-element stages ([`Grain::Fine`]) use larger chunks than
+//!   expensive ones ([`Grain::Coarse`]), trading self-scheduling balance
+//!   for fewer trips to the shared cursor.
+//!
+//! The plan only ever changes wall-clock: outputs are bit-identical for
+//! every thread count, grain, and host width.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -98,22 +121,104 @@ fn available_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// Chunk size giving each worker several chunks to claim, so one slow
-/// chunk cannot idle the rest of the pool.
-fn chunk_size(len: usize, workers: usize) -> usize {
-    len.div_ceil(workers * 4).max(1)
+/// How expensive one element of a parallel stage is, which decides how
+/// much work a worker must receive before spawning it pays off and how
+/// coarsely the input is chunked.
+///
+/// This is a *scheduling hint only*: every entry point produces output
+/// bit-identical to the serial map for either grain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Grain {
+    /// Each element does substantial work (geometry pairs, Eclat
+    /// equivalence classes). Parallelism pays off almost immediately, and
+    /// small chunks keep the pool balanced. The default.
+    #[default]
+    Coarse,
+    /// Each element is cheap (counting one encoded transaction). Workers
+    /// need on the order of a thousand elements each to amortise spawn
+    /// cost, and larger chunks cut shared-cursor traffic.
+    Fine,
+}
+
+impl Grain {
+    /// Fewest items a worker must receive for spawning it to pay off.
+    fn min_items_per_worker(self) -> usize {
+        match self {
+            Grain::Coarse => 2,
+            Grain::Fine => 1024,
+        }
+    }
+
+    /// Chunks handed to each worker: more chunks bound imbalance to one
+    /// chunk, fewer chunks cut trips to the shared cursor.
+    fn chunks_per_worker(self) -> usize {
+        match self {
+            Grain::Coarse => 4,
+            Grain::Fine => 2,
+        }
+    }
+}
+
+/// The host's usable parallelism: `GEOPATTERN_HOST_PARALLELISM` when set
+/// to a positive integer no larger than [`MAX_THREADS`], else
+/// [`std::thread::available_parallelism`]. Worker counts are clamped to
+/// this — oversubscribing cores only adds scheduling overhead. The env
+/// override exists so tests can exercise the real pool on single-core
+/// hosts (and conversely pin benchmarks to a known width).
+pub fn host_parallelism() -> usize {
+    std::env::var("GEOPATTERN_HOST_PARALLELISM")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0 && n <= MAX_THREADS)
+        .unwrap_or_else(available_threads)
+}
+
+/// Pure scheduling policy: how many workers to actually use for `len`
+/// items at the given grain on a host with `host` cores, and the chunk
+/// size they claim. `requested` is the resolved [`Threads`] count.
+///
+/// Workers are clamped to the host width and to the number of
+/// minimum-work slices in the input; one worker means the exact serial
+/// code path. Exposed for policy tests — callers go through the
+/// `*_grained` entry points, which plan internally.
+pub fn plan_for(requested: usize, host: usize, len: usize, grain: Grain) -> (usize, usize) {
+    let workers = requested
+        .min(host)
+        .min(len / grain.min_items_per_worker())
+        .max(1);
+    let chunk = len.div_ceil(workers * grain.chunks_per_worker()).max(1);
+    (workers, chunk)
+}
+
+/// [`plan_for`] against the live host width.
+fn plan(threads: Threads, len: usize, grain: Grain) -> (usize, usize) {
+    plan_for(threads.get(), host_parallelism(), len, grain)
 }
 
 /// Maps `f` over `items` on `threads` workers, preserving order. With one
 /// thread (or up to one item) this is exactly `items.iter().map(f)` on the
 /// calling thread. `f` receives the item index alongside the item.
+/// Schedules at [`Grain::Coarse`]; cheap-per-element stages should call
+/// [`par_map_grained`] with [`Grain::Fine`].
 pub fn par_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = threads.get().min(items.len().max(1));
+    par_map_grained(threads, Grain::Coarse, items, f)
+}
+
+/// [`par_map`] with an explicit work [`Grain`]. The grain only affects
+/// scheduling (worker count, chunk size, serial fall-back); the output is
+/// the serial map's output bit-for-bit.
+pub fn par_map_grained<T, R, F>(threads: Threads, grain: Grain, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let (workers, chunk) = plan(threads, items.len(), grain);
     if workers <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -126,7 +231,6 @@ where
         // ranges.
         let slots_ptr = SendPtr(slots.as_mut_ptr());
         let cursor = AtomicUsize::new(0);
-        let chunk = chunk_size(items.len(), workers);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let slots_ptr = &slots_ptr;
@@ -172,16 +276,36 @@ where
     M: Fn(usize, &[T]) -> A + Sync,
     R: Fn(A, A) -> A,
 {
+    par_map_reduce_grained(threads, Grain::Coarse, items, map, reduce)
+}
+
+/// [`par_map_reduce`] with an explicit work [`Grain`]. The grain only
+/// affects scheduling; the chunk-ordered reduction is deterministic for
+/// any grain, thread count, and host width.
+pub fn par_map_reduce_grained<T, A, M, R>(
+    threads: Threads,
+    grain: Grain,
+    items: &[T],
+    map: M,
+    reduce: R,
+) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
     if items.is_empty() {
         return None;
     }
-    let workers = threads.get().min(items.len());
+    let (workers, chunk) = plan(threads, items.len(), grain);
     if workers <= 1 {
         return Some(map(0, items));
     }
-    let chunk = chunk_size(items.len(), workers);
     let starts: Vec<usize> = (0..items.len()).step_by(chunk).collect();
-    let accs = par_map(threads, &starts, |_, &start| {
+    // Each start now stands for a whole chunk of work, so the inner map
+    // is coarse regardless of the caller's grain.
+    let accs = par_map_grained(Threads::Fixed(workers), Grain::Coarse, &starts, |_, &start| {
         let end = (start + chunk).min(items.len());
         map(start, &items[start..end])
     });
@@ -221,8 +345,25 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = threads.get().min(items.len().max(1));
-    let chunk = chunk_size(items.len(), workers);
+    try_par_map_grained(threads, Grain::Coarse, cancel, stage, items, f)
+}
+
+/// [`try_par_map`] with an explicit work [`Grain`]. Scheduling changes
+/// with the grain; success output and interrupt semantics do not.
+pub fn try_par_map_grained<T, R, F>(
+    threads: Threads,
+    grain: Grain,
+    cancel: &CancelToken,
+    stage: &str,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, Interrupt>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let (workers, chunk) = plan(threads, items.len(), grain);
     if workers <= 1 || items.len() <= 1 {
         // Serial path: same cadence of cancel checks (one per chunk-sized
         // run of items), one catch_unwind around the whole loop.
@@ -338,11 +479,33 @@ where
     M: Fn(usize, &[T]) -> A + Sync,
     R: Fn(A, A) -> A,
 {
+    try_par_map_reduce_grained(threads, Grain::Coarse, cancel, stage, items, map, reduce)
+}
+
+/// [`try_par_map_reduce`] with an explicit work [`Grain`]. Scheduling
+/// changes with the grain; the deterministic chunk-ordered reduction and
+/// interrupt semantics do not.
+#[allow(clippy::too_many_arguments)]
+pub fn try_par_map_reduce_grained<T, A, M, R>(
+    threads: Threads,
+    grain: Grain,
+    cancel: &CancelToken,
+    stage: &str,
+    items: &[T],
+    map: M,
+    reduce: R,
+) -> Result<Option<A>, Interrupt>
+where
+    T: Sync,
+    A: Send,
+    M: Fn(usize, &[T]) -> A + Sync,
+    R: Fn(A, A) -> A,
+{
     if items.is_empty() {
         return Ok(None);
     }
     cancel.check()?;
-    let workers = threads.get().min(items.len());
+    let (workers, chunk) = plan(threads, items.len(), grain);
     if workers <= 1 {
         return match std::panic::catch_unwind(AssertUnwindSafe(|| map(0, items))) {
             Ok(acc) => {
@@ -355,12 +518,18 @@ where
             }),
         };
     }
-    let chunk = chunk_size(items.len(), workers);
     let starts: Vec<usize> = (0..items.len()).step_by(chunk).collect();
-    let accs = try_par_map(threads, cancel, stage, &starts, |_, &start| {
-        let end = (start + chunk).min(items.len());
-        map(start, &items[start..end])
-    })?;
+    let accs = try_par_map_grained(
+        Threads::Fixed(workers),
+        Grain::Coarse,
+        cancel,
+        stage,
+        &starts,
+        |_, &start| {
+            let end = (start + chunk).min(items.len());
+            map(start, &items[start..end])
+        },
+    )?;
     Ok(accs.into_iter().reduce(reduce))
 }
 
@@ -368,8 +537,18 @@ where
 mod tests {
     use super::*;
 
+    /// Pretend the host has 8 cores so multi-thread tests exercise the
+    /// real pool even on single-core CI machines. Every caller sets the
+    /// same value, so concurrent test threads racing on the variable are
+    /// benign (this crate's tests share one process, like the existing
+    /// `GEOPATTERN_THREADS` test).
+    fn wide_host() {
+        std::env::set_var("GEOPATTERN_HOST_PARALLELISM", "8");
+    }
+
     #[test]
     fn par_map_matches_serial_map() {
+        wide_host();
         let items: Vec<u64> = (0..1000).collect();
         let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
         for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
@@ -379,7 +558,98 @@ mod tests {
     }
 
     #[test]
+    fn plan_clamps_to_host_width() {
+        // Asking for 8 workers on a 1-core host is pure overhead: the plan
+        // must fall back to the exact serial path.
+        assert_eq!(plan_for(8, 1, 100_000, Grain::Coarse).0, 1);
+        assert_eq!(plan_for(8, 1, 100_000, Grain::Fine).0, 1);
+        // On a wide host the request wins (given enough work).
+        assert_eq!(plan_for(8, 16, 100_000, Grain::Coarse).0, 8);
+        // And the host wins when narrower than the request.
+        assert_eq!(plan_for(16, 4, 100_000, Grain::Coarse).0, 4);
+    }
+
+    #[test]
+    fn plan_serialises_underfilled_inputs() {
+        // Fine grain: every worker needs >= 1024 items.
+        assert_eq!(plan_for(8, 8, 1023, Grain::Fine).0, 1);
+        assert_eq!(plan_for(8, 8, 2048, Grain::Fine).0, 2);
+        assert_eq!(plan_for(8, 8, 3000, Grain::Fine).0, 2);
+        assert_eq!(plan_for(8, 8, 1_000_000, Grain::Fine).0, 8);
+        // Coarse grain: two items per worker suffice.
+        assert_eq!(plan_for(8, 8, 1, Grain::Coarse).0, 1);
+        assert_eq!(plan_for(8, 8, 6, Grain::Coarse).0, 3);
+        assert_eq!(plan_for(8, 8, 100, Grain::Coarse).0, 8);
+        // Degenerate lengths never plan zero workers or zero chunk.
+        assert_eq!(plan_for(8, 8, 0, Grain::Coarse), (1, 1));
+        assert_eq!(plan_for(1, 1, 0, Grain::Fine), (1, 1));
+    }
+
+    #[test]
+    fn plan_fine_grain_uses_larger_chunks() {
+        let (workers_c, chunk_c) = plan_for(4, 8, 100_000, Grain::Coarse);
+        let (workers_f, chunk_f) = plan_for(4, 8, 100_000, Grain::Fine);
+        assert_eq!((workers_c, workers_f), (4, 4));
+        // Coarse: 4 chunks per worker; fine: 2 — so fine chunks are twice
+        // the size for the same worker count.
+        assert_eq!(chunk_c, 100_000usize.div_ceil(16));
+        assert_eq!(chunk_f, 100_000usize.div_ceil(8));
+        assert!(chunk_f > chunk_c);
+    }
+
+    #[test]
+    fn host_parallelism_env_override() {
+        // Same value as wide_host(): concurrent tests racing on the
+        // variable all write "8".
+        std::env::set_var("GEOPATTERN_HOST_PARALLELISM", "8");
+        assert_eq!(host_parallelism(), 8);
+    }
+
+    #[test]
+    fn grained_variants_match_serial_for_both_grains() {
+        wide_host();
+        let items: Vec<u64> = (0..5000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+        let expected_sum: u64 = serial.iter().sum();
+        let token = CancelToken::none();
+        for grain in [Grain::Coarse, Grain::Fine] {
+            for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+                let mapped = par_map_grained(threads, grain, &items, |_, &x| {
+                    x.wrapping_mul(31) ^ 7
+                });
+                assert_eq!(mapped, serial, "{grain:?} {threads:?}");
+                let tried =
+                    try_par_map_grained(threads, grain, &token, "test", &items, |_, &x| {
+                        x.wrapping_mul(31) ^ 7
+                    })
+                    .expect("disabled token never interrupts");
+                assert_eq!(tried, serial, "{grain:?} {threads:?}");
+                let reduced = par_map_reduce_grained(
+                    threads,
+                    grain,
+                    &items,
+                    |_, chunk| chunk.iter().map(|&x| x.wrapping_mul(31) ^ 7).sum::<u64>(),
+                    |a, b| a + b,
+                );
+                assert_eq!(reduced, Some(expected_sum), "{grain:?} {threads:?}");
+                let tried_reduce = try_par_map_reduce_grained(
+                    threads,
+                    grain,
+                    &token,
+                    "test",
+                    &items,
+                    |_, chunk| chunk.iter().map(|&x| x.wrapping_mul(31) ^ 7).sum::<u64>(),
+                    |a, b| a + b,
+                )
+                .expect("disabled token never interrupts");
+                assert_eq!(tried_reduce, Some(expected_sum), "{grain:?} {threads:?}");
+            }
+        }
+    }
+
+    #[test]
     fn par_map_passes_indices() {
+        wide_host();
         let items = vec!["a"; 257];
         let got = par_map(Threads::Fixed(4), &items, |i, _| i);
         assert_eq!(got, (0..257).collect::<Vec<_>>());
@@ -387,6 +657,7 @@ mod tests {
 
     #[test]
     fn par_map_handles_edge_sizes() {
+        wide_host();
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(Threads::Fixed(4), &empty, |_, &x| x).is_empty());
         assert_eq!(par_map(Threads::Fixed(4), &[7u32], |_, &x| x + 1), vec![8]);
@@ -397,6 +668,7 @@ mod tests {
 
     #[test]
     fn par_map_reduce_sums_deterministically() {
+        wide_host();
         let items: Vec<u64> = (1..=10_000).collect();
         let expected: u64 = items.iter().sum();
         for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
@@ -417,6 +689,7 @@ mod tests {
 
     #[test]
     fn par_map_reduce_order_preserving_reduction() {
+        wide_host();
         // Concatenation is non-commutative: the reduction must run in
         // chunk order for the result to equal the serial concatenation.
         let items: Vec<u32> = (0..500).collect();
@@ -436,6 +709,7 @@ mod tests {
 
     #[test]
     fn try_par_map_matches_par_map_when_uncontrolled() {
+        wide_host();
         let items: Vec<u64> = (0..1000).collect();
         let token = CancelToken::none();
         for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
@@ -453,6 +727,7 @@ mod tests {
 
     #[test]
     fn try_par_map_observes_pre_cancelled_token() {
+        wide_host();
         let items: Vec<u64> = (0..100).collect();
         let token = CancelToken::new();
         token.cancel();
@@ -464,6 +739,7 @@ mod tests {
 
     #[test]
     fn try_par_map_stops_after_mid_run_cancel() {
+        wide_host();
         // A worker closure trips the token itself; later chunks must be
         // abandoned and the call must report Cancelled, not complete.
         let items: Vec<u64> = (0..10_000).collect();
@@ -485,6 +761,7 @@ mod tests {
 
     #[test]
     fn try_par_map_reports_expired_deadline() {
+        wide_host();
         let items: Vec<u64> = (0..100).collect();
         let token =
             CancelToken::with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
@@ -494,6 +771,7 @@ mod tests {
 
     #[test]
     fn try_par_map_isolates_worker_panics() {
+        wide_host();
         let items: Vec<u64> = (0..1000).collect();
         let token = CancelToken::none();
         for threads in [Threads::Serial, Threads::Fixed(4)] {
@@ -520,6 +798,7 @@ mod tests {
 
     #[test]
     fn try_par_map_reduce_matches_infallible_variant() {
+        wide_host();
         let items: Vec<u64> = (1..=10_000).collect();
         let token = CancelToken::none();
         for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {

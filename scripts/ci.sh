@@ -43,9 +43,17 @@ code=$?
 set -e
 test "$code" -eq 5 || { echo "expected exit 5 on injected worker panic, got $code"; exit 1; }
 
-echo "==> experiments scaling (emits BENCH_scaling.json)"
-cargo run --release -q -p geopattern-bench --bin experiments -- scaling --grid 12
+echo "==> strategy-equivalence gate (all counting backends bit-identical)"
+cargo test --release -q -p geopattern-integration --test strategy_equivalence
+cargo test --release -q -p geopattern-integration --test bitmap_properties
+
+echo "==> experiments scaling (emits BENCH_scaling.json, default grid)"
+cargo run --release -q -p geopattern-bench --bin experiments -- scaling
 test -s BENCH_scaling.json
+
+echo "==> experiments counting smoke (emits BENCH_counting.json; bitmap must beat hash-subset)"
+cargo run --release -q -p geopattern-bench --bin experiments -- counting --check
+test -s BENCH_counting.json
 
 echo "==> experiments kernel (emits BENCH_kernel.json)"
 cargo run --release -q -p geopattern-bench --bin experiments -- kernel --max 256

@@ -71,36 +71,35 @@ fn counting_backends_identical_across_thread_counts() {
     let data = geopattern::to_transactions(&table);
     let minsup = MinSupport::Fraction(0.3);
 
+    let strategies = [
+        CountingStrategy::HashSubset,
+        CountingStrategy::PrefixTrie,
+        CountingStrategy::VerticalBitmap,
+        CountingStrategy::Diffset,
+    ];
     let hash_serial = sets(&mine(
         &data,
         &AprioriConfig::apriori(minsup).with_counting(CountingStrategy::HashSubset),
     ));
-    let trie_serial = sets(&mine(
-        &data,
-        &AprioriConfig::apriori(minsup).with_counting(CountingStrategy::PrefixTrie),
-    ));
     let eclat_serial = sets(&mine_eclat(&data, &EclatConfig::new(minsup)));
-    // The three backends agree with each other...
-    assert_eq!(hash_serial, trie_serial);
+    // Every backend agrees with each other...
+    for strategy in strategies {
+        let serial =
+            sets(&mine(&data, &AprioriConfig::apriori(minsup).with_counting(strategy)));
+        assert_eq!(serial, hash_serial, "{} serial", strategy.name());
+    }
     assert_eq!(hash_serial, eclat_serial);
     assert!(!hash_serial.is_empty(), "workload should mine something");
 
     // ...and each backend agrees with its own parallel runs.
     for threads in [Threads::Fixed(2), Threads::Fixed(8)] {
-        let hash = sets(&mine(
-            &data,
-            &AprioriConfig::apriori(minsup)
-                .with_counting(CountingStrategy::HashSubset)
-                .with_threads(threads),
-        ));
-        assert_eq!(hash, hash_serial, "hash-subset at {threads:?}");
-        let trie = sets(&mine(
-            &data,
-            &AprioriConfig::apriori(minsup)
-                .with_counting(CountingStrategy::PrefixTrie)
-                .with_threads(threads),
-        ));
-        assert_eq!(trie, trie_serial, "prefix-trie at {threads:?}");
+        for strategy in strategies {
+            let got = sets(&mine(
+                &data,
+                &AprioriConfig::apriori(minsup).with_counting(strategy).with_threads(threads),
+            ));
+            assert_eq!(got, hash_serial, "{} at {threads:?}", strategy.name());
+        }
         let ecl = sets(&mine_eclat(&data, &EclatConfig::new(minsup).with_threads(threads)));
         assert_eq!(ecl, eclat_serial, "eclat at {threads:?}");
     }
