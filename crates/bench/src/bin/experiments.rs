@@ -4,7 +4,7 @@
 //! cargo run --release -p geopattern-bench --bin experiments -- [--all|--table1|--table2|
 //!     --table3|--fig3|--fig4|--fig5|--fig6|--fig7|--formula|--city]
 //! cargo run --release -p geopattern-bench --bin experiments -- scaling [--grid N]
-//! cargo run --release -p geopattern-bench --bin experiments -- kernel [--max V]
+//! cargo run --release -p geopattern-bench --bin experiments -- kernel [--max V] [--check]
 //! cargo run --release -p geopattern-bench --bin experiments -- counting [--check]
 //! ```
 //!
@@ -14,7 +14,12 @@
 //! serial vs N-thread wall-clock for predicate extraction and support
 //! counting on a large generated city, with outputs verified identical.
 //! The `kernel` subcommand benchmarks the segment-indexed geometry kernel
-//! against the brute-force one on layers of growing vertex count. The
+//! against the brute-force one on layers of growing vertex count, plus
+//! the lane-parallel (SIMD) point-location path against the scalar
+//! segment index, and re-runs a small extraction with the SIMD layer off
+//! and on across thread counts to prove the outputs bit-identical; with
+//! `--check` it exits non-zero unless SIMD point location beats scalar by
+//! ≥ 1.5x on the largest layer in the run. The
 //! `counting` subcommand races every support-counting strategy
 //! (hash-subset, prefix-trie, eclat, bitmap, diffset) on the canonical
 //! seed-42 workload after verifying their outputs identical; with
@@ -72,7 +77,8 @@ fn main() {
             .and_then(|p| args.get(p + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(1024);
-        print_kernel(max);
+        let check = args.iter().any(|a| a == "--check");
+        print_kernel(max, check);
         return;
     }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
@@ -694,8 +700,8 @@ fn print_scaling(grid: usize) {
 }
 
 /// `kernel`: segment-indexed prepared geometries vs the brute-force
-/// kernel, on seeded datagen layers of growing vertex count. Two hot
-/// paths are measured on identical pair lists, with outputs verified
+/// kernel, on seeded datagen layers of growing vertex count. Three hot
+/// paths are measured on identical workloads, with outputs verified
 /// bit-identical first:
 ///
 /// * **relate** — full DE-9IM matrices over every envelope-intersecting
@@ -703,10 +709,21 @@ fn print_scaling(grid: usize) {
 /// * **bounded distance** — `PreparedGeometry::distance_within` against
 ///   `geometry_distance` + threshold over a fixed pair sample (the
 ///   extraction workload for a bounded distance scheme), where the
-///   branch-and-bound index can discard most pairs from envelopes alone.
-fn print_kernel(max_vertices: usize) {
+///   branch-and-bound index can discard most pairs from envelopes alone;
+/// * **point location** — the lane-parallel `SoaRing` crossing scan
+///   against the scalar segment index it embeds, on dense probe grids
+///   over each polygon's envelope (the containment sweeps inside every
+///   areal relate and distance call).
+///
+/// A final stage re-runs a small extraction with the SIMD layer disabled
+/// and enabled at 1, 2 and 8 threads and asserts the predicate tables,
+/// rows and stats identical — the bit-identity contract, observed
+/// end-to-end. With `check`, the run exits non-zero unless SIMD point
+/// location beats the scalar index by ≥ 1.5x on the largest layer.
+fn print_kernel(max_vertices: usize, check: bool) {
     use geopattern_geom::{
-        geometry_distance, relate, take_kernel_counters, Geometry, PreparedGeometry,
+        geometry_distance, relate, set_simd_enabled, take_kernel_counters, Geometry,
+        PreparedGeometry, SoaRing,
     };
 
     header("Geometry kernel — segment-indexed vs brute-force");
@@ -734,6 +751,7 @@ fn print_kernel(max_vertices: usize) {
     );
 
     let mut rows = Vec::new();
+    let mut locate_rows: Vec<(usize, usize, u128, u128, f64, u64, u64)> = Vec::new();
     for &vertices in &sizes {
         let mut rng = geopattern_testkit::Rng::seed_from_u64(42 + vertices as u64);
         let la = geopattern_datagen::random_layer(&mut rng, "a", COUNT, vertices, EXTENT);
@@ -793,6 +811,60 @@ fn print_kernel(max_vertices: usize) {
         });
         let counters = take_kernel_counters();
 
+        // Point-location workload: the lane-parallel crossing scan vs the
+        // scalar segment index, on a dense probe grid over each polygon's
+        // envelope (every probe does real parity work). Identity first —
+        // including the epsilon-band fallback on any boundary-grazing
+        // probe — then throughput.
+        const PROBE_GRID: usize = 16;
+        let soas: Vec<SoaRing> = ga
+            .iter()
+            .filter_map(|g| match g {
+                Geometry::Polygon(p) => Some(SoaRing::build(p.exterior())),
+                _ => None,
+            })
+            .collect();
+        let probes: Vec<(usize, geopattern_geom::Coord)> = soas
+            .iter()
+            .enumerate()
+            .flat_map(|(i, soa)| {
+                let env = soa.index().envelope();
+                let (w, h) = (env.max.x - env.min.x, env.max.y - env.min.y);
+                (0..PROBE_GRID * PROBE_GRID).map(move |k| {
+                    let (gx, gy) = (k % PROBE_GRID, k / PROBE_GRID);
+                    let fx = (gx as f64 + 0.5) / PROBE_GRID as f64;
+                    let fy = (gy as f64 + 0.5) / PROBE_GRID as f64;
+                    (i, geopattern_geom::coord(env.min.x + fx * w, env.min.y + fy * h))
+                })
+            })
+            .collect();
+        set_simd_enabled(true);
+        for &(i, p) in &probes {
+            assert_eq!(soas[i].locate(p), soas[i].index().locate(p), "locate diverged at {p:?}");
+        }
+        let locate_scalar_us = time_us_n(reps, || {
+            for &(i, p) in &probes {
+                std::hint::black_box(soas[i].index().locate(p));
+            }
+        });
+        let _ = take_kernel_counters();
+        let locate_simd_us = time_us_n(reps, || {
+            for &(i, p) in &probes {
+                std::hint::black_box(soas[i].locate(p));
+            }
+        });
+        let simd_counters = take_kernel_counters();
+        let locate_speedup = locate_scalar_us as f64 / locate_simd_us.max(1) as f64;
+        locate_rows.push((
+            vertices,
+            probes.len(),
+            locate_scalar_us,
+            locate_simd_us,
+            locate_speedup,
+            simd_counters.simd_lanes_tested,
+            simd_counters.simd_fallback_exact,
+        ));
+
         let relate_speedup = relate_brute_us as f64 / relate_indexed_us.max(1) as f64;
         let dist_speedup = dist_brute_us as f64 / dist_indexed_us.max(1) as f64;
         println!(
@@ -807,7 +879,10 @@ fn print_kernel(max_vertices: usize) {
              \"relate_indexed_us\":{relate_indexed_us},\"relate_speedup\":{},\
              \"distance_pairs\":{},\"distance_brute_us\":{dist_brute_us},\
              \"distance_indexed_us\":{dist_indexed_us},\"distance_speedup\":{},\
-             \"distance_early_exit\":{},\"segtree_nodes_visited\":{},\"pairs_exact\":{}}}",
+             \"distance_early_exit\":{},\"segtree_nodes_visited\":{},\"pairs_exact\":{},\
+             \"locate_probes\":{},\"locate_scalar_us\":{locate_scalar_us},\
+             \"locate_simd_us\":{locate_simd_us},\"locate_speedup\":{},\
+             \"simd_lanes_tested\":{},\"simd_fallback_exact\":{}}}",
             relate_pairs.len(),
             json_f64(relate_speedup),
             dist_pairs.len(),
@@ -815,9 +890,61 @@ fn print_kernel(max_vertices: usize) {
             counters.distance_early_exit,
             counters.segtree_nodes_visited,
             counters.pairs_exact,
+            probes.len(),
+            json_f64(locate_speedup),
+            simd_counters.simd_lanes_tested,
+            simd_counters.simd_fallback_exact,
         ));
     }
     println!("\nall indexed outputs verified bit-identical to brute-force");
+
+    println!(
+        "\npoint location — scalar segment index vs SIMD lanes (identity verified per probe)"
+    );
+    println!(
+        "{:>9} {:>8} {:>12} {:>12} {:>8} {:>14} {:>10}",
+        "vertices", "probes", "scalar µs", "simd µs", "speedup", "lanes tested", "fallbacks"
+    );
+    for &(vertices, probes, scalar_us, simd_us, speedup, lanes, fallbacks) in &locate_rows {
+        println!(
+            "{vertices:>9} {probes:>8} {scalar_us:>12} {simd_us:>12} {speedup:>7.2}x \
+             {lanes:>14} {fallbacks:>10}"
+        );
+    }
+
+    // End-to-end bit-identity: a real extraction (topological + bounded
+    // distance) must emit the same predicate table, rows and stats with
+    // the SIMD layer off and on, at every thread count.
+    let ds = generate_city(&CityConfig { grid: 8, ..Default::default() });
+    let cell = CityConfig::default().cell;
+    let config = ExtractionConfig::topological_only().with_distance(
+        DistanceScheme::new(vec![("veryCloseTo", 0.6 * cell), ("closeTo", 1.5 * cell)])
+            .expect("bounded scheme"),
+    );
+    let refs = ds.relevant_refs();
+    let mut baseline = None;
+    for simd in [false, true] {
+        set_simd_enabled(simd);
+        for n in [1usize, 2, 8] {
+            let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
+            let (table, stats) = extract(&ds.reference, &refs, &config.clone().with_threads(t));
+            match &baseline {
+                None => baseline = Some((table, stats)),
+                Some((bt, bs)) => {
+                    assert_eq!(table.predicates(), bt.predicates(), "simd={simd} {n} thr");
+                    assert_eq!(table.rows(), bt.rows(), "simd={simd} {n} thr rows differ");
+                    assert_eq!(&stats, bs, "simd={simd} {n} thr stats differ");
+                }
+            }
+        }
+    }
+    set_simd_enabled(true);
+    let (bt, _) = baseline.expect("six extraction runs");
+    println!(
+        "\nextraction bit-identity: {} rows × {} predicates identical with SIMD off/on at 1/2/8 threads",
+        bt.num_rows(),
+        bt.predicates().len()
+    );
 
     let mut doc = JsonBuf::new();
     doc.raw("{");
@@ -832,6 +959,21 @@ fn print_kernel(max_vertices: usize) {
     doc.key("series");
     doc.raw(&format!("[{}]}}", rows.join(",")));
     write_bench("kernel", &doc.into_string());
+
+    if check {
+        let &(vertices, _, _, _, speedup, _, _) =
+            locate_rows.last().expect("at least one layer measured");
+        if speedup < 1.5 {
+            eprintln!(
+                "\nCHECK FAILED: SIMD point location {speedup:.2}x on the {vertices}-vertex \
+                 layer (need ≥ 1.5x over the scalar index)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "\ncheck passed: SIMD point location {speedup:.2}x ≥ 1.5x on the {vertices}-vertex layer"
+        );
+    }
 }
 
 fn print_city_pipeline() {

@@ -47,6 +47,7 @@ pub mod relate;
 pub mod robust;
 pub mod segment;
 pub mod segtree;
+pub mod simd;
 pub mod transform;
 pub mod wkt;
 
@@ -66,5 +67,6 @@ pub use relate::{intersects, relate, Dim, IntersectionMatrix, Part};
 pub use robust::{orient2d, orientation, Orientation};
 pub use segment::{SegSegIntersection, Segment};
 pub use segtree::{take_kernel_counters, KernelCounters, RingIndex, SegTree};
+pub use simd::{set_simd_enabled, simd_enabled, SoaRing};
 pub use transform::AffineTransform;
 pub use wkt::{from_wkt, to_wkt};

@@ -19,7 +19,6 @@
 use crate::bbox::Rect;
 use crate::coord::Coord;
 use crate::geometry::{GeomDim, Geometry};
-use crate::polygon::PointLocation;
 use crate::relate::shapes::PreparedShape;
 use crate::relate::{relate_shapes, Dim, IntersectionMatrix, Part};
 use crate::segment::Segment;
@@ -133,8 +132,9 @@ fn min_distance_within(a: &PreparedShape, b: &PreparedShape, bound: f64) -> f64 
         }
         (PS::P { coords }, PS::A(pa)) | (PS::A(pa), PS::P { coords }) => {
             // A point inside (or on) the region is at distance exactly 0,
-            // matching the unbounded kernel's containment case.
-            if coords.iter().any(|&c| pa.locate(c) != PointLocation::Outside) {
+            // matching the unbounded kernel's containment case. The batch
+            // sweep answers the same boolean as the scalar `any`.
+            if pa.any_not_outside(coords) {
                 return 0.0;
             }
             points_to_tree(coords, &pa.tree, &pa.boundary, bound)
@@ -148,10 +148,7 @@ fn min_distance_within(a: &PreparedShape, b: &PreparedShape, bound: f64) -> f64 
             // curve crossing the boundary with no vertex inside resolves
             // to an exact 0.0 through an intersecting segment pair below,
             // exactly as in the unbounded kernel.
-            if segments.iter().any(|s| {
-                pa.locate(s.a) != PointLocation::Outside
-                    || pa.locate(s.b) != PointLocation::Outside
-            }) {
+            if pa.any_endpoint_not_outside(segments) {
                 return 0.0;
             }
             tree.pair_distance_within(segments, &pa.tree, &pa.boundary, bound)
@@ -161,9 +158,7 @@ fn min_distance_within(a: &PreparedShape, b: &PreparedShape, bound: f64) -> f64 
             // overlap ⇒ distance exactly 0 (the unbounded kernel's
             // containment test). Overlaps with no contained vertex cross
             // boundaries, which the segment pairs below resolve to 0.0.
-            if pa.ext_coords.iter().any(|&c| pb.locate(c) != PointLocation::Outside)
-                || pb.ext_coords.iter().any(|&c| pa.locate(c) != PointLocation::Outside)
-            {
+            if pb.any_not_outside(&pa.ext_coords) || pa.any_not_outside(&pb.ext_coords) {
                 return 0.0;
             }
             pa.tree.pair_distance_within(&pa.boundary, &pb.tree, &pb.boundary, bound)

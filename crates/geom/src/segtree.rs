@@ -38,6 +38,8 @@ thread_local! {
     static NODES_VISITED: Cell<u64> = const { Cell::new(0) };
     static PAIRS_EXACT: Cell<u64> = const { Cell::new(0) };
     static DISTANCE_EARLY_EXIT: Cell<u64> = const { Cell::new(0) };
+    static SIMD_LANES_TESTED: Cell<u64> = const { Cell::new(0) };
+    static SIMD_FALLBACK_EXACT: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Snapshot of the thread-local kernel counters.
@@ -56,6 +58,13 @@ pub struct KernelCounters {
     /// Subtree (pairs) pruned by a bound or best-so-far comparison, plus
     /// envelope-level early exits in bounded-distance queries.
     pub distance_early_exit: u64,
+    /// `f64` lanes evaluated by the SIMD leaf kernels
+    /// ([`crate::simd`]): ring-crossing lanes plus vectorized envelope
+    /// lower bounds.
+    pub simd_lanes_tested: u64,
+    /// Queries the SIMD fast path handed back to the exact robust
+    /// predicates because a lane landed in the boundary epsilon band.
+    pub simd_fallback_exact: u64,
 }
 
 /// Reads **and resets** this thread's kernel counters.
@@ -68,7 +77,22 @@ pub fn take_kernel_counters() -> KernelCounters {
         segtree_nodes_visited: NODES_VISITED.with(|c| c.take()),
         pairs_exact: PAIRS_EXACT.with(|c| c.take()),
         distance_early_exit: DISTANCE_EARLY_EXIT.with(|c| c.take()),
+        simd_lanes_tested: SIMD_LANES_TESTED.with(|c| c.take()),
+        simd_fallback_exact: SIMD_FALLBACK_EXACT.with(|c| c.take()),
     }
+}
+
+/// Records `f64` lanes evaluated by the SIMD leaf kernels.
+#[inline]
+pub(crate) fn note_simd_lanes(n: u64) {
+    SIMD_LANES_TESTED.with(|c| c.set(c.get() + n));
+}
+
+/// Records epsilon-band fallbacks from the SIMD fast path to the exact
+/// robust predicates.
+#[inline]
+pub(crate) fn note_simd_fallback(n: u64) {
+    SIMD_FALLBACK_EXACT.with(|c| c.set(c.get() + n));
 }
 
 #[inline]
@@ -126,6 +150,16 @@ pub struct SegTree {
     entries: Vec<(Rect, u32)>,
     /// Arena of nodes, packed level by level, root last.
     nodes: Vec<Node>,
+    /// Entry envelopes mirrored in struct-of-arrays form for the SIMD
+    /// leaf lower bounds, padded to a multiple of [`crate::simd::LANES`]
+    /// with [`Rect::EMPTY`] components (`+∞`/`−∞`, never consulted by the
+    /// decision loop). Leaves cover entry runs starting at multiples of
+    /// [`NODE_CAPACITY`], itself a lane-width multiple, so every leaf's
+    /// run is chunk-aligned.
+    env_minx: Vec<f64>,
+    env_miny: Vec<f64>,
+    env_maxx: Vec<f64>,
+    env_maxy: Vec<f64>,
 }
 
 impl SegTree {
@@ -143,7 +177,7 @@ impl SegTree {
         let mut nodes: Vec<Node> = Vec::new();
         let n = entries.len();
         if n == 0 {
-            return SegTree { entries, nodes };
+            return SegTree::with_env_soa(entries, nodes);
         }
 
         let num_leaves = n.div_ceil(NODE_CAPACITY);
@@ -182,7 +216,71 @@ impl SegTree {
             level_start = level_end;
             level_len = nodes.len() - level_start;
         }
-        SegTree { entries, nodes }
+        SegTree::with_env_soa(entries, nodes)
+    }
+
+    /// Finishes construction by mirroring the entry envelopes into the
+    /// padded SoA arrays the SIMD lower-bound kernels scan.
+    fn with_env_soa(entries: Vec<(Rect, u32)>, nodes: Vec<Node>) -> SegTree {
+        let padded = entries.len().div_ceil(crate::simd::LANES) * crate::simd::LANES;
+        let mut env_minx = vec![f64::INFINITY; padded];
+        let mut env_miny = vec![f64::INFINITY; padded];
+        let mut env_maxx = vec![f64::NEG_INFINITY; padded];
+        let mut env_maxy = vec![f64::NEG_INFINITY; padded];
+        for (i, (r, _)) in entries.iter().enumerate() {
+            env_minx[i] = r.min.x;
+            env_miny[i] = r.min.y;
+            env_maxx[i] = r.max.x;
+            env_maxy[i] = r.max.y;
+        }
+        SegTree { entries, nodes, env_minx, env_miny, env_maxx, env_maxy }
+    }
+
+    /// Envelope distance lower bounds for one leaf's entries, evaluated
+    /// lane-parallel over the SoA mirror. `out[j]` replicates
+    /// `entries[first + j].0.distance_to_point(p)` operation for
+    /// operation (the `is_empty` branch is dead for real entries — a
+    /// segment envelope is never empty), so the decision loop consuming
+    /// the values prunes exactly as the scalar computation would.
+    #[inline]
+    fn leaf_point_lbs(&self, first: usize, count: usize, p: Coord) -> [f64; NODE_CAPACITY] {
+        let padded = count.div_ceil(crate::simd::LANES) * crate::simd::LANES;
+        let (minx, miny) = (&self.env_minx[first..first + padded], &self.env_miny[first..first + padded]);
+        let (maxx, maxy) = (&self.env_maxx[first..first + padded], &self.env_maxy[first..first + padded]);
+        let mut dx = [0.0f64; NODE_CAPACITY];
+        let mut dy = [0.0f64; NODE_CAPACITY];
+        for j in 0..padded {
+            dx[j] = (minx[j] - p.x).max(0.0).max(p.x - maxx[j]);
+            dy[j] = (miny[j] - p.y).max(0.0).max(p.y - maxy[j]);
+        }
+        let mut out = [f64::INFINITY; NODE_CAPACITY];
+        for j in 0..count {
+            out[j] = dx[j].hypot(dy[j]);
+        }
+        note_simd_lanes(padded as u64);
+        out
+    }
+
+    /// Envelope distance lower bounds from a fixed rectangle `r` to one
+    /// leaf's entries; `out[j]` replicates
+    /// `r.distance_to_rect(&entries[first + j].0)` bit for bit.
+    #[inline]
+    fn leaf_rect_lbs(&self, first: usize, count: usize, r: &Rect) -> [f64; NODE_CAPACITY] {
+        let padded = count.div_ceil(crate::simd::LANES) * crate::simd::LANES;
+        let (minx, miny) = (&self.env_minx[first..first + padded], &self.env_miny[first..first + padded]);
+        let (maxx, maxy) = (&self.env_maxx[first..first + padded], &self.env_maxy[first..first + padded]);
+        let mut dx = [0.0f64; NODE_CAPACITY];
+        let mut dy = [0.0f64; NODE_CAPACITY];
+        for j in 0..padded {
+            dx[j] = (r.min.x - maxx[j]).max(0.0).max(minx[j] - r.max.x);
+            dy[j] = (r.min.y - maxy[j]).max(0.0).max(miny[j] - r.max.y);
+        }
+        let mut out = [f64::INFINITY; NODE_CAPACITY];
+        for j in 0..count {
+            out[j] = dx[j].hypot(dy[j]);
+        }
+        note_simd_lanes(padded as u64);
+        out
     }
 
     /// Number of indexed segments.
@@ -260,8 +358,15 @@ impl SegTree {
             }
             let (first, count) = (node.first as usize, node.count as usize);
             if node.leaf {
-                for e in &self.entries[first..first + count] {
-                    let elb = e.0.distance_to_point(p);
+                // Lane-parallel envelope lower bounds; the decision loop
+                // below consumes the same values the scalar computation
+                // yields, so pruning is bit-identical either way.
+                let lbs = crate::simd::simd_enabled().then(|| self.leaf_point_lbs(first, count, p));
+                for (off, e) in self.entries[first..first + count].iter().enumerate() {
+                    let elb = match &lbs {
+                        Some(lbs) => lbs[off],
+                        None => e.0.distance_to_point(p),
+                    };
                     if exceeds(elb, limit) || elb >= best {
                         pruned += 1;
                         continue;
@@ -329,9 +434,15 @@ impl SegTree {
                 (true, true) => {
                     let ea = &self.entries[na.first as usize..(na.first + na.count) as usize];
                     let eb = &other.entries[nb.first as usize..(nb.first + nb.count) as usize];
+                    let simd = crate::simd::simd_enabled();
                     for a in ea {
-                        for b in eb {
-                            let elb = a.0.distance_to_rect(&b.0);
+                        let lbs = simd
+                            .then(|| other.leaf_rect_lbs(nb.first as usize, nb.count as usize, &a.0));
+                        for (off, b) in eb.iter().enumerate() {
+                            let elb = match &lbs {
+                                Some(lbs) => lbs[off],
+                                None => a.0.distance_to_rect(&b.0),
+                            };
                             if exceeds(elb, limit) || elb >= best {
                                 pruned += 1;
                                 continue;
@@ -431,6 +542,17 @@ impl RingIndex {
     /// True when the index holds no edges (never for a valid ring).
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
+    }
+
+    /// The indexed edges, ascending by `envelope().min.y` — the order the
+    /// SIMD struct-of-arrays mirror ([`crate::simd::SoaRing`]) shares.
+    pub(crate) fn edges(&self) -> &[Segment] {
+        &self.edges
+    }
+
+    /// Envelope of the indexed ring.
+    pub fn envelope(&self) -> Rect {
+        self.envelope
     }
 
     /// Classifies `p` against the region enclosed by the ring.

@@ -1,0 +1,404 @@
+//! Lane-parallel leaf kernels under the prepared-geometry layer.
+//!
+//! The segment indexes of [`crate::segtree`] make the per-pair kernel
+//! sublinear, but every surviving leaf test — crossing-count
+//! point-in-ring, envelope distance lower bounds — is scalar `f64` math.
+//! This module restructures the hot data into padded struct-of-arrays
+//! form and evaluates those leaf tests [`LANES`] at a time, using nothing
+//! but `chunks_exact` over fixed-size `[f64; LANES]` blocks: dependency-
+//! free code the compiler auto-vectorizes (and that stays correct, just
+//! slower, where it does not).
+//!
+//! # The bit-identity contract
+//!
+//! The SIMD layer is a pure accelerator, held to the same standard as the
+//! segment indexes: every observable output — DE-9IM matrices, extraction
+//! predicates, bounded distances, mined itemsets — is **bit-identical**
+//! to the scalar path. Two mechanisms enforce that:
+//!
+//! * **Exact formula replication.** Lanes evaluate the *same expressions
+//!   in the same operand order* as the scalar code ([`Ring::locate`]'s
+//!   Franklin crossing test, [`crate::bbox::Rect::distance_to_point`]'s
+//!   clamped axis distances), so each lane's `f64` result is the very
+//!   value the scalar loop would have produced. IEEE arithmetic is
+//!   deterministic per operation; vectorizing across independent edges
+//!   reorders nothing within any one computation.
+//! * **Epsilon-band fallback.** Exact boundary detection needs robust
+//!   predicates, which do not vectorize. Instead each lane runs a
+//!   conservative filter (the Shewchuk A error bound from
+//!   [`crate::robust`]): a lane can certify *this edge definitely does
+//!   not contain the query point* — the point is outside the edge's
+//!   envelope, or the naive cross product exceeds the static error bound
+//!   — but never claims the converse. Any lane left uncertain aborts the
+//!   fast path and the whole query falls back to the exact
+//!   [`RingIndex::locate`], counted under `geom/simd_fallback_exact`.
+//!   Genuine boundary points always land in the band (an exactly
+//!   collinear point has a naive cross product within the error bound by
+//!   the filter's contract), so the fast path only ever answers for
+//!   points it classifies exactly as the scalar code would.
+//!
+//! The layer can be disabled at runtime (`GEOPATTERN_SIMD=0`, or
+//! [`set_simd_enabled`] for A/B benchmarks) precisely because both paths
+//! produce identical bits; the toggle trades speed, never answers.
+
+use crate::coord::Coord;
+use crate::polygon::{PointLocation, Ring};
+use crate::segtree::{note_simd_fallback, note_simd_lanes, RingIndex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Lane width of the chunked kernels. Four `f64`s fill one AVX2 register;
+/// narrower hosts simply split the chunk, wider ones fuse two.
+pub const LANES: usize = 4;
+
+/// Shewchuk's `ccwerrboundA` (see [`crate::robust`]): when the naive
+/// cross product's magnitude exceeds `CCW_ERRBOUND_A * (|detleft| +
+/// |detright|)`, its sign — in particular, its non-zeroness — is certain.
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * (f64::EPSILON / 2.0)) * (f64::EPSILON / 2.0);
+
+static SIMD_ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+
+fn state() -> &'static AtomicBool {
+    SIMD_ENABLED.get_or_init(|| {
+        let on = std::env::var("GEOPATTERN_SIMD").map(|v| v != "0").unwrap_or(true);
+        AtomicBool::new(on)
+    })
+}
+
+/// True when the lane-parallel fast paths are active (the default;
+/// `GEOPATTERN_SIMD=0` in the environment starts the process disabled).
+pub fn simd_enabled() -> bool {
+    state().load(Ordering::Relaxed)
+}
+
+/// Enables or disables the lane-parallel fast paths process-wide.
+///
+/// Safe to flip at any time: both paths produce bit-identical results,
+/// so the setting affects wall-clock and the `geom/simd_*` counters only.
+/// Exposed for A/B benchmarks (`experiments kernel`).
+pub fn set_simd_enabled(on: bool) {
+    state().store(on, Ordering::Relaxed);
+}
+
+/// A ring in stripe-bucketed, padded struct-of-arrays form, with its
+/// exact [`RingIndex`] alongside for epsilon-band fallbacks.
+///
+/// The ring's y-extent is divided into uniform horizontal stripes; each
+/// edge is filed under every stripe its y-interval overlaps. A stripe's
+/// edges live contiguously in four parallel coordinate arrays, padded to
+/// a multiple of [`LANES`] with degenerate sentinel edges (`a == b ==`
+/// vertex 0). A query scans exactly one stripe — the handful of edges
+/// that can straddle its ordinate — so the scan stays short as rings
+/// grow, while every lane remains a branch-free `[f64; LANES]` block.
+///
+/// The stripe restriction is exact, not approximate. An edge can toggle
+/// the crossing parity only when its y-interval straddles the query
+/// ordinate, and it can contain the query point only when its envelope
+/// does; either way `min.y <= p.y <= max.y`, and stripe assignment via
+/// the same monotone index function guarantees such an edge appears in
+/// the query's stripe. Edges filed in the stripe that do *neither*
+/// evaluate the same expressions and contribute nothing — exactly as in
+/// the scalar loop. Sentinel pads cannot toggle (`a.y == b.y`), produce
+/// no non-finite intermediates that escape masking, and trigger the
+/// boundary fallback only when the query coincides with the sentinel
+/// vertex — a genuine boundary point.
+#[derive(Debug, Clone)]
+pub struct SoaRing {
+    index: RingIndex,
+    /// Number of real (distinct) edges.
+    len: usize,
+    /// Stripe count; `starts` has `stripes + 1` entries.
+    stripes: usize,
+    /// Bottom of the stripe grid (`envelope().min.y`).
+    y0: f64,
+    /// Stripe height (positive for any valid ring).
+    stripe_h: f64,
+    /// Lane-aligned stripe boundaries into the coordinate arrays.
+    starts: Vec<u32>,
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+}
+
+impl SoaRing {
+    /// Builds the stripe-bucketed SoA layout (and the embedded exact
+    /// index) over a ring.
+    pub fn build(ring: &Ring) -> SoaRing {
+        let index = RingIndex::build(ring);
+        let edges = index.edges();
+        let len = edges.len();
+        let env = index.envelope();
+        let y0 = env.min.y;
+        let height = env.max.y - y0;
+
+        // Start near one stripe per few edges and coarsen until the
+        // duplicated-edge footprint is modest; tall-edge rings degrade
+        // gracefully toward a single stripe rather than exploding memory.
+        let mut stripes = (len / 4).clamp(1, 256);
+        let mut counts;
+        loop {
+            let h = height / stripes as f64;
+            let sidx = |v: f64| (((v - y0) / h) as usize).min(stripes - 1);
+            counts = vec![0u32; stripes];
+            for s in edges {
+                let e = s.envelope();
+                for c in &mut counts[sidx(e.min.y)..=sidx(e.max.y)] {
+                    *c += 1;
+                }
+            }
+            let padded: usize =
+                counts.iter().map(|&c| (c as usize).div_ceil(LANES) * LANES).sum();
+            if stripes == 1 || padded <= 6 * len.max(LANES) {
+                break;
+            }
+            stripes /= 2;
+        }
+        let stripe_h = height / stripes as f64;
+
+        let mut starts = Vec::with_capacity(stripes + 1);
+        starts.push(0u32);
+        for &c in &counts {
+            let padded = (c as usize).div_ceil(LANES) * LANES;
+            starts.push(starts.last().unwrap() + padded as u32);
+        }
+        let total = *starts.last().unwrap() as usize;
+        let sentinel = ring.coords()[0];
+        let mut ax = vec![sentinel.x; total];
+        let mut ay = vec![sentinel.y; total];
+        let mut bx = vec![sentinel.x; total];
+        let mut by = vec![sentinel.y; total];
+        let mut cursor: Vec<usize> = starts[..stripes].iter().map(|&s| s as usize).collect();
+        let sidx = |v: f64| (((v - y0) / stripe_h) as usize).min(stripes - 1);
+        for s in edges {
+            let e = s.envelope();
+            for slot in &mut cursor[sidx(e.min.y)..=sidx(e.max.y)] {
+                let at = *slot;
+                ax[at] = s.a.x;
+                ay[at] = s.a.y;
+                bx[at] = s.b.x;
+                by[at] = s.b.y;
+                *slot = at + 1;
+            }
+        }
+        SoaRing { index, len, stripes, y0, stripe_h, starts, ax, ay, bx, by }
+    }
+
+    /// The embedded exact index (the fallback and scalar-mode path).
+    pub fn index(&self) -> &RingIndex {
+        &self.index
+    }
+
+    /// Number of real edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the ring has no edges (never for a valid ring).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The lane-parallel fast path: `Some(location)` when every scanned
+    /// lane certified the point off the boundary, `None` when any lane
+    /// landed in the epsilon band and the caller must consult the exact
+    /// index.
+    ///
+    /// A `Some` answer is bit-identical to [`RingIndex::locate`] (and so
+    /// to [`Ring::locate`]): the crossing test replicates the scalar
+    /// expressions operand for operand, parity is order-independent, and
+    /// edges outside the scanned stripe can neither cross the ray nor
+    /// contain the point (their y-interval misses the query ordinate).
+    pub fn try_locate(&self, p: Coord) -> Option<PointLocation> {
+        if !self.index.envelope().contains_point(p) {
+            return Some(PointLocation::Outside);
+        }
+        let (px, py) = (p.x, p.y);
+        // The envelope admitted p, so p.y lands in a stripe; every edge
+        // that can toggle the parity or contain p y-overlaps it and is
+        // filed there. The stripe's other edges (sentinels included)
+        // evaluate the same expressions and contribute nothing, so the
+        // branch-free scan is exact.
+        let s = (((py - self.y0) / self.stripe_h) as usize).min(self.stripes - 1);
+        let (lo, hi) = (self.starts[s] as usize, self.starts[s + 1] as usize);
+
+        let mut crossings = 0u32;
+        let mut lanes = 0u64;
+        let mut uncertain = false;
+        let chunks = self
+            .ax[lo..hi]
+            .chunks_exact(LANES)
+            .zip(self.ay[lo..hi].chunks_exact(LANES))
+            .zip(self.bx[lo..hi].chunks_exact(LANES))
+            .zip(self.by[lo..hi].chunks_exact(LANES));
+        for (((axs, ays), bxs), bys) in chunks {
+            let mut toggles = [0u32; LANES];
+            let mut banded = [false; LANES];
+            for l in 0..LANES {
+                let (ax, ay, bx, by) = (axs[l], ays[l], bxs[l], bys[l]);
+                // Franklin crossing test, verbatim from Ring::locate's
+                // (pj = a, pi = b) pairing. Non-crossing lanes may divide
+                // by zero; the resulting inf/NaN only feeds a comparison
+                // that the crossing mask discards.
+                let crossing = (by > py) != (ay > py);
+                let x_int = bx + (py - by) * (ax - bx) / (ay - by);
+                toggles[l] = (crossing && px < x_int) as u32;
+                // Conservative boundary filter: certainly off this edge
+                // when outside its envelope or when the naive cross
+                // product's sign is certified non-zero (Shewchuk A).
+                let in_env = ax.min(bx) <= px
+                    && px <= ax.max(bx)
+                    && ay.min(by) <= py
+                    && py <= ay.max(by);
+                let detleft = (ax - px) * (by - py);
+                let detright = (ay - py) * (bx - px);
+                let det = detleft - detright;
+                let certainly_off = det.abs() > CCW_ERRBOUND_A * (detleft.abs() + detright.abs());
+                banded[l] = in_env && !certainly_off;
+            }
+            crossings += toggles.iter().sum::<u32>();
+            lanes += LANES as u64;
+            if banded.iter().any(|&b| b) {
+                uncertain = true;
+                break;
+            }
+        }
+        note_simd_lanes(lanes);
+        if uncertain {
+            return None;
+        }
+        Some(if crossings % 2 == 1 { PointLocation::Inside } else { PointLocation::Outside })
+    }
+
+    /// Classifies `p`, taking the fast path when enabled and falling back
+    /// to the exact index in the epsilon band (counted under
+    /// `geom/simd_fallback_exact`). Bit-identical to
+    /// [`RingIndex::locate`] in every mode.
+    pub fn locate(&self, p: Coord) -> PointLocation {
+        if !simd_enabled() {
+            return self.index.locate(p);
+        }
+        match self.try_locate(p) {
+            Some(loc) => loc,
+            None => {
+                note_simd_fallback(1);
+                self.index.locate(p)
+            }
+        }
+    }
+
+    /// Classifies many query points against the ring in one call — the
+    /// batch flavour extraction uses for containment sweeps. Equivalent
+    /// to mapping [`SoaRing::locate`] over `points`.
+    pub fn locate_batch(&self, points: &[Coord]) -> Vec<PointLocation> {
+        points.iter().map(|&p| self.locate(p)).collect()
+    }
+}
+
+/// Serialises tests that flip the process-wide toggle or assert on the
+/// toggle-dependent counters; answers never need the lock (bit-identity),
+/// only assertions about *which path* ran.
+#[cfg(test)]
+pub(crate) fn test_toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::coord;
+    use crate::segtree::take_kernel_counters;
+
+    fn ring(pts: &[(f64, f64)]) -> Ring {
+        Ring::from_xy(pts).unwrap()
+    }
+
+    #[test]
+    fn soa_matches_ring_locate_on_probe_grid() {
+        let rings = [
+            ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
+            // Concave, with horizontal edges at several ordinates and an
+            // edge count that is not a multiple of LANES (pads exercised).
+            ring(&[
+                (0.0, 0.0),
+                (8.0, 0.0),
+                (8.0, 3.0),
+                (4.0, 3.0),
+                (4.0, 6.0),
+                (8.0, 6.0),
+                (8.0, 9.0),
+                (0.0, 9.0),
+                (0.0, 5.0),
+            ]),
+            ring(&[(0.0, 0.0), (7.0, 1.0), (3.0, 8.0)]),
+        ];
+        for r in &rings {
+            let soa = SoaRing::build(r);
+            assert_eq!(soa.len(), r.num_points());
+            assert!(!soa.is_empty());
+            assert_eq!(soa.ax.len() % LANES, 0, "arrays padded to lane width");
+            let mut probes: Vec<Coord> = Vec::new();
+            for i in 0..45 {
+                for j in 0..45 {
+                    probes.push(coord(i as f64 * 0.27 - 1.0, j as f64 * 0.27 - 1.0));
+                }
+            }
+            probes.extend(r.coords().iter().copied());
+            probes.extend(r.segments().map(|s| s.midpoint()));
+            for p in probes {
+                assert_eq!(soa.locate(p), r.locate(p), "ring={r:?} p={p:?}");
+                if let Some(fast) = soa.try_locate(p) {
+                    assert_eq!(fast, r.locate(p), "fast path diverged at {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_fall_back() {
+        // Robustly-on-boundary probes must never get a fast-path answer:
+        // an exactly collinear point sits inside the error band.
+        let r = ring(&[(0.0, 0.0), (9.0, 2.0), (5.0, 8.0)]);
+        let soa = SoaRing::build(&r);
+        for s in r.segments() {
+            for t in [0.0, 0.25, 0.5, 1.0] {
+                let p = s.a.lerp(s.b, t);
+                if r.locate(p) == PointLocation::OnBoundary {
+                    assert_eq!(soa.try_locate(p), None, "boundary probe {p:?} answered fast");
+                    assert_eq!(soa.locate(p), PointLocation::OnBoundary);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_record_lanes_and_fallbacks() {
+        let _guard = test_toggle_lock();
+        let r = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let soa = SoaRing::build(&r);
+        set_simd_enabled(true);
+        let _ = take_kernel_counters();
+        assert_eq!(soa.locate(coord(5.0, 5.0)), PointLocation::Inside);
+        let c = take_kernel_counters();
+        assert!(c.simd_lanes_tested > 0, "interior probe must scan lanes");
+        assert_eq!(c.simd_fallback_exact, 0);
+        assert_eq!(soa.locate(coord(5.0, 0.0)), PointLocation::OnBoundary);
+        let c = take_kernel_counters();
+        assert_eq!(c.simd_fallback_exact, 1, "boundary probe must fall back");
+    }
+
+    #[test]
+    fn toggle_changes_counters_not_answers() {
+        let _guard = test_toggle_lock();
+        let r = ring(&[(0.0, 0.0), (6.0, 1.0), (7.0, 7.0), (1.0, 6.0)]);
+        let soa = SoaRing::build(&r);
+        let probes: Vec<Coord> =
+            (0..200).map(|i| coord((i % 20) as f64 * 0.45, (i / 20) as f64 * 0.8)).collect();
+        set_simd_enabled(false);
+        let off: Vec<_> = soa.locate_batch(&probes);
+        set_simd_enabled(true);
+        let on: Vec<_> = soa.locate_batch(&probes);
+        assert_eq!(off, on);
+    }
+}

@@ -396,6 +396,8 @@ fn drain_kernel_counters(metrics: &mut Metrics) {
     metrics.add_counter("geom/segtree_nodes_visited", k.segtree_nodes_visited);
     metrics.add_counter("geom/pairs_exact", k.pairs_exact);
     metrics.add_counter("geom/distance_early_exit", k.distance_early_exit);
+    metrics.add_counter("geom/simd_lanes_tested", k.simd_lanes_tested);
+    metrics.add_counter("geom/simd_fallback_exact", k.simd_fallback_exact);
 }
 
 /// Computes one reference feature's predicates, in the exact order the

@@ -47,6 +47,9 @@ echo "==> strategy-equivalence gate (all counting backends bit-identical)"
 cargo test --release -q -p geopattern-integration --test strategy_equivalence
 cargo test --release -q -p geopattern-integration --test bitmap_properties
 
+echo "==> SIMD leaf-kernel gate (lane paths bit-identical to scalar)"
+cargo test --release -q -p geopattern-integration --test simd_properties
+
 echo "==> experiments scaling (emits BENCH_scaling.json, default grid)"
 cargo run --release -q -p geopattern-bench --bin experiments -- scaling
 test -s BENCH_scaling.json
@@ -55,8 +58,8 @@ echo "==> experiments counting smoke (emits BENCH_counting.json; bitmap must bea
 cargo run --release -q -p geopattern-bench --bin experiments -- counting --check
 test -s BENCH_counting.json
 
-echo "==> experiments kernel (emits BENCH_kernel.json)"
-cargo run --release -q -p geopattern-bench --bin experiments -- kernel --max 256
+echo "==> experiments kernel (emits BENCH_kernel.json; SIMD must beat scalar locate ≥1.5x)"
+cargo run --release -q -p geopattern-bench --bin experiments -- kernel --max 256 --check
 test -s BENCH_kernel.json
 
 echo "==> ci.sh: all green"

@@ -1,0 +1,255 @@
+//! Property tests for the lane-parallel (SIMD) leaf kernels.
+//!
+//! The stripe-bucketed struct-of-arrays layer (`SoaRing`, the segment-tree
+//! leaf lower bounds) is a pure accelerator under the prepared-geometry
+//! path: every observable output must be **bit-identical** with the layer
+//! on and off. These tests drive it with seeded generators from
+//! `geopattern-datagen` — smooth star polygons and lattice-quantised
+//! degenerates — plus adversarial probes: exact boundary points,
+//! ±one-ulp epsilon-band perturbations, and rings whose edge counts are
+//! not a multiple of the lane width (so the sentinel pads are exercised).
+
+use geopattern::{Algorithm, MiningPipeline, MinSupport, Recorder, Threads};
+use geopattern_datagen::{
+    default_knowledge, generate_city, lattice_polygon, star_polygon, CityConfig,
+};
+use geopattern_geom::{
+    coord, geometry_distance, geometry_distance_within, set_simd_enabled, simd_enabled,
+    take_kernel_counters, Coord, Geometry, PointLocation, PreparedGeometry, Ring, RingIndex,
+    SoaRing,
+};
+use geopattern_testkit::Rng;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serialises the tests that flip the process-wide SIMD toggle or assert
+/// on its counters; bit-identity makes the flag harmless for answers, but
+/// path assertions need a stable setting.
+fn toggle_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn ulp_up(v: f64) -> f64 {
+    f64::from_bits(if v >= 0.0 { v.to_bits() + 1 } else { v.to_bits() - 1 })
+}
+
+fn ulp_down(v: f64) -> f64 {
+    f64::from_bits(if v > 0.0 { v.to_bits() - 1 } else { v.to_bits() + 1 })
+}
+
+/// A probe battery for one ring: a dense grid over (and past) its
+/// envelope, every vertex, every edge midpoint and quarter point, and
+/// ±one-ulp perturbations of all of those in both axes — the epsilon
+/// band where naive arithmetic cannot decide boundary membership.
+fn probes_for(ring: &Ring) -> Vec<Coord> {
+    let env = ring.envelope();
+    let (w, h) = (env.max.x - env.min.x, env.max.y - env.min.y);
+    let mut probes = Vec::new();
+    for i in 0..24 {
+        for j in 0..24 {
+            probes.push(coord(
+                env.min.x - 0.1 * w + (i as f64 / 23.0) * 1.2 * w,
+                env.min.y - 0.1 * h + (j as f64 / 23.0) * 1.2 * h,
+            ));
+        }
+    }
+    let mut near = Vec::new();
+    probes.extend(ring.coords().iter().copied());
+    for s in ring.segments() {
+        for t in [0.25, 0.5, 0.75] {
+            probes.push(s.a.lerp(s.b, t));
+        }
+    }
+    for &p in &probes {
+        near.push(coord(ulp_up(p.x), p.y));
+        near.push(coord(ulp_down(p.x), p.y));
+        near.push(coord(p.x, ulp_up(p.y)));
+        near.push(coord(p.x, ulp_down(p.y)));
+    }
+    probes.extend(near);
+    probes
+}
+
+/// The SoA contract on one ring: `locate` equals `Ring::locate` and
+/// `RingIndex::locate` on every probe; a fast-path (`try_locate`)
+/// answer is never wrong; a robust boundary probe never gets a fast-path
+/// answer; and `locate_batch` is the map of `locate`.
+fn assert_soa_contract(ring: &Ring) {
+    let soa = SoaRing::build(ring);
+    let index = RingIndex::build(ring);
+    assert_eq!(soa.len(), ring.num_points());
+    let probes = probes_for(ring);
+    for &p in &probes {
+        let scalar = ring.locate(p);
+        assert_eq!(index.locate(p), scalar, "index diverged at {p:?}");
+        assert_eq!(soa.locate(p), scalar, "soa diverged at {p:?}");
+        // In the epsilon band try_locate is None and the exact fallback
+        // was already checked above; a fast answer must agree.
+        if let Some(fast) = soa.try_locate(p) {
+            assert_eq!(fast, scalar, "fast path wrong at {p:?}");
+        }
+        if scalar == PointLocation::OnBoundary {
+            assert_eq!(soa.try_locate(p), None, "boundary probe {p:?} answered fast");
+        }
+    }
+    let batch = soa.locate_batch(&probes);
+    let mapped: Vec<_> = probes.iter().map(|&p| soa.locate(p)).collect();
+    assert_eq!(batch, mapped, "locate_batch is not the map of locate");
+}
+
+/// Smooth general-position rings, with vertex counts chosen to leave
+/// partial lanes (5, 9, 13, … are not multiples of the lane width).
+#[test]
+fn soa_matches_scalar_on_star_rings() {
+    let mut rng = Rng::seed_from_u64(42);
+    for vertices in [3usize, 5, 8, 9, 13, 16, 21, 64] {
+        let center = coord(rng.f64() * 20.0, rng.f64() * 20.0);
+        let (r_min, r_max) = (1.0 + rng.f64(), 4.0 + rng.f64() * 3.0);
+        let poly = star_polygon(&mut rng, center, r_min, r_max, vertices);
+        assert_soa_contract(poly.exterior());
+    }
+}
+
+/// Lattice-quantised rings: collinear chains, horizontal edges at the
+/// query ordinate, vertices shared between edges — the degenerate mass
+/// where the epsilon-band fallback must carry the load.
+#[test]
+fn soa_matches_scalar_on_lattice_rings() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..12 {
+        let poly = lattice_polygon(&mut rng, 12);
+        assert_soa_contract(poly.exterior());
+    }
+}
+
+/// The sentinel pads replicate vertex 0; a query exactly at vertex 0 hits
+/// the band in every stripe that scans a pad, and must still classify as
+/// the boundary point it genuinely is.
+#[test]
+fn sentinel_pad_coincidence_is_boundary() {
+    // 9 edges: the lane width does not divide it, so every stripe run is
+    // padded with vertex-0 sentinels.
+    let ring = Ring::from_xy(&[
+        (0.0, 0.0),
+        (8.0, 0.0),
+        (8.0, 3.0),
+        (4.0, 3.0),
+        (4.0, 6.0),
+        (8.0, 6.0),
+        (8.0, 9.0),
+        (0.0, 9.0),
+        (0.0, 5.0),
+    ])
+    .unwrap();
+    let soa = SoaRing::build(&ring);
+    let v0 = ring.coords()[0];
+    assert_eq!(ring.locate(v0), PointLocation::OnBoundary);
+    assert_eq!(soa.locate(v0), PointLocation::OnBoundary);
+    assert_eq!(soa.try_locate(v0), None, "vertex-0 probe must fall back");
+    // The top vertex sits on the last stripe's boundary; off-by-one in
+    // stripe selection would misclassify it.
+    let top = coord(4.0, 9.0);
+    assert_eq!(soa.locate(top), ring.locate(top));
+    let above = coord(4.0, ulp_up(9.0));
+    assert_eq!(soa.locate(above), PointLocation::Outside);
+}
+
+/// Bounded distance is bit-identical with the SIMD leaf lower bounds on
+/// and off, across generous, exact, one-ulp-short, and NaN bounds.
+#[test]
+fn bounded_distance_bit_identical_with_toggle() {
+    let _guard = toggle_lock();
+    let mut rng = Rng::seed_from_u64(99);
+    let geoms: Vec<Geometry> = (0..10)
+        .map(|i| {
+            let center = coord(rng.f64() * 40.0, rng.f64() * 40.0);
+            star_polygon(&mut rng, center, 1.0, 4.0, 6 + i % 9).into()
+        })
+        .collect();
+    for a in &geoms {
+        for b in &geoms {
+            let d = geometry_distance(a, b);
+            let mut bounds = vec![d * 2.0 + 1.0, d, f64::NAN, f64::INFINITY];
+            if d > 0.0 {
+                bounds.push(ulp_down(d));
+            }
+            for &bound in &bounds {
+                set_simd_enabled(false);
+                let off = geometry_distance_within(a, b, bound);
+                set_simd_enabled(true);
+                let on = geometry_distance_within(a, b, bound);
+                assert_eq!(
+                    off.map(f64::to_bits),
+                    on.map(f64::to_bits),
+                    "distance_within diverged at bound {bound}"
+                );
+            }
+        }
+    }
+}
+
+/// DE-9IM matrices from the prepared path are identical with the SIMD
+/// layer on and off (the containment sweeps inside areal relate are the
+/// batch point-location path).
+#[test]
+fn relate_bit_identical_with_toggle() {
+    let _guard = toggle_lock();
+    let mut rng = Rng::seed_from_u64(5);
+    let geoms: Vec<Geometry> = (0..8)
+        .map(|_| {
+            let center = coord(rng.f64() * 20.0, rng.f64() * 20.0);
+            star_polygon(&mut rng, center, 1.5, 5.0, 12).into()
+        })
+        .collect();
+    let prepared: Vec<PreparedGeometry> =
+        geoms.iter().map(|g| PreparedGeometry::new(g.clone())).collect();
+    for a in &prepared {
+        for b in &prepared {
+            set_simd_enabled(false);
+            let off = a.relate_to(b);
+            set_simd_enabled(true);
+            let on = a.relate_to(b);
+            assert_eq!(off, on, "relate matrix changed with the SIMD toggle");
+        }
+    }
+}
+
+/// The SIMD counters surface through the standard metrics drain: an
+/// instrumented pipeline run reports `geom/simd_lanes_tested` (and the
+/// counter vanishes when the layer is disabled, replaced by pure scalar
+/// work — with identical mined output).
+#[test]
+fn simd_counters_surface_in_pipeline_metrics() {
+    let _guard = toggle_lock();
+    let ds = generate_city(&CityConfig { grid: 6, seed: 11, ..Default::default() });
+    let run = || {
+        MiningPipeline::new()
+            .algorithm(Algorithm::AprioriKcPlus)
+            .min_support(MinSupport::Fraction(0.3))
+            .knowledge(default_knowledge())
+            .threads(Threads::Serial)
+            .recorder(Recorder::new())
+            .run(&ds)
+            .unwrap()
+    };
+    let _ = take_kernel_counters();
+    set_simd_enabled(true);
+    assert!(simd_enabled());
+    let on = run();
+    let lanes_on = on.metrics().counter("geom/simd_lanes_tested").unwrap_or(0);
+    assert!(lanes_on > 0, "SIMD run recorded no lanes: {}", on.metrics().to_json());
+
+    set_simd_enabled(false);
+    let off = run();
+    let lanes_off = off.metrics().counter("geom/simd_lanes_tested").unwrap_or(0);
+    assert_eq!(lanes_off, 0, "disabled layer still scanned lanes");
+    set_simd_enabled(true);
+
+    let sets = |r: &geopattern::PatternReport| -> Vec<(Vec<u32>, u64)> {
+        let mut v: Vec<_> = r.result.all().map(|f| (f.items.clone(), f.support)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(sets(&on), sets(&off), "mined itemsets changed with the SIMD toggle");
+    assert_eq!(on.rendered_rules(), off.rendered_rules());
+}
