@@ -6,6 +6,7 @@
 //! cargo run --release -p geopattern-bench --bin experiments -- scaling [--grid N]
 //! cargo run --release -p geopattern-bench --bin experiments -- kernel [--max V] [--check]
 //! cargo run --release -p geopattern-bench --bin experiments -- counting [--check]
+//! cargo run --release -p geopattern-bench --bin experiments -- tiling [--grid N] [--tiles T] [--check]
 //! ```
 //!
 //! Counts (Tables 1–3, Figures 3, 4, 6, the formula cross-checks) are
@@ -24,13 +25,18 @@
 //! (hash-subset, prefix-trie, eclat, bitmap, diffset) on the canonical
 //! seed-42 workload after verifying their outputs identical; with
 //! `--check` it exits non-zero if the bitmap kernel is slower than
-//! hash-subset. All three are excluded from `--all` because of their
-//! size.
+//! hash-subset. The `tiling` subcommand measures the out-of-core pair on
+//! a metropolis-scale city (~1M features): WKT parse vs `.gpb` binary
+//! load (full materialisation and one-tile windowed fetch), and flat vs
+//! tiled extraction (verified bit-identical); with `--check` it enforces
+//! a ≥ 5x binary tile fetch over the full WKT parse and ≤ 10% tiled
+//! regression. All four are excluded from `--all` because of their size.
 //!
 //! The measured experiments additionally dump machine-readable
 //! `BENCH_fig5.json`, `BENCH_fig7.json`, `BENCH_scaling.json`,
-//! `BENCH_counting.json` and `BENCH_kernel.json` files to the working
-//! directory, so perf trajectories accumulate across runs.
+//! `BENCH_counting.json`, `BENCH_kernel.json` and `BENCH_tiling.json`
+//! files to the working directory, so perf trajectories accumulate across
+//! runs.
 
 use geopattern::obs::json::{json_f64, JsonBuf};
 use geopattern::{Algorithm, MiningPipeline, MinSupport, PairFilter, Threads};
@@ -40,7 +46,7 @@ use geopattern_mining::{
     CountingStrategy, EclatConfig, TransactionSet,
 };
 use geopattern_qsr::DistanceScheme;
-use geopattern_sdb::{extract, ExtractionConfig};
+use geopattern_sdb::{extract_predicates, ExtractionConfig};
 use std::time::Instant;
 
 /// Writes a benchmark document to `BENCH_<name>.json` in the working
@@ -63,6 +69,23 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(24);
         print_scaling(grid);
+        return;
+    }
+    if args.iter().any(|a| a == "tiling" || a == "--tiling") {
+        let grid: usize = args
+            .iter()
+            .position(|a| a == "--grid")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| geopattern_datagen::CityConfig::metropolis().grid);
+        let tiles: usize = args
+            .iter()
+            .position(|a| a == "--tiles")
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        let check = args.iter().any(|a| a == "--check");
+        print_tiling(grid, tiles, check);
         return;
     }
     if args.iter().any(|a| a == "counting" || a == "--counting") {
@@ -592,7 +615,8 @@ fn print_scaling(grid: usize) {
     );
     let refs = ds.relevant_refs();
     let (serial_table, serial_stats) =
-        extract(&ds.reference, &refs, &config.clone().with_threads(Threads::Serial));
+        extract_predicates(&ds.reference, &refs, &config.clone().with_threads(Threads::Serial))
+            .expect("uncontrolled extraction");
     println!(
         "\nextraction workload: {} rows, {} predicates, {} exact pairs, {} pruned",
         serial_table.num_rows(),
@@ -611,7 +635,9 @@ fn print_scaling(grid: usize) {
             let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
             let cfg = config.clone().with_threads(t);
             let mut out = None;
-            let us = time_us_n(3, || out = Some(extract(&ds.reference, &refs, &cfg)));
+            let us = time_us_n(3, || {
+                out = Some(extract_predicates(&ds.reference, &refs, &cfg).expect("uncontrolled"))
+            });
             let (table, stats) = out.expect("timed at least once");
             assert_eq!(
                 table.predicates(),
@@ -697,6 +723,207 @@ fn print_scaling(grid: usize) {
     doc.key("measurements");
     doc.raw(&format!("[{}]}}", bench_stages.join(",")));
     write_bench("scaling", &doc.into_string());
+}
+
+/// `tiling`: the out-of-core pair — binary dataset loading and tiled
+/// extraction — on a metropolis-scale generated city (420 × 420 districts
+/// ≈ one million features by default; `--grid N` shrinks it for smoke
+/// runs).
+///
+/// Measures (1) WKT parse vs `.gpb` binary load of the same dataset —
+/// both as full materialisation (construction-bound: both formats build
+/// the same million `Feature`s and R-trees) and as the out-of-core
+/// one-tile windowed fetch the tiled extractor is designed around — and
+/// (2) flat vs tiled (`--tiles N` per axis) predicate extraction, with
+/// the tiled table verified bit-identical to the flat one. With `--check`
+/// it exits non-zero unless the city reached one million features, the
+/// binary one-tile fetch beats the full WKT parse (the minimum a text
+/// dataset needs before any tile can start) by ≥ 5x, and tiled
+/// extraction is within 10% of flat throughput.
+fn print_tiling(grid: usize, tiles: usize, check: bool) {
+    use geopattern_sdb::{from_gpb, to_gpb, SpatialDataset, Tiling};
+
+    header("Tiling — binary dataset loading & tiled extraction at metropolis scale");
+    let config = geopattern_datagen::CityConfig {
+        grid,
+        ..geopattern_datagen::CityConfig::metropolis()
+    };
+    let ds = generate_city(&config);
+    let features = ds.reference.len() + ds.relevant.iter().map(|l| l.len()).sum::<usize>();
+    println!(
+        "city: grid {grid} → {} reference + {} relevant = {features} features",
+        ds.reference.len(),
+        features - ds.reference.len(),
+    );
+
+    // Dataset loading: WKT text parse vs binary decode of the same data.
+    // Full materialisation of both formats builds the same one million
+    // `Feature`s and R-trees, so that comparison is construction-bound;
+    // it is reported for context. The *out-of-core* access cost — what
+    // the binary format exists for — is gated below: a text dataset must
+    // be parsed whole before any tile can start, while the binary reader
+    // opens the directory and streams one tile's working set through
+    // `read_layer_window` without materialising anything else.
+    let text = ds.to_text();
+    let bytes = to_gpb(&ds);
+    let mut parsed = None;
+    let wkt_parse_us =
+        time_us_n(3, || parsed = Some(SpatialDataset::from_text(&text).expect("own output")));
+    let mut loaded = None;
+    let gpb_load_us = time_us_n(3, || loaded = Some(from_gpb(&bytes).expect("own output")));
+    assert_eq!(
+        loaded.expect("timed at least once").to_text(),
+        parsed.expect("timed at least once").to_text(),
+        "binary and text loads disagree"
+    );
+    let gpb_speedup = wkt_parse_us as f64 / gpb_load_us.max(1) as f64;
+    println!(
+        "\nload (full materialisation): {} WKT bytes parse {wkt_parse_us} µs | {} gpb bytes \
+         load {gpb_load_us} µs | {gpb_speedup:.2}x",
+        text.len(),
+        bytes.len(),
+    );
+
+    // Out-of-core tile fetch: open the reader and stream the working set
+    // of one central tile of the extraction grid — reference rows plus
+    // every relevant layer windowed by the tile buffered with the largest
+    // bounded distance band (the tiled extractor's reach rule).
+    let cell = config.cell;
+    let buffer = 1.5 * cell;
+    let env = ds.reference.envelope();
+    let (w, h) =
+        ((env.max.x - env.min.x) / tiles as f64, (env.max.y - env.min.y) / tiles as f64);
+    let mid = tiles as f64 / 2.0;
+    let tile_rect = geopattern_geom::Rect {
+        min: geopattern_geom::coord(env.min.x + (mid - 0.5) * w, env.min.y + (mid - 0.5) * h),
+        max: geopattern_geom::coord(env.min.x + (mid + 0.5) * w, env.min.y + (mid + 0.5) * h),
+    };
+    let reach = tile_rect.buffered(buffer);
+    let mut tile_features = 0usize;
+    let gpb_tile_us = time_us_n(3, || {
+        let reader = geopattern_sdb::GpbReader::open(&bytes).expect("own output");
+        tile_features = (0..reader.num_layers())
+            .map(|i| {
+                let window = if reader.is_reference(i) { &tile_rect } else { &reach };
+                reader.read_layer_window(i, window).expect("own output").len()
+            })
+            .sum();
+    });
+    assert!(tile_features > 0, "central tile fetched no features");
+    let gpb_tile_speedup = wkt_parse_us as f64 / gpb_tile_us.max(1) as f64;
+    println!(
+        "load (one-tile working set, {tile_features} features): gpb open+window {gpb_tile_us} µs \
+         vs full WKT parse | {gpb_tile_speedup:.2}x",
+    );
+
+    // Extraction: flat vs tiled, same predicate selection as `scaling`.
+    let extraction = ExtractionConfig::topological_only()
+        .with_distance(
+            DistanceScheme::new(vec![("veryCloseTo", 0.6 * cell), ("closeTo", 1.5 * cell)])
+                .expect("bounded scheme"),
+        )
+        .with_threads(Threads::Auto);
+    let refs = ds.relevant_refs();
+    let mut flat = None;
+    let flat_us = time_us_n(3, || {
+        flat = Some(extract_predicates(&ds.reference, &refs, &extraction).expect("uncontrolled"))
+    });
+    let tiled_config = extraction.clone().with_tiling(Tiling::Grid { tiles_per_axis: tiles });
+    let mut tiled = None;
+    let tiled_us = time_us_n(3, || {
+        tiled =
+            Some(extract_predicates(&ds.reference, &refs, &tiled_config).expect("uncontrolled"))
+    });
+    let (flat_table, flat_stats) = flat.expect("timed at least once");
+    let (tiled_table, tiled_stats) = tiled.expect("timed at least once");
+    assert_eq!(tiled_table.predicates(), flat_table.predicates(), "tiled predicates differ");
+    assert_eq!(tiled_table.rows(), flat_table.rows(), "tiled rows differ");
+    assert_eq!(tiled_stats, flat_stats, "tiled stats differ");
+    let tiled_over_flat = tiled_us as f64 / flat_us.max(1) as f64;
+    println!(
+        "extract: flat {flat_us} µs | {tiles}x{tiles} tiles {tiled_us} µs | ratio {:.2} \
+         ({} rows, {} predicates, outputs bit-identical)",
+        tiled_over_flat,
+        flat_table.num_rows(),
+        flat_table.predicates().len(),
+    );
+
+    let mut doc = JsonBuf::new();
+    doc.raw("{");
+    doc.key("experiment");
+    doc.raw("\"tiling\",");
+    doc.key("grid");
+    doc.raw(&grid.to_string());
+    doc.raw(",");
+    doc.key("features");
+    doc.raw(&features.to_string());
+    doc.raw(",");
+    doc.key("wkt_bytes");
+    doc.raw(&text.len().to_string());
+    doc.raw(",");
+    doc.key("gpb_bytes");
+    doc.raw(&bytes.len().to_string());
+    doc.raw(",");
+    doc.key("wkt_parse_us");
+    doc.raw(&wkt_parse_us.to_string());
+    doc.raw(",");
+    doc.key("gpb_load_us");
+    doc.raw(&gpb_load_us.to_string());
+    doc.raw(",");
+    doc.key("gpb_speedup");
+    doc.raw(&json_f64(gpb_speedup));
+    doc.raw(",");
+    doc.key("gpb_tile_us");
+    doc.raw(&gpb_tile_us.to_string());
+    doc.raw(",");
+    doc.key("gpb_tile_features");
+    doc.raw(&tile_features.to_string());
+    doc.raw(",");
+    doc.key("gpb_tile_speedup");
+    doc.raw(&json_f64(gpb_tile_speedup));
+    doc.raw(",");
+    doc.key("tiles_per_axis");
+    doc.raw(&tiles.to_string());
+    doc.raw(",");
+    doc.key("flat_extract_us");
+    doc.raw(&flat_us.to_string());
+    doc.raw(",");
+    doc.key("tiled_extract_us");
+    doc.raw(&tiled_us.to_string());
+    doc.raw(",");
+    doc.key("tiled_over_flat");
+    doc.raw(&json_f64(tiled_over_flat));
+    doc.raw("}");
+    write_bench("tiling", &doc.into_string());
+
+    if check {
+        let mut failed = false;
+        if features < 1_000_000 {
+            eprintln!("\nCHECK FAILED: {features} features (need ≥ 1,000,000 — run without --grid)");
+            failed = true;
+        }
+        if gpb_tile_speedup < 5.0 {
+            eprintln!(
+                "\nCHECK FAILED: binary tile fetch only {gpb_tile_speedup:.2}x over the full \
+                 WKT parse a text dataset needs before any tile can start (need ≥ 5x)"
+            );
+            failed = true;
+        }
+        if tiled_over_flat > 1.10 {
+            eprintln!(
+                "\nCHECK FAILED: tiled extraction {tiled_over_flat:.2}x of flat (must not \
+                 regress > 10%)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "\ncheck passed: {features} features, binary tile fetch {gpb_tile_speedup:.2}x ≥ 5x \
+             over the WKT parse, tiled/flat {tiled_over_flat:.2} ≤ 1.10"
+        );
+    }
 }
 
 /// `kernel`: segment-indexed prepared geometries vs the brute-force
@@ -927,7 +1154,8 @@ fn print_kernel(max_vertices: usize, check: bool) {
         set_simd_enabled(simd);
         for n in [1usize, 2, 8] {
             let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
-            let (table, stats) = extract(&ds.reference, &refs, &config.clone().with_threads(t));
+            let (table, stats) = extract_predicates(&ds.reference, &refs, &config.clone().with_threads(t))
+                .expect("uncontrolled extraction");
             match &baseline {
                 None => baseline = Some((table, stats)),
                 Some((bt, bs)) => {

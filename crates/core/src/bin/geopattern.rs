@@ -1,18 +1,23 @@
 //! The `geopattern` command-line interface.
 //!
 //! ```text
-//! geopattern mine <dataset.gpd> [--minsup 0.3] [--minconf 0.7]
+//! geopattern mine <dataset.gpd|.gpb> [--minsup 0.3] [--minconf 0.7]
 //!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+|tid|tid-kc+]
 //!                 [--counting hash-subset|prefix-trie|bitmap|diffset]
 //!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
 //!                 [--metrics json] [--timeout SECS] [--memory-budget BYTES]
-//! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd]
+//!                 [--tile-size N] [--format wkt|gpb|auto]
+//! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd] [--format wkt|gpb]
 //! geopattern relate <WKT_A> <WKT_B>
 //! geopattern gain --t 2,2,2 --n 2
 //! ```
 //!
 //! Dataset files use the text format of `geopattern_sdb::dataset` (see
-//! `generate-city --out` for a sample).
+//! `generate-city --out` for a sample) or the compact binary `.gpb`
+//! format (`generate-city --format gpb`). `--format auto` (the default)
+//! sniffs the `GPB1` magic. `--tile-size N` shards predicate extraction
+//! over an `N × N` spatial tile grid; the mined patterns are
+//! bit-identical to the flat (untiled) path.
 //!
 //! Exit codes: `0` success, `1` usage or I/O error, `2` invalid mining
 //! configuration, `3` unusable data (e.g. empty reference layer), `4` run
@@ -24,8 +29,8 @@
 //! `geopattern_testkit::failpoint`.
 
 use geopattern::{
-    Algorithm, CancelToken, CountingStrategy, KnowledgeBase, MemoryBudget, MiningPipeline,
-    MinSupport, Recorder, SpatialDataset, Threads,
+    from_gpb, to_gpb, Algorithm, CancelToken, CountingStrategy, ExtractionConfig, KnowledgeBase,
+    MemoryBudget, MiningPipeline, MinSupport, Recorder, SpatialDataset, Threads, Tiling,
 };
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_geom::from_wkt;
@@ -90,10 +95,11 @@ fn print_usage() {
     println!(
         "geopattern — frequent geographic pattern mining with QSR filters\n\n\
          USAGE:\n  \
-         geopattern mine <dataset.gpd> [--minsup F] [--minconf F] [--algorithm A]\n                  \
+         geopattern mine <dataset.gpd|.gpb> [--minsup F] [--minconf F] [--algorithm A]\n                  \
          [--counting C] [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets]\n                  \
-         [--rules] [--metrics json] [--timeout SECS] [--memory-budget BYTES]\n  \
-         geopattern generate-city [--grid N] [--seed S] [--out FILE]\n  \
+         [--rules] [--metrics json] [--timeout SECS] [--memory-budget BYTES]\n                  \
+         [--tile-size N] [--format wkt|gpb|auto]\n  \
+         geopattern generate-city [--grid N] [--seed S] [--out FILE] [--format wkt|gpb]\n  \
          geopattern relate <WKT_A> <WKT_B>\n  \
          geopattern gain --t T1,T2,... --n N\n\n\
          ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+,\n            \
@@ -101,6 +107,9 @@ fn print_usage() {
          COUNTING (Apriori variants): hash-subset, prefix-trie (default), bitmap, diffset\n            \
          — all backends produce identical itemsets; bitmap/diffset run the\n            \
          vertical triangular-C2 engine\n\n\
+         --format selects the dataset encoding: wkt text, gpb binary, or auto\n\
+         (default; sniffs the GPB1 magic). --tile-size N shards extraction over an\n\
+         N x N spatial tile grid — output is bit-identical to the flat path.\n\
          --metrics json dumps span timings / counters / histograms for the run as JSON\n\
          on stdout after the report (a partial report on interrupted runs).\n\
          --timeout SECS cancels the run at a deadline (exit code 4).\n\
@@ -124,6 +133,44 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "tid-kc+" | "apriori-tid-kc+" | "aprioritid-kc+" => Algorithm::AprioriTidKcPlus,
         other => return Err(format!("unknown algorithm {other:?}")),
     })
+}
+
+/// On-disk dataset encodings accepted by `mine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DatasetFormat {
+    /// The line-oriented WKT text format (`.gpd`).
+    Wkt,
+    /// The compact binary format (`.gpb`).
+    Gpb,
+    /// Decide by sniffing the `GPB1` magic (the default).
+    Auto,
+}
+
+impl DatasetFormat {
+    fn parse(s: &str) -> Result<DatasetFormat, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "wkt" | "text" | "gpd" => DatasetFormat::Wkt,
+            "gpb" | "binary" => DatasetFormat::Gpb,
+            "auto" => DatasetFormat::Auto,
+            other => return Err(format!("unknown --format {other:?} (supported: wkt, gpb, auto)")),
+        })
+    }
+}
+
+/// Loads a dataset from raw file contents, honouring `--format`.
+fn load_dataset(path: &str, bytes: &[u8], format: DatasetFormat) -> Result<SpatialDataset, CmdError> {
+    let binary = match format {
+        DatasetFormat::Wkt => false,
+        DatasetFormat::Gpb => true,
+        DatasetFormat::Auto => bytes.starts_with(b"GPB1"),
+    };
+    if binary {
+        from_gpb(bytes).map_err(|e| format!("parsing {path}: {e}").into())
+    } else {
+        let text =
+            std::str::from_utf8(bytes).map_err(|e| format!("reading {path}: not UTF-8: {e}"))?;
+        SpatialDataset::from_text(text).map_err(|e| format!("parsing {path}: {e}").into())
+    }
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
@@ -201,6 +248,14 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         Some(v) => MemoryBudget::bytes(parse_bytes(&v)?),
         None => MemoryBudget::unlimited(),
     };
+    let tile_size: usize = take_flag(&mut args, "--tile-size")?
+        .map(|v| v.parse().map_err(|_| format!("bad --tile-size {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let format = take_flag(&mut args, "--format")?
+        .map(|v| DatasetFormat::parse(&v))
+        .transpose()?
+        .unwrap_or(DatasetFormat::Auto);
     let metrics_format = take_flag(&mut args, "--metrics")?;
     let recorder = match metrics_format.as_deref() {
         Some("json") => Recorder::new(),
@@ -226,18 +281,24 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         [] => return Err("mine needs a dataset file".into()),
         extra => return Err(format!("unexpected arguments: {extra:?}").into()),
     };
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
     // Parsing builds the per-layer R-trees, so the "load" span covers both.
     let load_span = recorder.span("load");
-    let dataset = SpatialDataset::from_text(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let dataset = load_dataset(&path, &bytes, format)?;
     drop(load_span);
 
+    let tiling = if tile_size > 0 {
+        Tiling::Grid { tiles_per_axis: tile_size }
+    } else {
+        Tiling::Flat
+    };
     let outcome = MiningPipeline::new()
         .algorithm(algorithm)
         .min_support(MinSupport::Fraction(minsup))
         .min_confidence(minconf)
         .knowledge(knowledge)
         .counting(counting)
+        .extraction(ExtractionConfig::default().with_tiling(tiling))
         .threads(threads)
         .recorder(recorder.clone())
         .cancel_token(cancel)
@@ -292,22 +353,35 @@ fn cmd_generate_city(args: &[String]) -> Result<(), CmdError> {
         .transpose()?
         .unwrap_or(1);
     let out = take_flag(&mut args, "--out")?;
+    let format = take_flag(&mut args, "--format")?
+        .map(|v| DatasetFormat::parse(&v))
+        .transpose()?
+        .unwrap_or(DatasetFormat::Wkt);
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}").into());
     }
 
     let city = generate_city(&CityConfig { grid, seed, ..Default::default() });
-    let text = city.to_text();
+    let bytes = match format {
+        DatasetFormat::Gpb => to_gpb(&city),
+        DatasetFormat::Wkt | DatasetFormat::Auto => city.to_text().into_bytes(),
+    };
     match out {
         Some(path) => {
-            std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            std::fs::write(&path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
             println!(
-                "wrote {path}: {} districts, {} relevant layers",
+                "wrote {path}: {} districts, {} relevant layers ({} bytes)",
                 city.reference.len(),
-                city.relevant.len()
+                city.relevant.len(),
+                bytes.len()
             );
         }
-        None => print!("{text}"),
+        None => {
+            use std::io::Write;
+            std::io::stdout()
+                .write_all(&bytes)
+                .map_err(|e| format!("writing stdout: {e}"))?;
+        }
     }
     Ok(())
 }

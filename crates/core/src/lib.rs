@@ -118,10 +118,12 @@ pub use geopattern_mining::{
     FrequentItemset, ItemCatalog, ItemId, MiningResult, MiningStats, MinSupport, PairFilter,
     TransactionSet,
 };
+pub use geopattern_geom::TileGrid;
 pub use geopattern_obs::{Metrics, Recorder};
-pub use geopattern_par::{CancelToken, Interrupt, MemoryBudget, Threads};
+pub use geopattern_par::{CancelToken, Interrupt, MemoryBudget, ShardLog, Threads};
 pub use geopattern_qsr::{DistanceScheme, SpatialPredicate, TopologicalRelation};
 pub use geopattern_sdb::{
-    ExtractionConfig, ExtractionStats, Feature, FeatureTypeTaxonomy, KnowledgeBase, Layer,
-    Predicate, PredicateTable, SpatialDataset, TaxonomyError,
+    extract_predicates, from_gpb, to_gpb, ExtractionConfig, ExtractionStats, Feature,
+    FeatureTypeTaxonomy, GpbError, GpbReader, KnowledgeBase, Layer, Predicate, PredicateTable,
+    SpatialDataset, TaxonomyError, Tiling,
 };

@@ -28,7 +28,7 @@ use geopattern_mining::{
 use geopattern_obs::Recorder;
 use geopattern_par::{CancelToken, MemoryBudget, Threads};
 use geopattern_sdb::{
-    try_extract_recorded, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase,
+    extract_predicates, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase,
     PredicateTable, SpatialDataset,
 };
 
@@ -224,6 +224,28 @@ impl MiningPipeline {
         self
     }
 
+    /// The [`ExtractionConfig`] the extraction stage actually runs:
+    /// the configured predicate selection and tiling policy, with the
+    /// control plane — threads, recorder, cancel token, memory budget —
+    /// overridden by the pipeline's own settings.
+    ///
+    /// **Precedence: the pipeline wins.** A control plane set on the
+    /// extraction config via [`ExtractionConfig::with_threads`] (or
+    /// `with_recorder` / `with_cancel` / `with_budget`) is ignored when
+    /// the config is run through a pipeline; historically the two thread
+    /// settings disagreed silently, with `with_threads` winning for
+    /// extraction only — one pipeline-wide policy is the sane contract,
+    /// and it matches every other stage (counting, mining), which always
+    /// honoured the pipeline's settings.
+    pub fn resolved_extraction(&self) -> ExtractionConfig {
+        self.extraction
+            .clone()
+            .with_threads(self.threads)
+            .with_recorder(self.recorder.clone())
+            .with_cancel(self.cancel.clone())
+            .with_budget(self.budget.clone())
+    }
+
     /// Validates the thresholds every mining entry point shares.
     fn validate_mining_config(&self) -> Result<(), Error> {
         if !self.min_confidence.is_finite()
@@ -255,14 +277,9 @@ impl MiningPipeline {
                 return Err(Error::TaxonomyTooDeep { levels: *levels, max_depth });
             }
         }
-        let extraction = self.extraction.clone().with_threads(self.threads);
-        let (table, stats) = try_extract_recorded(
-            &dataset.reference,
-            &dataset.relevant_refs(),
-            &extraction,
-            &self.recorder,
-            &self.cancel,
-        )?;
+        let extraction = self.resolved_extraction();
+        let (table, stats) =
+            extract_predicates(&dataset.reference, &dataset.relevant_refs(), &extraction)?;
         let table = match &self.taxonomy {
             Some((taxonomy, levels)) => {
                 let _span = self.recorder.span("generalize");
@@ -455,6 +472,55 @@ impl MiningPipeline {
 mod tests {
     use super::*;
     use geopattern_mining::TransactionSet;
+
+    #[test]
+    fn pipeline_control_plane_overrides_extraction_config() {
+        use geopattern_geom::{coord, Polygon};
+        use geopattern_sdb::{Feature, Layer};
+
+        let dataset = SpatialDataset::new(
+            Layer::new(
+                "district",
+                vec![Feature::new(
+                    "d",
+                    Polygon::rect(coord(0.0, 0.0), coord(10.0, 10.0)).unwrap().into(),
+                )],
+            ),
+            vec![Layer::new(
+                "slum",
+                vec![Feature::new(
+                    "s",
+                    Polygon::rect(coord(2.0, 2.0), coord(4.0, 4.0)).unwrap().into(),
+                )],
+            )],
+        );
+
+        // A pre-cancelled token on the extraction config is ignored: the
+        // pipeline's (idle) token wins, so the run succeeds.
+        let poisoned = CancelToken::new();
+        poisoned.cancel();
+        let pipe = MiningPipeline::new()
+            .extraction(ExtractionConfig::topological_only().with_cancel(poisoned))
+            .threads(Threads::Fixed(2));
+        assert!(pipe.extract(&dataset).is_ok());
+
+        // Same for threads and the recorder: `resolved_extraction` carries
+        // the pipeline's settings, not the config's.
+        let rec = Recorder::new();
+        let pipe = MiningPipeline::new()
+            .extraction(
+                ExtractionConfig::topological_only()
+                    .with_threads(Threads::Fixed(3))
+                    .with_recorder(Recorder::disabled()),
+            )
+            .threads(Threads::Fixed(2))
+            .recorder(rec.clone());
+        let resolved = pipe.resolved_extraction();
+        assert_eq!(resolved.threads, Threads::Fixed(2));
+        assert!(resolved.recorder.is_enabled());
+        pipe.extract(&dataset).unwrap();
+        assert_eq!(rec.snapshot().counter("extract.rows"), Some(1));
+    }
 
     fn paper_rows() -> TransactionSet {
         TransactionSet::from_paper_labels(&[

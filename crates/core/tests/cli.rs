@@ -186,6 +186,86 @@ fn tid_algorithm_names_parse() {
 }
 
 #[test]
+fn tiled_mining_matches_flat_output() {
+    let path = city_file("tiled");
+    let flat = run(&["mine", path.to_str().unwrap(), "--minsup", "0.3", "--itemsets"]);
+    assert_eq!(flat.status.code(), Some(0), "stderr: {}", stderr(&flat));
+    for tiles in ["1", "3", "8"] {
+        let tiled = run(&[
+            "mine",
+            path.to_str().unwrap(),
+            "--minsup",
+            "0.3",
+            "--itemsets",
+            "--tile-size",
+            tiles,
+        ]);
+        assert_eq!(tiled.status.code(), Some(0), "tiles={tiles}: {}", stderr(&tiled));
+        assert_eq!(stdout(&tiled), stdout(&flat), "tile-size {tiles} diverged from flat");
+    }
+}
+
+#[test]
+fn bad_tile_size_is_usage_error() {
+    let out = run(&["mine", "x.gpd", "--tile-size", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--tile-size"));
+}
+
+#[test]
+fn binary_dataset_round_trips_through_the_cli() {
+    // generate-city --format gpb writes a binary dataset; mine reads it
+    // back both by sniffing the magic (auto) and when told explicitly,
+    // and the report equals the text-format run's.
+    let gpb_path = std::env::temp_dir().join("geopattern-cli-test-binary.gpb");
+    let out = run(&[
+        "generate-city",
+        "--grid",
+        "4",
+        "--seed",
+        "9",
+        "--format",
+        "gpb",
+        "--out",
+        gpb_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let bytes = std::fs::read(&gpb_path).expect("gpb written");
+    assert!(bytes.starts_with(b"GPB1"), "missing magic");
+
+    let text_path = city_file("binary-ref");
+    let from_text = run(&["mine", text_path.to_str().unwrap(), "--minsup", "0.3", "--itemsets"]);
+    assert_eq!(from_text.status.code(), Some(0));
+
+    let sniffed = run(&["mine", gpb_path.to_str().unwrap(), "--minsup", "0.3", "--itemsets"]);
+    assert_eq!(sniffed.status.code(), Some(0), "stderr: {}", stderr(&sniffed));
+    assert_eq!(stdout(&sniffed), stdout(&from_text), "binary run diverged from text run");
+
+    let explicit = run(&[
+        "mine",
+        gpb_path.to_str().unwrap(),
+        "--minsup",
+        "0.3",
+        "--itemsets",
+        "--format",
+        "gpb",
+    ]);
+    assert_eq!(explicit.status.code(), Some(0), "stderr: {}", stderr(&explicit));
+    assert_eq!(stdout(&explicit), stdout(&from_text));
+
+    // Forcing the wrong format is a clean parse error, not a panic.
+    let wrong = run(&["mine", gpb_path.to_str().unwrap(), "--format", "wkt"]);
+    assert_eq!(wrong.status.code(), Some(1), "stderr: {}", stderr(&wrong));
+}
+
+#[test]
+fn bad_format_is_usage_error() {
+    let out = run(&["mine", "x.gpd", "--format", "parquet"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown --format"));
+}
+
+#[test]
 fn metrics_json_prints_spans_and_counters() {
     let path = city_file("metrics");
     let out = run(&["mine", path.to_str().unwrap(), "--metrics", "json"]);

@@ -139,7 +139,7 @@ pub fn generate_hydrology(config: &HydrologyConfig) -> SpatialDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use geopattern_sdb::{extract, ExtractionConfig};
+    use geopattern_sdb::{extract_predicates, ExtractionConfig};
 
     #[test]
     fn scenario_has_the_papers_predicate_mix() {
@@ -148,7 +148,7 @@ mod tests {
         assert_eq!(ds.reference.len(), 24);
         assert!(!ds.relevant[0].is_empty());
         let (table, _) =
-            extract(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::topological_only());
+            extract_predicates(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::topological_only()).unwrap();
         let labels: Vec<String> = table.predicates().iter().map(|p| p.to_string()).collect();
         for expected in ["crosses_river", "contains_river", "touches_river"] {
             assert!(labels.contains(&expected.to_string()), "missing {expected}: {labels:?}");
@@ -171,7 +171,7 @@ mod tests {
         // Count agreement between "crossed by a river" and pollution=high.
         let ds = generate_hydrology(&HydrologyConfig { cities: 49, ..Default::default() });
         let (table, _) =
-            extract(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::topological_only());
+            extract_predicates(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::topological_only()).unwrap();
         let crosses = table
             .code_of(&geopattern_sdb::Predicate::Spatial(
                 geopattern_qsr::SpatialPredicate::topological(

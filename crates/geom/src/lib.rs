@@ -48,6 +48,7 @@ pub mod robust;
 pub mod segment;
 pub mod segtree;
 pub mod simd;
+pub mod tile;
 pub mod transform;
 pub mod wkt;
 
@@ -68,5 +69,6 @@ pub use robust::{orient2d, orientation, Orientation};
 pub use segment::{SegSegIntersection, Segment};
 pub use segtree::{take_kernel_counters, KernelCounters, RingIndex, SegTree};
 pub use simd::{set_simd_enabled, simd_enabled, SoaRing};
+pub use tile::TileGrid;
 pub use transform::AffineTransform;
 pub use wkt::{from_wkt, to_wkt};

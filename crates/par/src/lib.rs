@@ -57,7 +57,7 @@ use std::sync::Mutex;
 
 pub mod control;
 
-pub use control::{ApproxBytes, BudgetGuard, CancelToken, Interrupt, MemoryBudget};
+pub use control::{ApproxBytes, BudgetGuard, CancelToken, Interrupt, MemoryBudget, ShardLog};
 
 /// Upper bound on configurable worker counts; anything above this is a
 /// typo or an attack, not a machine.

@@ -25,36 +25,74 @@
 //!   a symmetric per-pair memo up front, so each unordered relate/distance
 //!   pair is computed once instead of twice.
 //!
+//! # The one entry point
+//!
+//! [`extract_predicates`] is the single extraction entry point. Everything
+//! a run needs — what to extract, how many threads, the [`Recorder`], the
+//! [`CancelToken`], the [`MemoryBudget`] and the [`Tiling`] policy — is
+//! carried on [`ExtractionConfig`]; the historic `extract` /
+//! `extract_recorded` / `try_extract_recorded` trio survives as deprecated
+//! shims that forward here.
+//!
 //! Extraction parallelises over reference features (rows are independent)
-//! on the in-tree [`geopattern_par`] pool. Workers emit *predicate
+//! on the in-tree [`geopattern_par`] pool — or, under [`Tiling::Grid`],
+//! over spatial tiles (the `tiled` module). Workers emit *predicate
 //! batches*, not interned codes; the single-threaded merge afterwards
 //! interns them in row order, so the resulting table — predicate
 //! numbering included — is byte-identical to a serial run regardless of
-//! thread count.
+//! thread count or tiling.
 //!
-//! [`extract_recorded`] additionally reports per-phase timings and
-//! counters through a [`Recorder`]: workers fill a private
-//! [`geopattern_obs::Metrics`] (no locking on the hot path) which the
-//! row-order merge absorbs — the same discipline that keeps the table
-//! deterministic keeps the metrics deterministic.
+//! The configured [`Recorder`] receives per-phase timings and counters:
+//! workers fill a private [`geopattern_obs::Metrics`] (no locking on the
+//! hot path) which the row-order merge absorbs — the same discipline that
+//! keeps the table deterministic keeps the metrics deterministic.
 //!
-//! [`try_extract_recorded`] is the fault-tolerant entry point: it takes a
-//! [`CancelToken`] checked between chunks by the pool *and inside each
-//! row's pair loops*, so even a single enormous row stops promptly; a
-//! worker panic is isolated by the pool and surfaced as
-//! [`Interrupt::WorkerPanic`]. Runs that complete normally are
-//! byte-identical to uncontrolled runs.
+//! The configured [`CancelToken`] is checked at pool chunk boundaries and
+//! *inside each row's pair loops* (fail point: `sdb/extract.row`), so even
+//! a single enormous row stops promptly; a worker panic is isolated by the
+//! pool and surfaced as [`Interrupt::WorkerPanic`]. Runs that complete
+//! normally are byte-identical to uncontrolled runs.
 
 use crate::feature::{Feature, Layer};
 use crate::predicate_table::{Predicate, PredicateTable};
 use geopattern_geom::{take_kernel_counters, GeomDim, IntersectionMatrix, PreparedGeometry};
 use geopattern_obs::{Metrics, Recorder};
-use geopattern_par::{try_par_map, CancelToken, Interrupt, Threads};
+use geopattern_par::{try_par_map, CancelToken, Interrupt, MemoryBudget, ShardLog, Threads};
 use geopattern_qsr::{
     classify, geometry_direction, DistanceScheme, SpatialPredicate, TopologicalRelation,
 };
 
-/// What to extract.
+/// How extraction shards its spatial work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tiling {
+    /// One flat work list over the reference rows — the default, and the
+    /// baseline every other policy must reproduce bit-identically.
+    #[default]
+    Flat,
+    /// Shard over a [`geopattern_geom::TileGrid`] covering the reference
+    /// layer's envelope: each tile owns the reference rows whose envelope
+    /// center falls inside it, materialises per-tile sub-layers of the
+    /// relevant features its rows can reach (buffered by the largest
+    /// bounded distance band), and extracts independently. Output is
+    /// bit-identical to [`Tiling::Flat`] at any tile size and thread
+    /// count; only the sharding (and therefore the wall-clock and memory
+    /// profile) changes.
+    Grid {
+        /// Tiles per axis (an `n × n` grid; clamped to at least 1).
+        tiles_per_axis: usize,
+    },
+}
+
+/// What to extract, and under which execution regime.
+///
+/// Alongside the predicate selection, the config carries the full control
+/// plane — [`Recorder`], [`CancelToken`], [`MemoryBudget`], [`Tiling`] and
+/// worker [`Threads`] — so [`extract_predicates`] is the only entry point
+/// needed. Builder methods mirror [`geopattern_par`]'s mining configs.
+///
+/// Callers driving extraction through `MiningPipeline` should set threads,
+/// recorder, cancel token and budget *on the pipeline*: the pipeline's
+/// settings take precedence over whatever this config carries.
 #[derive(Debug, Clone)]
 pub struct ExtractionConfig {
     /// Compute topological predicates (via DE-9IM classification).
@@ -77,9 +115,25 @@ pub struct ExtractionConfig {
     /// Include the reference features' non-spatial attributes as
     /// `attribute=value` predicates.
     pub nonspatial_attributes: bool,
-    /// Worker threads for the per-reference-feature loop. The output is
+    /// Worker threads for the per-row (or per-tile) loop. The output is
     /// identical for every setting; this only changes wall-clock.
     pub threads: Threads,
+    /// Spatial sharding policy. [`Tiling::Flat`] by default.
+    pub tiling: Tiling,
+    /// Metric sink for phase timings, counters and histograms. Disabled
+    /// by default; recording never changes the extracted output.
+    pub recorder: Recorder,
+    /// Cooperative cancellation (and deadline) token. Checked at pool
+    /// chunk boundaries and inside each row's pair loops.
+    pub cancel: CancelToken,
+    /// Memory budget. Extraction's accounting is *track-only* (the tiled
+    /// path reserves/releases its materialised sub-layers so the
+    /// high-water mark is observable); it never degrades the output.
+    pub budget: MemoryBudget,
+    /// Optional per-tile checkpoint log: under [`Tiling::Grid`], each tile
+    /// is marked completed once all its rows finished un-interrupted, so
+    /// after a fault the log names exactly the finished shards.
+    pub shard_log: Option<ShardLog>,
 }
 
 impl Default for ExtractionConfig {
@@ -92,6 +146,11 @@ impl Default for ExtractionConfig {
             direction: false,
             nonspatial_attributes: true,
             threads: Threads::Serial,
+            tiling: Tiling::Flat,
+            recorder: Recorder::disabled(),
+            cancel: CancelToken::none(),
+            budget: MemoryBudget::unlimited(),
+            shard_log: None,
         }
     }
 }
@@ -120,11 +179,52 @@ impl ExtractionConfig {
         self.threads = threads;
         self
     }
+
+    /// Sets the spatial sharding policy.
+    pub fn with_tiling(mut self, tiling: Tiling) -> ExtractionConfig {
+        self.tiling = tiling;
+        self
+    }
+
+    /// Attaches a metric recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> ExtractionConfig {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a cancellation (or deadline) token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ExtractionConfig {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a memory budget (track-only for extraction).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> ExtractionConfig {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a per-tile checkpoint log (effective under
+    /// [`Tiling::Grid`]).
+    pub fn with_shard_log(mut self, log: ShardLog) -> ExtractionConfig {
+        self.shard_log = Some(log);
+        self
+    }
+
+    /// The half-width of the distance window query: the largest *bounded*
+    /// distance band. `None` means the distance/direction path must scan
+    /// the whole layer (open-ended band, or direction predicates on).
+    pub(crate) fn bounded_window(&self) -> Option<f64> {
+        match (&self.distance, self.direction) {
+            (Some(scheme), false) => scheme.largest_bounded(),
+            _ => None,
+        }
+    }
 }
 
 /// Counters describing an extraction run. Deterministic: every counter is
-/// a per-row quantity summed over rows, so parallel runs report exactly
-/// the serial numbers.
+/// a per-row quantity summed over rows, so parallel (and tiled) runs
+/// report exactly the serial numbers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExtractionStats {
     /// Pairs whose exact relation was computed: envelope-intersecting
@@ -133,7 +233,9 @@ pub struct ExtractionStats {
     pub candidate_pairs: usize,
     /// Pairs pruned by an R-tree filter with no exact computation: the
     /// envelope prefilter for topological relations and the buffered
-    /// window query for bounded distance schemes.
+    /// window query for bounded distance schemes. Tiled extraction counts
+    /// against the *full* layer size, so the number matches the flat path
+    /// exactly.
     pub pruned_pairs: usize,
     /// Spatial predicates emitted (row-level occurrences).
     pub spatial_predicates: usize,
@@ -148,17 +250,33 @@ impl ExtractionStats {
 }
 
 /// A relevant layer with every feature prepared once, shared read-only by
-/// all workers.
-struct PreparedLayer<'a> {
-    layer: &'a Layer,
-    prepared: Vec<PreparedGeometry>,
-    dims: Vec<GeomDim>,
-    /// Half-width of the distance window query: the largest *bounded*
-    /// distance band. `None` means the distance/direction path must scan
-    /// the whole layer (open-ended band, or direction predicates on).
-    window: Option<f64>,
+/// all workers — flat rows and tiles alike extract against the same
+/// prepared set, so no geometry is ever prepared twice.
+pub(crate) struct PreparedLayer<'a> {
+    pub(crate) layer: &'a Layer,
+    pub(crate) prepared: Vec<PreparedGeometry>,
+    pub(crate) dims: Vec<GeomDim>,
+    /// See [`ExtractionConfig::bounded_window`].
+    pub(crate) window: Option<f64>,
     /// Per-pair results precomputed once for self-join layers.
-    memo: Option<SelfJoinMemo>,
+    pub(crate) memo: Option<SelfJoinMemo>,
+}
+
+impl<'a> PreparedLayer<'a> {
+    /// Prepares `layer` for row extraction.
+    pub(crate) fn new(layer: &'a Layer, window: Option<f64>) -> PreparedLayer<'a> {
+        PreparedLayer {
+            layer,
+            prepared: layer
+                .features()
+                .iter()
+                .map(|f| PreparedGeometry::new(f.geometry.clone()))
+                .collect(),
+            dims: layer.features().iter().map(|f| f.geometry.dimension()).collect(),
+            window,
+            memo: None,
+        }
+    }
 }
 
 /// Precomputed pair results for a self-join layer (the relevant layer is
@@ -169,7 +287,7 @@ struct PreparedLayer<'a> {
 /// are symmetric because envelope intersection and buffered-window
 /// intersection are). Every unordered pair is thus computed exactly once
 /// instead of once per orientation.
-struct SelfJoinMemo {
+pub(crate) struct SelfJoinMemo {
     /// Envelope-intersecting candidates per row (topological path).
     topo: Option<MemoRows<IntersectionMatrix>>,
     /// Window-query (or full-scan) candidates per row (distance path):
@@ -205,50 +323,72 @@ impl SelfJoinMemo {
 
 /// One worker's output for one reference feature: the row's predicates in
 /// serial emission order, plus the row's share of the stats and metrics.
-struct RowBatch {
-    predicates: Vec<Predicate>,
-    stats: ExtractionStats,
-    metrics: Metrics,
+pub(crate) struct RowBatch {
+    pub(crate) predicates: Vec<Predicate>,
+    pub(crate) stats: ExtractionStats,
+    pub(crate) metrics: Metrics,
 }
 
 /// Extracts a predicate table from a reference layer and relevant layers.
+///
+/// This is the single extraction entry point: predicate selection,
+/// threading, tiling, recording and fault tolerance are all read from
+/// `config` (see [`ExtractionConfig`]). The returned table — predicate
+/// numbering included — is byte-identical for every thread count and
+/// tiling policy; a cancelled, deadline-expired or panicking run fails
+/// with the corresponding [`Interrupt`] instead of returning a truncated
+/// table.
+pub fn extract_predicates(
+    reference: &Layer,
+    relevant: &[&Layer],
+    config: &ExtractionConfig,
+) -> Result<(PredicateTable, ExtractionStats), Interrupt> {
+    match config.tiling {
+        Tiling::Flat => extract_flat(reference, relevant, config),
+        Tiling::Grid { tiles_per_axis } => {
+            crate::tiled::extract_tiled(reference, relevant, config, tiles_per_axis)
+        }
+    }
+}
+
+/// Extracts a predicate table with a default-constructed control plane.
+#[deprecated(
+    note = "use `extract_predicates`; the recorder and cancel token now live on `ExtractionConfig`"
+)]
 pub fn extract(
     reference: &Layer,
     relevant: &[&Layer],
     config: &ExtractionConfig,
 ) -> (PredicateTable, ExtractionStats) {
-    extract_recorded(reference, relevant, config, &Recorder::disabled())
+    // Historic contract: uncontrolled and unrecorded, so it cannot fail.
+    let config = config
+        .clone()
+        .with_recorder(Recorder::disabled())
+        .with_cancel(CancelToken::none());
+    extract_predicates(reference, relevant, &config)
+        .expect("uncontrolled extraction cannot be interrupted")
 }
 
-/// [`extract`], instrumented: phase spans (`extract/prepare`,
-/// `extract/rows`, `extract/merge`), pair counters
-/// (`extract.candidate_pairs` = exact relations computed,
-/// `extract.pruned_pairs` = R-tree-pruned with no exact computation), and
-/// a per-row predicate-count histogram (`extract.row_predicates`). The
-/// table, stats — and the non-timing metrics — are identical for every
-/// thread count.
+/// Extracts with an explicit recorder.
+#[deprecated(
+    note = "use `extract_predicates` with `ExtractionConfig::with_recorder`"
+)]
 pub fn extract_recorded(
     reference: &Layer,
     relevant: &[&Layer],
     config: &ExtractionConfig,
     recorder: &Recorder,
 ) -> (PredicateTable, ExtractionStats) {
-    try_extract_recorded(reference, relevant, config, recorder, &CancelToken::none())
-        .expect("uncontrolled extraction cannot be interrupted; use try_extract_recorded")
+    let config =
+        config.clone().with_recorder(recorder.clone()).with_cancel(CancelToken::none());
+    extract_predicates(reference, relevant, &config)
+        .expect("uncontrolled extraction cannot be interrupted")
 }
 
-/// [`extract_recorded`] with cooperative fault tolerance.
-///
-/// `cancel` is observed at pool chunk boundaries and inside each row's
-/// per-pair loops (fail point: `sdb/extract.row`, fired once per row). A
-/// cancelled or deadline-expired run returns [`Interrupt::Cancelled`] /
-/// [`Interrupt::DeadlineExceeded`]; a panicking worker is isolated and
-/// reported as [`Interrupt::WorkerPanic`] with stage `extract/rows` (or
-/// `extract/prepare` for the self-join memo). When the token is enabled,
-/// the per-pair checks are counted under `robust/cancel_checks` — a
-/// per-row quantity absorbed in row order, so it is thread-count
-/// invariant. Runs that complete normally produce exactly the
-/// [`extract_recorded`] output.
+/// Extracts with an explicit recorder and cancellation token.
+#[deprecated(
+    note = "use `extract_predicates` with `ExtractionConfig::with_recorder` / `with_cancel`"
+)]
 pub fn try_extract_recorded(
     reference: &Layer,
     relevant: &[&Layer],
@@ -256,41 +396,25 @@ pub fn try_extract_recorded(
     recorder: &Recorder,
     cancel: &CancelToken,
 ) -> Result<(PredicateTable, ExtractionStats), Interrupt> {
+    let config = config.clone().with_recorder(recorder.clone()).with_cancel(cancel.clone());
+    extract_predicates(reference, relevant, &config)
+}
+
+/// The flat (untiled) extraction path: one parallel work list over the
+/// reference rows.
+fn extract_flat(
+    reference: &Layer,
+    relevant: &[&Layer],
+    config: &ExtractionConfig,
+) -> Result<(PredicateTable, ExtractionStats), Interrupt> {
+    let recorder = &config.recorder;
+    let cancel = &config.cancel;
     let _extract_span = recorder.span("extract");
-    // The window query applies only when every classifiable distance is
-    // bounded (last band finite) and no direction predicates are wanted —
-    // direction has no range cutoff, so it forces the full scan.
-    let window = match (&config.distance, config.direction) {
-        (Some(scheme), false) => scheme.largest_bounded(),
-        _ => None,
-    };
+    let window = config.bounded_window();
     let record = recorder.is_enabled();
-    let layers: Vec<PreparedLayer> = {
+    let layers = {
         let _prepare_span = recorder.span("prepare");
-        let layers: Vec<PreparedLayer> = relevant
-            .iter()
-            .map(|layer| PreparedLayer {
-                layer,
-                prepared: layer
-                    .features()
-                    .iter()
-                    .map(|f| PreparedGeometry::new(f.geometry.clone()))
-                    .collect(),
-                dims: layer.features().iter().map(|f| f.geometry.dimension()).collect(),
-                window,
-                memo: None,
-            })
-            .collect();
-        layers
-            .into_iter()
-            .map(|mut pl| {
-                if std::ptr::eq(pl.layer as *const Layer, reference as *const Layer) {
-                    pl.memo =
-                        Some(build_self_join_memo(&pl, config, record, recorder, cancel)?);
-                }
-                Ok(pl)
-            })
-            .collect::<Result<_, Interrupt>>()?
+        prepare_layers(reference, relevant, config, window, record)?
     };
 
     let batches = {
@@ -304,18 +428,53 @@ pub fn try_extract_recorded(
                 if geopattern_testkit::failpoint::trigger("sdb/extract.row") {
                     cancel.cancel();
                 }
-                extract_row(row, ref_feature, &layers, config, record, cancel)
+                extract_row(row, ref_feature, &layers, config, record)
             },
         )?
     };
 
-    // Single-threaded merge: interning in row order reproduces the serial
-    // predicate numbering exactly, and absorbing worker metrics in the
-    // same order keeps the aggregate deterministic.
     let _merge_span = recorder.span("merge");
+    Ok(merge_batches(reference.features().iter().zip(batches), recorder))
+}
+
+/// Prepares every relevant layer exactly once: geometry preparation plus
+/// the self-join memo when a relevant layer *is* the reference layer
+/// (pointer identity). Shared by the flat and tiled paths — preparing the
+/// same layers the same way is one half of why their outputs, kernel
+/// counters included, are identical (the other half is the row-order
+/// merge in [`merge_batches`]).
+pub(crate) fn prepare_layers<'a>(
+    reference: &Layer,
+    relevant: &[&'a Layer],
+    config: &ExtractionConfig,
+    window: Option<f64>,
+    record: bool,
+) -> Result<Vec<PreparedLayer<'a>>, Interrupt> {
+    let layers: Vec<PreparedLayer> =
+        relevant.iter().map(|layer| PreparedLayer::new(layer, window)).collect();
+    layers
+        .into_iter()
+        .map(|mut pl| {
+            if std::ptr::eq(pl.layer as *const Layer, reference as *const Layer) {
+                pl.memo = Some(build_self_join_memo(&pl, config, record)?);
+            }
+            Ok(pl)
+        })
+        .collect::<Result<_, Interrupt>>()
+}
+
+/// Single-threaded merge: interning in row order reproduces the serial
+/// predicate numbering exactly, and absorbing worker metrics in the same
+/// order keeps the aggregate deterministic. Shared by the flat and tiled
+/// paths — the tiled path feeds its batches in global row order, which is
+/// exactly why its table is bit-identical to the flat path's.
+pub(crate) fn merge_batches<'a>(
+    rows: impl Iterator<Item = (&'a Feature, RowBatch)>,
+    recorder: &Recorder,
+) -> (PredicateTable, ExtractionStats) {
     let mut table = PredicateTable::new();
     let mut stats = ExtractionStats::default();
-    for (ref_feature, batch) in reference.features().iter().zip(batches) {
+    for (ref_feature, batch) in rows {
         stats.absorb(&batch.stats);
         recorder.absorb(&batch.metrics);
         let codes: Vec<u32> = batch.predicates.into_iter().map(|p| table.intern(p)).collect();
@@ -326,7 +485,7 @@ pub fn try_extract_recorded(
     recorder.counter("extract.candidate_pairs", stats.candidate_pairs as u64);
     recorder.counter("extract.pruned_pairs", stats.pruned_pairs as u64);
     recorder.counter("extract.spatial_predicates", stats.spatial_predicates as u64);
-    Ok((table, stats))
+    (table, stats)
 }
 
 /// Precomputes every unordered pair result of a self-join layer, in
@@ -338,44 +497,51 @@ fn build_self_join_memo(
     pl: &PreparedLayer,
     config: &ExtractionConfig,
     record: bool,
-    recorder: &Recorder,
-    cancel: &CancelToken,
 ) -> Result<SelfJoinMemo, Interrupt> {
+    let recorder = &config.recorder;
     let layer = pl.layer;
     let cutoff = pl.window.unwrap_or(f64::INFINITY);
     let want_dist = config.distance.is_some() || config.direction;
     type MemoRow = (Vec<(u32, IntersectionMatrix)>, Vec<(u32, Option<f64>)>, Metrics);
-    let rows: Vec<MemoRow> =
-        try_par_map(config.threads, cancel, "extract/prepare", layer.features(), |row, feature| {
-        // Discard counter residue left on this worker thread by other rows.
-        let _ = take_kernel_counters();
-        let envelope = feature.envelope();
-        let mut topo = Vec::new();
-        if config.topological {
-            for ci in layer.query_envelope(&envelope) {
-                if ci >= row {
-                    topo.push((ci as u32, pl.prepared[row].relate_to(&pl.prepared[ci])));
+    let rows: Vec<MemoRow> = try_par_map(
+        config.threads,
+        &config.cancel,
+        "extract/prepare",
+        layer.features(),
+        |row, feature| {
+            // Discard counter residue left on this worker thread by other rows.
+            let _ = take_kernel_counters();
+            let envelope = feature.envelope();
+            let mut topo = Vec::new();
+            if config.topological {
+                for ci in layer.query_envelope(&envelope) {
+                    if ci >= row {
+                        topo.push((ci as u32, pl.prepared[row].relate_to(&pl.prepared[ci])));
+                    }
                 }
             }
-        }
-        let mut dist = Vec::new();
-        if want_dist {
-            let scan: Vec<usize> = match pl.window {
-                Some(max_d) => layer.index().query_window(&envelope, max_d),
-                None => (0..layer.len()).collect(),
-            };
-            for ci in scan {
-                if ci >= row {
-                    dist.push((ci as u32, pl.prepared[row].distance_within(&pl.prepared[ci], cutoff)));
+            let mut dist = Vec::new();
+            if want_dist {
+                let scan: Vec<usize> = match pl.window {
+                    Some(max_d) => layer.index().query_window(&envelope, max_d),
+                    None => (0..layer.len()).collect(),
+                };
+                for ci in scan {
+                    if ci >= row {
+                        dist.push((
+                            ci as u32,
+                            pl.prepared[row].distance_within(&pl.prepared[ci], cutoff),
+                        ));
+                    }
                 }
             }
-        }
-        let mut metrics = Metrics::new();
-        if record {
-            drain_kernel_counters(&mut metrics);
-        }
-        (topo, dist, metrics)
-    })?;
+            let mut metrics = Metrics::new();
+            if record {
+                drain_kernel_counters(&mut metrics);
+            }
+            (topo, dist, metrics)
+        },
+    )?;
     let mut topo = Vec::with_capacity(rows.len());
     let mut dist = Vec::with_capacity(rows.len());
     for (t, d, metrics) in rows {
@@ -391,7 +557,7 @@ fn build_self_join_memo(
 
 /// Moves the thread-local geometry-kernel counters accumulated since the
 /// last reset into `metrics`.
-fn drain_kernel_counters(metrics: &mut Metrics) {
+pub(crate) fn drain_kernel_counters(metrics: &mut Metrics) {
     let k = take_kernel_counters();
     metrics.add_counter("geom/segtree_nodes_visited", k.segtree_nodes_visited);
     metrics.add_counter("geom/pairs_exact", k.pairs_exact);
@@ -403,19 +569,19 @@ fn drain_kernel_counters(metrics: &mut Metrics) {
 /// Computes one reference feature's predicates, in the exact order the
 /// serial implementation emits them.
 ///
-/// When `cancel` is enabled, the token is checked once per candidate pair
-/// (counted under `robust/cancel_checks`); on interruption the row bails
-/// out with a truncated batch, which is safe because [`try_par_map`]
-/// re-checks the token before returning `Ok` and discards all output on
-/// interruption.
-fn extract_row(
+/// When the config's cancel token is enabled, it is checked once per
+/// candidate pair (counted under `robust/cancel_checks`); on interruption
+/// the row bails out with a truncated batch, which is safe because
+/// [`try_par_map`] re-checks the token before returning `Ok` and discards
+/// all output on interruption.
+pub(crate) fn extract_row(
     row: usize,
     ref_feature: &Feature,
     layers: &[PreparedLayer],
     config: &ExtractionConfig,
     record: bool,
-    cancel: &CancelToken,
 ) -> RowBatch {
+    let cancel = &config.cancel;
     let mut predicates: Vec<Predicate> = Vec::new();
     let mut stats = ExtractionStats::default();
     let watch = cancel.is_enabled();
@@ -551,6 +717,16 @@ mod tests {
     use crate::feature::Feature;
     use geopattern_geom::{coord, Point, Polygon};
 
+    /// Uncontrolled extraction for tests: the new entry point with the
+    /// config as given (which defaults to no recorder / no token).
+    fn run(
+        reference: &Layer,
+        relevant: &[&Layer],
+        config: &ExtractionConfig,
+    ) -> (PredicateTable, ExtractionStats) {
+        extract_predicates(reference, relevant, config).expect("uninterrupted")
+    }
+
     /// One district containing a slum and a school point, touching another
     /// slum, with a police center far away.
     fn toy_layers() -> (Layer, Layer, Layer, Layer) {
@@ -589,7 +765,7 @@ mod tests {
     #[test]
     fn topological_extraction() {
         let (district, slums, schools, police) = toy_layers();
-        let (table, stats) = extract(
+        let (table, stats) = run(
             &district,
             &[&slums, &schools, &police],
             &ExtractionConfig::topological_only(),
@@ -615,7 +791,7 @@ mod tests {
     fn disjoint_opt_in() {
         let (district, slums, _schools, police) = toy_layers();
         let config = ExtractionConfig { include_disjoint: true, ..Default::default() };
-        let (table, _) = extract(&district, &[&slums, &police], &config);
+        let (table, _) = run(&district, &[&slums, &police], &config);
         let row_preds: Vec<String> = table.rows()[0]
             .1
             .iter()
@@ -629,7 +805,7 @@ mod tests {
         let (district, _slums, _schools, police) = toy_layers();
         let config = ExtractionConfig::topological_only()
             .with_distance(DistanceScheme::very_close_close_far(50.0, 200.0));
-        let (table, _) = extract(&district, &[&police], &config);
+        let (table, _) = run(&district, &[&police], &config);
         let row_preds: Vec<String> = table.rows()[0]
             .1
             .iter()
@@ -644,7 +820,7 @@ mod tests {
         let (district, slums, _schools, _police) = toy_layers();
         let config = ExtractionConfig::topological_only()
             .with_distance(DistanceScheme::very_close_close_far(50.0, 200.0));
-        let (table, _) = extract(&district, &[&slums], &config);
+        let (table, _) = run(&district, &[&slums], &config);
         let row_preds: Vec<String> = table.rows()[0]
             .1
             .iter()
@@ -659,7 +835,7 @@ mod tests {
     fn direction_extraction() {
         let (district, _slums, _schools, police) = toy_layers();
         let config = ExtractionConfig::topological_only().with_direction();
-        let (table, _) = extract(&district, &[&police], &config);
+        let (table, _) = run(&district, &[&police], &config);
         let row_preds: Vec<String> = table.rows()[0]
             .1
             .iter()
@@ -673,7 +849,7 @@ mod tests {
     fn direction_skips_intersecting_pairs() {
         let (district, slums, _schools, _police) = toy_layers();
         let config = ExtractionConfig::topological_only().with_direction();
-        let (table, _) = extract(&district, &[&slums], &config);
+        let (table, _) = run(&district, &[&slums], &config);
         let row_preds: Vec<String> = table.rows()[0]
             .1
             .iter()
@@ -708,7 +884,7 @@ mod tests {
                 ),
             ],
         );
-        let (table, _) = extract(&district, &[&slums], &ExtractionConfig::topological_only());
+        let (table, _) = run(&district, &[&slums], &ExtractionConfig::topological_only());
         assert_eq!(table.rows()[0].1.len(), 1);
         assert_eq!(table.predicate(table.rows()[0].1[0]).to_string(), "contains_slum");
     }
@@ -725,7 +901,7 @@ mod tests {
             ..ExtractionConfig::default()
         }
         .with_distance(bounded);
-        let (table, stats) = extract(&district, &[&police], &config);
+        let (table, stats) = run(&district, &[&police], &config);
         assert_eq!(stats.pruned_pairs, 1, "window query prunes the distant pair");
         assert_eq!(stats.candidate_pairs, 0);
         assert!(table.rows()[0].1.is_empty());
@@ -738,7 +914,7 @@ mod tests {
             ..ExtractionConfig::default()
         }
         .with_distance(unbounded);
-        let (table, stats) = extract(&district, &[&police], &config);
+        let (table, stats) = run(&district, &[&police], &config);
         assert_eq!(stats.pruned_pairs, 0);
         assert_eq!(stats.candidate_pairs, 1);
         let labels: Vec<String> =
@@ -751,9 +927,10 @@ mod tests {
         let (district, slums, schools, police) = toy_layers();
         let layers = [&slums, &schools, &police];
         let config = ExtractionConfig::topological_only();
-        let (plain_table, plain_stats) = extract(&district, &layers, &config);
+        let (plain_table, plain_stats) = run(&district, &layers, &config);
         let rec = Recorder::new();
-        let (table, stats) = extract_recorded(&district, &layers, &config, &rec);
+        let (table, stats) =
+            run(&district, &layers, &config.clone().with_recorder(rec.clone()));
         assert_eq!(table.predicates(), plain_table.predicates());
         assert_eq!(table.rows(), plain_table.rows());
         assert_eq!(stats, plain_stats);
@@ -798,15 +975,14 @@ mod tests {
         );
         let config = ExtractionConfig::topological_only();
         let serial_rec = Recorder::new();
-        extract_recorded(&district, &[&slums], &config, &serial_rec);
+        run(&district, &[&slums], &config.clone().with_recorder(serial_rec.clone()));
         let serial = serial_rec.snapshot();
         for n in [2usize, 8] {
             let rec = Recorder::new();
-            extract_recorded(
+            run(
                 &district,
                 &[&slums],
-                &config.clone().with_threads(Threads::Fixed(n)),
-                &rec,
+                &config.clone().with_recorder(rec.clone()).with_threads(Threads::Fixed(n)),
             );
             let m = rec.snapshot();
             let counters: Vec<_> = m.counters().collect();
@@ -820,15 +996,17 @@ mod tests {
     }
 
     #[test]
-    fn try_extract_with_idle_token_is_identical_and_counts_checks() {
+    fn idle_token_is_identical_and_counts_checks() {
         let (district, slums, schools, police) = toy_layers();
         let layers = [&slums, &schools, &police];
         let config = ExtractionConfig::topological_only();
-        let (plain_table, plain_stats) = extract(&district, &layers, &config);
+        let (plain_table, plain_stats) = run(&district, &layers, &config);
         let rec = Recorder::new();
-        let cancel = CancelToken::new();
-        let (table, stats) =
-            try_extract_recorded(&district, &layers, &config, &rec, &cancel).unwrap();
+        let (table, stats) = run(
+            &district,
+            &layers,
+            &config.clone().with_recorder(rec.clone()).with_cancel(CancelToken::new()),
+        );
         assert_eq!(table.predicates(), plain_table.predicates());
         assert_eq!(table.rows(), plain_table.rows());
         assert_eq!(stats, plain_stats);
@@ -838,11 +1016,11 @@ mod tests {
     }
 
     #[test]
-    fn try_extract_without_token_records_no_robust_counters() {
+    fn disabled_token_records_no_robust_counters() {
         let (district, slums, _schools, _police) = toy_layers();
         let rec = Recorder::new();
-        let config = ExtractionConfig::topological_only();
-        try_extract_recorded(&district, &[&slums], &config, &rec, &CancelToken::none()).unwrap();
+        let config = ExtractionConfig::topological_only().with_recorder(rec.clone());
+        run(&district, &[&slums], &config);
         assert_eq!(rec.snapshot().counter("robust/cancel_checks"), None);
     }
 
@@ -851,12 +1029,10 @@ mod tests {
         let (district, slums, _schools, _police) = toy_layers();
         let cancel = CancelToken::new();
         cancel.cancel();
-        let err = try_extract_recorded(
+        let err = extract_predicates(
             &district,
             &[&slums],
-            &ExtractionConfig::topological_only(),
-            &Recorder::disabled(),
-            &cancel,
+            &ExtractionConfig::topological_only().with_cancel(cancel),
         )
         .unwrap_err();
         assert_eq!(err, Interrupt::Cancelled);
@@ -867,13 +1043,10 @@ mod tests {
         use geopattern_testkit::failpoint;
         let (district, slums, _schools, _police) = toy_layers();
         failpoint::activate("sdb/extract.row", failpoint::FailAction::Cancel, 1.0, 7);
-        let cancel = CancelToken::new();
-        let err = try_extract_recorded(
+        let err = extract_predicates(
             &district,
             &[&slums],
-            &ExtractionConfig::topological_only(),
-            &Recorder::disabled(),
-            &cancel,
+            &ExtractionConfig::topological_only().with_cancel(CancelToken::new()),
         )
         .unwrap_err();
         failpoint::deactivate("sdb/extract.row");
@@ -914,13 +1087,42 @@ mod tests {
             .with_distance(DistanceScheme::very_close_close_far(15.0, 40.0))
             .with_direction();
         let (serial_table, serial_stats) =
-            extract(&reference, &[&relevant], &config.clone().with_threads(Threads::Serial));
+            run(&reference, &[&relevant], &config.clone().with_threads(Threads::Serial));
         for n in [2, 8] {
             let (table, stats) =
-                extract(&reference, &[&relevant], &config.clone().with_threads(Threads::Fixed(n)));
+                run(&reference, &[&relevant], &config.clone().with_threads(Threads::Fixed(n)));
             assert_eq!(table.predicates(), serial_table.predicates(), "{n} threads");
             assert_eq!(table.rows(), serial_table.rows(), "{n} threads");
             assert_eq!(stats, serial_stats, "{n} threads");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_extract_predicates() {
+        let (district, slums, schools, police) = toy_layers();
+        let layers = [&slums, &schools, &police];
+        let config = ExtractionConfig::topological_only();
+        let (want_table, want_stats) = run(&district, &layers, &config);
+
+        let (t1, s1) = extract(&district, &layers, &config);
+        assert_eq!((t1.rows(), s1), (want_table.rows(), want_stats));
+
+        let rec = Recorder::new();
+        let (t2, s2) = extract_recorded(&district, &layers, &config, &rec);
+        assert_eq!((t2.rows(), s2), (want_table.rows(), want_stats));
+        assert_eq!(rec.snapshot().counter("extract.rows"), Some(1));
+
+        let (t3, s3) =
+            try_extract_recorded(&district, &layers, &config, &Recorder::disabled(), &CancelToken::none())
+                .unwrap();
+        assert_eq!((t3.rows(), s3), (want_table.rows(), want_stats));
+
+        // The explicit parameters win over whatever the config carries:
+        // a poisoned config token is ignored by the `extract` shim.
+        let poisoned = CancelToken::new();
+        poisoned.cancel();
+        let (t4, _) = extract(&district, &layers, &config.clone().with_cancel(poisoned));
+        assert_eq!(t4.rows(), want_table.rows());
     }
 }

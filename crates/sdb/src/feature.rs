@@ -59,6 +59,27 @@ impl Layer {
         }
     }
 
+    /// Builds a layer from features whose envelopes are already known
+    /// (e.g. stored in the binary dataset format), skipping the envelope
+    /// recomputation pass of [`Layer::new`]. The caller must supply one
+    /// envelope per feature, equal to `feature.envelope()`.
+    pub(crate) fn with_envelopes(
+        feature_type: String,
+        features: Vec<Feature>,
+        envelopes: &[Rect],
+    ) -> Layer {
+        debug_assert_eq!(features.len(), envelopes.len());
+        Layer { feature_type, index: RTree::bulk_load(envelopes), features }
+    }
+
+    /// Builds a layer from features and a pre-built spatial index (used by
+    /// the parallel binary-dataset decoder, which bulk-loads indexes for
+    /// several layers concurrently). The index must have been built from
+    /// the features' envelopes, in feature order.
+    pub(crate) fn with_index(feature_type: String, features: Vec<Feature>, index: RTree) -> Layer {
+        Layer { feature_type, index, features }
+    }
+
     /// The features in the layer.
     pub fn features(&self) -> &[Feature] {
         &self.features

@@ -15,22 +15,33 @@
 //!   enumeration of *same-feature-type pairs* (the KC+ filter's target);
 //! * [`knowledge`] — the background-knowledge set `Φ` of well-known
 //!   geographic dependencies (the KC filter's input);
-//! * [`dataset`] — a text format bundling reference + relevant layers.
+//! * [`dataset`] — a text format bundling reference + relevant layers;
+//! * [`gpb`] — the compact binary dataset format (`.gpb`), with a
+//!   streaming reader that loads layers — or envelope windows of layers —
+//!   without materialising the whole dataset;
+//! * `tiled` — the tiled extraction path behind
+//!   [`Tiling::Grid`], surfaced through
+//!   [`extract::extract_predicates`].
 
 pub mod dataset;
 pub mod discretize;
 pub mod extract;
 pub mod feature;
+pub mod gpb;
 pub mod join;
 pub mod knowledge;
 pub mod predicate_table;
 pub mod rtree;
 pub mod summary;
 pub mod taxonomy;
+pub(crate) mod tiled;
 
 pub use dataset::{DatasetError, SpatialDataset};
 pub use discretize::{discretize_attribute, BinningStrategy, DiscretizeError};
-pub use extract::{extract, extract_recorded, try_extract_recorded, ExtractionConfig, ExtractionStats};
+#[allow(deprecated)]
+pub use extract::{extract, extract_recorded, try_extract_recorded};
+pub use extract::{extract_predicates, ExtractionConfig, ExtractionStats, Tiling};
+pub use gpb::{from_gpb, to_gpb, GpbError, GpbReader};
 pub use feature::{Feature, Layer};
 pub use join::{spatial_join, spatial_join_intersecting, JoinPair};
 pub use knowledge::KnowledgeBase;

@@ -50,6 +50,9 @@ cargo test --release -q -p geopattern-integration --test bitmap_properties
 echo "==> SIMD leaf-kernel gate (lane paths bit-identical to scalar)"
 cargo test --release -q -p geopattern-integration --test simd_properties
 
+echo "==> tiling-equivalence gate (tiled extraction bit-identical to flat)"
+cargo test --release -q -p geopattern-integration --test tiling_properties
+
 echo "==> experiments scaling (emits BENCH_scaling.json, default grid)"
 cargo run --release -q -p geopattern-bench --bin experiments -- scaling
 test -s BENCH_scaling.json
@@ -61,5 +64,9 @@ test -s BENCH_counting.json
 echo "==> experiments kernel (emits BENCH_kernel.json; SIMD must beat scalar locate ≥1.5x)"
 cargo run --release -q -p geopattern-bench --bin experiments -- kernel --max 256 --check
 test -s BENCH_kernel.json
+
+echo "==> experiments tiling (emits BENCH_tiling.json; 1M-feature city, gpb one-tile fetch ≥5x full WKT parse, tiled ≤1.10x flat)"
+cargo run --release -q -p geopattern-bench --bin experiments -- tiling --check
+test -s BENCH_tiling.json
 
 echo "==> ci.sh: all green"

@@ -7,8 +7,13 @@
 //! duplication, splicing, digit scrambling, and injection of hostile
 //! tokens (`1e400`, `nan`, stray separators). Everything derives from one
 //! fixed seed, so a failure is exactly reproducible.
+//!
+//! The same corpus drives the binary `.gpb` format both ways: every
+//! mutant the text parser *accepts* must survive a WKT → binary → WKT
+//! round trip verbatim, and PRNG-corrupted binary bytes must produce a
+//! typed `GpbError` — never a panic, never an unbounded allocation.
 
-use geopattern::SpatialDataset;
+use geopattern::{from_gpb, to_gpb, SpatialDataset};
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_testkit::Rng;
 
@@ -111,4 +116,80 @@ fn one_thousand_mutated_datasets_never_panic_the_parser() {
 fn unmutated_base_still_parses() {
     let base = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() }).to_text();
     SpatialDataset::from_text(&base).expect("pristine dataset parses");
+}
+
+#[test]
+fn accepted_mutants_round_trip_through_the_binary_format() {
+    // Every mutated dataset the text parser accepts is a valid dataset;
+    // encoding it to `.gpb` and decoding back must reproduce the exact
+    // same text serialisation (geometry normalisation is idempotent, so
+    // to_text is a fixed point).
+    let base = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() }).to_text();
+    let mut rng = Rng::seed_from_u64(0xB1A4_7E57);
+    let mut round_tripped = 0usize;
+    for i in 0..600 {
+        let mutated = mutate(&mut rng, &base);
+        if let Ok(ds) = SpatialDataset::from_text(&mutated) {
+            let bytes = to_gpb(&ds);
+            let back = from_gpb(&bytes)
+                .unwrap_or_else(|e| panic!("mutant {i}: encoder output rejected: {e}"));
+            assert_eq!(back.to_text(), ds.to_text(), "mutant {i}: binary round trip diverged");
+            round_tripped += 1;
+        }
+    }
+    assert!(round_tripped > 0, "no mutant parsed; corpus too hostile to test the round trip");
+}
+
+#[test]
+fn corrupted_binary_bytes_never_panic_the_reader() {
+    let ds = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() });
+    let pristine = to_gpb(&ds);
+    from_gpb(&pristine).expect("pristine binary decodes");
+
+    let mut rng = Rng::seed_from_u64(0x6B_B4D_B17);
+    for i in 0..1000 {
+        let mut bytes = pristine.clone();
+        let edits = 1 + rng.below_usize(6);
+        for _ in 0..edits {
+            if bytes.is_empty() {
+                break;
+            }
+            match rng.below(4) {
+                // Flip a byte (corrupts magic, counts, tags, coords…).
+                0 => {
+                    let at = rng.below_usize(bytes.len());
+                    bytes[at] = rng.below(256) as u8;
+                }
+                // Truncate (simulates a torn write).
+                1 => {
+                    let at = rng.below_usize(bytes.len());
+                    bytes.truncate(at);
+                }
+                // Duplicate a slice (shifts every downstream offset).
+                2 => {
+                    let start = rng.below_usize(bytes.len());
+                    let len = rng.below_usize((bytes.len() - start).min(48) + 1);
+                    let slice: Vec<u8> = bytes[start..start + len].to_vec();
+                    let at = rng.below_usize(bytes.len() + 1);
+                    bytes.splice(at..at, slice);
+                }
+                // Blast a length field with 0xFF (oversized-count probe:
+                // the reader must reject counts before allocating).
+                _ => {
+                    let at = rng.below_usize(bytes.len());
+                    let end = (at + 4).min(bytes.len());
+                    for b in &mut bytes[at..end] {
+                        *b = 0xFF;
+                    }
+                }
+            }
+        }
+        // Decoding must return Ok or a typed error; `i` reproduces any
+        // failure exactly. A decoded dataset must also be well-formed
+        // enough to re-serialise.
+        if let Ok(decoded) = from_gpb(&bytes) {
+            let _ = decoded.to_text();
+        }
+        let _ = i;
+    }
 }

@@ -17,7 +17,7 @@ use geopattern_geom::from_wkt;
 use geopattern_qsr::{
     classify, Consistency, ConstraintNetwork, DistanceScheme, Rcc8, Rcc8Set, TopologicalRelation,
 };
-use geopattern_sdb::{extract, ExtractionConfig};
+use geopattern_sdb::{extract_predicates, ExtractionConfig};
 
 /// Nonoai: a 100×100 district at the origin.
 fn nonoai() -> Feature {
@@ -94,7 +94,7 @@ fn the_four_slum_relations_classify_as_the_paper_says() {
 #[test]
 fn extraction_produces_all_four_predicates_once_each() {
     let district = Layer::new("district", vec![nonoai()]);
-    let (table, stats) = extract(&district, &[&slums()], &ExtractionConfig::topological_only());
+    let (table, stats) = extract_predicates(&district, &[&slums()], &ExtractionConfig::topological_only()).unwrap();
     let row: Vec<String> = table.rows()[0]
         .1
         .iter()
@@ -113,7 +113,7 @@ fn distance_relations_match_the_narrative() {
     let district = Layer::new("district", vec![nonoai()]);
     let scheme = DistanceScheme::very_close_close_far(10.0, 100.0);
     let config = ExtractionConfig::topological_only().with_distance(scheme);
-    let (table, _) = extract(&district, &[&police_centers()], &config);
+    let (table, _) = extract_predicates(&district, &[&police_centers()], &config).unwrap();
     let row: Vec<String> = table.rows()[0]
         .1
         .iter()

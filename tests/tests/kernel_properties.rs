@@ -147,7 +147,7 @@ fn ring_index_locate_matches_ring_locate() {
 fn self_join_memo_is_invisible() {
     use geopattern_par::Threads;
     use geopattern_qsr::DistanceScheme;
-    use geopattern_sdb::{extract, ExtractionConfig, Layer};
+    use geopattern_sdb::{extract_predicates, ExtractionConfig, Layer};
 
     let mut rng = Rng::seed_from_u64(42);
     let layer = geopattern_datagen::random_layer(&mut rng, "parcel", 48, 10, 60.0);
@@ -158,16 +158,16 @@ fn self_join_memo_is_invisible() {
 
     let config = base.clone().with_threads(Threads::Serial);
     // Same allocation on both sides: the memo engages.
-    let (memo_table, memo_stats) = extract(&layer, &[&layer], &config);
+    let (memo_table, memo_stats) = extract_predicates(&layer, &[&layer], &config).unwrap();
     // Distinct allocation: pointer test fails, every pair computed directly.
-    let (direct_table, direct_stats) = extract(&layer, &[&copy], &config);
+    let (direct_table, direct_stats) = extract_predicates(&layer, &[&copy], &config).unwrap();
     assert_eq!(memo_table.predicates(), direct_table.predicates());
     assert_eq!(memo_table.rows(), direct_table.rows());
     assert_eq!(memo_stats, direct_stats);
     assert!(!memo_table.predicates().is_empty(), "self-join should produce predicates");
 
     for threads in [Threads::Fixed(1), Threads::Fixed(2), Threads::Fixed(8)] {
-        let (table, stats) = extract(&layer, &[&layer], &base.clone().with_threads(threads));
+        let (table, stats) = extract_predicates(&layer, &[&layer], &base.clone().with_threads(threads)).unwrap();
         assert_eq!(table.predicates(), memo_table.predicates(), "{threads:?}");
         assert_eq!(table.rows(), memo_table.rows(), "{threads:?}");
         assert_eq!(stats, memo_stats, "{threads:?}");

@@ -13,7 +13,7 @@ use geopattern_mining::{
     mine, mine_eclat, AprioriConfig, CountingStrategy, EclatConfig, FrequentItemset,
 };
 use geopattern_qsr::DistanceScheme;
-use geopattern_sdb::{extract, ExtractionConfig};
+use geopattern_sdb::{extract_predicates, ExtractionConfig};
 
 fn city() -> geopattern_sdb::SpatialDataset {
     generate_city(&CityConfig { grid: 8, seed: 7, ..Default::default() })
@@ -43,11 +43,11 @@ fn extraction_identical_across_thread_counts() {
     let refs = ds.relevant_refs();
     let config = full_config();
     let (serial_table, serial_stats) =
-        extract(&ds.reference, &refs, &config.clone().with_threads(Threads::Serial));
+        extract_predicates(&ds.reference, &refs, &config.clone().with_threads(Threads::Serial)).unwrap();
     assert!(serial_table.predicates().len() > 10, "workload should be non-trivial");
 
     for threads in [Threads::Fixed(1), Threads::Fixed(2), Threads::Fixed(8)] {
-        let (table, stats) = extract(&ds.reference, &refs, &config.clone().with_threads(threads));
+        let (table, stats) = extract_predicates(&ds.reference, &refs, &config.clone().with_threads(threads)).unwrap();
         // Identical interner contents *in the same order* (same codes)...
         assert_eq!(table.predicates(), serial_table.predicates(), "{threads:?}");
         // ...and identical rows of codes.
@@ -67,7 +67,7 @@ fn counting_backends_identical_across_thread_counts() {
     let ds = city();
     let refs = ds.relevant_refs();
     let (table, _) =
-        extract(&ds.reference, &refs, &distance_config().with_threads(Threads::Serial));
+        extract_predicates(&ds.reference, &refs, &distance_config().with_threads(Threads::Serial)).unwrap();
     let data = geopattern::to_transactions(&table);
     let minsup = MinSupport::Fraction(0.3);
 

@@ -6,7 +6,7 @@ use geopattern::{
 };
 use geopattern_datagen::{default_knowledge, generate_city, CityConfig};
 use geopattern_geom::from_wkt;
-use geopattern_sdb::extract;
+use geopattern_sdb::extract_predicates;
 
 fn city() -> SpatialDataset {
     generate_city(&CityConfig { grid: 6, seed: 3, ..Default::default() })
@@ -86,7 +86,7 @@ fn kc_plus_never_pairs_same_feature_type() {
 #[test]
 fn fp_growth_matches_apriori_on_city_data() {
     let ds = city();
-    let (table, _) = extract(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::default());
+    let (table, _) = extract_predicates(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::default()).unwrap();
     let ts = to_transactions(&table);
     let sets = |alg: Algorithm| {
         let mut v: Vec<(Vec<u32>, u64)> = MiningPipeline::new()
@@ -124,7 +124,7 @@ fn dataset_text_roundtrip_preserves_mining_results() {
 #[test]
 fn extraction_stats_account_for_all_pairs() {
     let ds = city();
-    let (_, stats) = extract(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::default());
+    let (_, stats) = extract_predicates(&ds.reference, &ds.relevant_refs(), &ExtractionConfig::default()).unwrap();
     let total_pairs: usize = ds.relevant.iter().map(|l| l.len() * ds.reference.len()).sum();
     assert_eq!(stats.candidate_pairs + stats.pruned_pairs, total_pairs);
     assert!(stats.pruned_pairs > stats.candidate_pairs, "the index must prune most pairs");
