@@ -3,7 +3,7 @@
 //! ```text
 //! geopattern mine <dataset.gpd|.gpb> [--minsup 0.3] [--minconf 0.7]
 //!                 [--algorithm apriori|kc|kc+|fpgrowth|fpgrowth-kc+|eclat|eclat-kc+|tid|tid-kc+]
-//!                 [--counting hash-subset|prefix-trie|bitmap|diffset]
+//!                 [--counting hash-subset|prefix-trie|bitmap|diffset|hybrid|auto]
 //!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
 //!                 [--metrics json] [--timeout SECS] [--memory-budget BYTES]
 //!                 [--tile-size N] [--format wkt|gpb|auto]
@@ -104,9 +104,10 @@ fn print_usage() {
          geopattern gain --t T1,T2,... --n N\n\n\
          ALGORITHMS: apriori, kc, kc+ (default), fpgrowth, fpgrowth-kc+, eclat, eclat-kc+,\n            \
          tid, tid-kc+\n\
-         COUNTING (Apriori variants): hash-subset, prefix-trie (default), bitmap, diffset\n            \
-         — all backends produce identical itemsets; bitmap/diffset run the\n            \
-         vertical triangular-C2 engine\n\n\
+         COUNTING (Apriori variants): hash-subset, prefix-trie (default), bitmap, diffset,\n            \
+         hybrid, auto — all backends produce identical itemsets;\n            \
+         bitmap/diffset/hybrid run the vertical triangular-C2 engine, and\n            \
+         auto samples the workload to pick a backend (mining/auto_choice)\n\n\
          --format selects the dataset encoding: wkt text, gpb binary, or auto\n\
          (default; sniffs the GPB1 magic). --tile-size N shards extraction over an\n\
          N x N spatial tile grid — output is bit-identical to the flat path.\n\
@@ -225,10 +226,14 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         .map(|v| parse_algorithm(&v))
         .transpose()?
         .unwrap_or(Algorithm::AprioriKcPlus);
-    let counting = take_flag(&mut args, "--counting")?
-        .map(|v| CountingStrategy::parse(&v))
-        .transpose()?
-        .unwrap_or_default();
+    // An unknown strategy is an invalid *mining* config (exit code 2,
+    // like the library's config errors), not a usage error: the flag was
+    // well-formed, its value wasn't. The parse error lists every
+    // accepted name.
+    let counting = match take_flag(&mut args, "--counting")? {
+        Some(v) => CountingStrategy::parse(&v).map_err(|msg| CmdError { code: 2, msg })?,
+        None => CountingStrategy::default(),
+    };
     let threads = take_flag(&mut args, "--threads")?
         .map(|v| Threads::parse(&v))
         .transpose()?

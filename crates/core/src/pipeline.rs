@@ -173,9 +173,15 @@ impl MiningPipeline {
     }
 
     /// Selects the Apriori counting backend: horizontal `HashSubset` /
-    /// `PrefixTrie`, or the vertical `VerticalBitmap` / `Diffset` engine
-    /// (triangular C₂ kernel + hybrid TID lists or dEclat diffsets).
-    /// Every backend produces bit-identical itemsets, supports and rules.
+    /// `PrefixTrie`, the vertical `VerticalBitmap` / `Diffset` / `Hybrid`
+    /// engine (triangular C₂ kernel + hybrid TID lists, dEclat diffsets,
+    /// or the bitmap→diffset flip), or `Auto`, which samples the workload
+    /// and resolves to a fixed strategy before mining (recorded as
+    /// `mining/auto_choice`, readable via
+    /// [`PatternReport::auto_counting_choice`]). Every backend produces
+    /// bit-identical itemsets, supports and rules.
+    ///
+    /// [`PatternReport::auto_counting_choice`]: crate::PatternReport::auto_counting_choice
     pub fn counting(mut self, c: CountingStrategy) -> Self {
         self.counting = c;
         self

@@ -46,6 +46,19 @@ pub enum CountingStrategy {
     /// proportional to support deltas, which is what deep, dense
     /// recursions want.
     Diffset,
+    /// Vertical engine that runs the first lattice level on word-packed
+    /// bitmaps (bounded popcount joins), then flips each equivalence
+    /// class to dEclat diffsets below the first recursion level, with
+    /// members rank-ordered by ascending support — dense workloads get
+    /// bitmap-speed joins without diffset's top-level `t(x) \ t(y)`
+    /// builds from full TID vectors.
+    Hybrid,
+    /// Workload-sampled selection: [`crate::strategy::choose`] picks one
+    /// of the fixed strategies (and a parallel grain) from cheap
+    /// statistics before the run, recording the decision as
+    /// `mining/auto_choice`. Output is bit-identical to whatever it
+    /// picks.
+    Auto,
 }
 
 impl CountingStrategy {
@@ -56,8 +69,14 @@ impl CountingStrategy {
             CountingStrategy::PrefixTrie => "prefix-trie",
             CountingStrategy::VerticalBitmap => "bitmap",
             CountingStrategy::Diffset => "diffset",
+            CountingStrategy::Hybrid => "hybrid",
+            CountingStrategy::Auto => "auto",
         }
     }
+
+    /// Every accepted CLI/bench name, for error messages and usage text.
+    pub const ALL_NAMES: [&'static str; 6] =
+        ["hash-subset", "prefix-trie", "bitmap", "diffset", "hybrid", "auto"];
 
     /// Parses a CLI/bench name.
     pub fn parse(s: &str) -> Result<CountingStrategy, String> {
@@ -66,15 +85,35 @@ impl CountingStrategy {
             "prefix-trie" | "trie" => Ok(CountingStrategy::PrefixTrie),
             "bitmap" | "vertical-bitmap" => Ok(CountingStrategy::VerticalBitmap),
             "diffset" | "declat" => Ok(CountingStrategy::Diffset),
+            "hybrid" => Ok(CountingStrategy::Hybrid),
+            "auto" => Ok(CountingStrategy::Auto),
             other => Err(format!(
-                "unknown counting strategy {other:?} (expected hash-subset, prefix-trie, bitmap or diffset)"
+                "unknown counting strategy {other:?} (expected one of: {})",
+                CountingStrategy::ALL_NAMES.join(", ")
             )),
         }
     }
 
-    /// True for the vertical (bitmap/diffset) engine.
+    /// True for the vertical (bitmap/diffset/hybrid) engine. `Auto` is
+    /// not vertical per se: it resolves to a fixed strategy first.
     pub fn is_vertical(self) -> bool {
-        matches!(self, CountingStrategy::VerticalBitmap | CountingStrategy::Diffset)
+        matches!(
+            self,
+            CountingStrategy::VerticalBitmap | CountingStrategy::Diffset | CountingStrategy::Hybrid
+        )
+    }
+
+    /// Stable numeric code recorded as the `mining/auto_choice` counter
+    /// value (counters carry `u64`, not strings).
+    pub fn code(self) -> u64 {
+        match self {
+            CountingStrategy::HashSubset => 1,
+            CountingStrategy::PrefixTrie => 2,
+            CountingStrategy::VerticalBitmap => 3,
+            CountingStrategy::Diffset => 4,
+            CountingStrategy::Hybrid => 5,
+            CountingStrategy::Auto => 0,
+        }
     }
 }
 
@@ -92,6 +131,10 @@ pub struct AprioriConfig {
     /// Worker threads for support counting. Counts are identical for
     /// every setting; this only changes wall-clock.
     pub threads: Threads,
+    /// Parallel chunking grain for support counting. Like `threads`,
+    /// purely a wall-clock knob: counts are identical for every setting.
+    /// [`CountingStrategy::Auto`] overrides it with the policy's pick.
+    pub grain: Grain,
     /// Metric sink for per-pass timings and counters. Disabled by
     /// default; recording never changes the mined output.
     pub recorder: Recorder,
@@ -114,6 +157,7 @@ impl AprioriConfig {
             same_type: PairFilter::none(),
             counting: CountingStrategy::default(),
             threads: Threads::Serial,
+            grain: Grain::Fine,
             recorder: Recorder::disabled(),
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
@@ -143,6 +187,12 @@ impl AprioriConfig {
     /// Sets the worker-thread policy (builder style).
     pub fn with_threads(mut self, threads: Threads) -> AprioriConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the parallel chunking grain (builder style).
+    pub fn with_grain(mut self, grain: Grain) -> AprioriConfig {
+        self.grain = grain;
         self
     }
 
@@ -184,6 +234,27 @@ pub fn mine(data: &TransactionSet, config: &AprioriConfig) -> MiningResult {
 /// tracks candidate-set bytes against `config.budget`. With a disabled
 /// token and unlimited budget the output is bit-identical to [`mine`].
 pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningResult, Interrupt> {
+    if config.counting == CountingStrategy::Auto {
+        // Resolve the adaptive strategy once, up front: sample the cheap
+        // workload statistics, run the pure policy, record the decision,
+        // and re-enter with a fixed strategy. Output is bit-identical to
+        // running the chosen strategy directly.
+        let stats = crate::strategy::WorkloadStats::sample(data, &config.budget);
+        let (chosen, grain) = crate::strategy::choose(stats);
+        let rec = &config.recorder;
+        rec.counter("mining/auto_choice", chosen.code());
+        rec.counter(&format!("mining/auto_choice/{}", chosen.name()), 1);
+        rec.counter(&format!("mining/auto_grain/{}", grain.name()), 1);
+        rec.counter("mining/auto_stats_transactions", stats.transactions as u64);
+        rec.counter("mining/auto_stats_items", stats.items as u64);
+        rec.counter("mining/auto_stats_total_entries", stats.total_entries as u64);
+        rec.counter("mining/auto_stats_density_ppm", stats.density_ppm());
+        if let Some(headroom) = stats.budget_headroom {
+            rec.counter("mining/auto_stats_budget_headroom", headroom as u64);
+        }
+        let resolved = config.clone().with_counting(chosen).with_grain(grain);
+        return try_mine(data, &resolved);
+    }
     let start = Instant::now();
     let rec = &config.recorder;
     let _alg_span = rec.span("apriori");
@@ -258,14 +329,17 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
         let _ = config.budget.reserve(candidate_bytes);
         let counts = match config.counting {
             CountingStrategy::HashSubset => {
-                count_hash_subset(data, &candidates, k, config.threads, &config.cancel)
+                count_hash_subset(data, &candidates, k, config.threads, config.grain, &config.cancel)
             }
             CountingStrategy::PrefixTrie => {
-                count_prefix_trie(data, &candidates, k, config.threads, &config.cancel)
+                count_prefix_trie(data, &candidates, k, config.threads, config.grain, &config.cancel)
             }
-            CountingStrategy::VerticalBitmap | CountingStrategy::Diffset => {
+            CountingStrategy::VerticalBitmap
+            | CountingStrategy::Diffset
+            | CountingStrategy::Hybrid => {
                 unreachable!("vertical strategies branch off before the horizontal loop")
             }
+            CountingStrategy::Auto => unreachable!("Auto resolves before mining starts"),
         };
         config.budget.release(candidate_bytes);
         let counts = counts?;
@@ -292,8 +366,8 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
     Ok(MiningResult { levels, stats })
 }
 
-/// The vertical engine behind [`CountingStrategy::VerticalBitmap`] and
-/// [`CountingStrategy::Diffset`].
+/// The vertical engine behind [`CountingStrategy::VerticalBitmap`],
+/// [`CountingStrategy::Diffset`] and [`CountingStrategy::Hybrid`].
 ///
 /// Pass 2 reuses `apriori_gen` and the KC/KC+ retain step verbatim (so
 /// the filter statistics are identical to the horizontal backends), then
@@ -352,10 +426,11 @@ fn try_mine_vertical(
         let _ = config.budget.reserve(candidate_bytes);
         let l1_items: Vec<ItemId> = levels[0].iter().map(|f| f.items[0]).collect();
         let kernel = crate::bitmap::TriangularC2::new(data.catalog.len(), &l1_items, &candidates);
-        let counts = count_chunked(data, candidates.len(), config.threads, &config.cancel, {
-            let kernel = &kernel;
-            move |chunk, counts| kernel.count_chunk(chunk, counts)
-        });
+        let counts =
+            count_chunked(data, candidates.len(), config.threads, config.grain, &config.cancel, {
+                let kernel = &kernel;
+                move |chunk, counts| kernel.count_chunk(chunk, counts)
+            });
         config.budget.release(candidate_bytes);
         let counts = counts?;
 
@@ -378,26 +453,37 @@ fn try_mine_vertical(
         robust::checkpoint(&config.cancel, rec)?;
         let deep_span = rec.span("vertical");
         let filter = config.combined_filter();
+        let mode = match config.counting {
+            CountingStrategy::VerticalBitmap => crate::bitmap::VerticalMode::Bitmap,
+            CountingStrategy::Diffset => crate::bitmap::VerticalMode::Diffset,
+            CountingStrategy::Hybrid => crate::bitmap::VerticalMode::Hybrid,
+            _ => unreachable!("vertical path entered with a horizontal strategy"),
+        };
         let outcome = crate::bitmap::mine_vertical_levels(
             data,
             &levels[0],
             &levels[1],
             threshold,
             &filter,
-            config.counting == CountingStrategy::Diffset,
+            mode,
             config.threads,
             &config.cancel,
             &config.budget,
         )?;
         drop(deep_span);
-        match config.counting {
-            CountingStrategy::VerticalBitmap => {
+        match mode {
+            crate::bitmap::VerticalMode::Bitmap => {
                 rec.counter("mining/bitmap_words", outcome.bitmap_words);
             }
-            CountingStrategy::Diffset => {
+            crate::bitmap::VerticalMode::Diffset => {
                 rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
             }
-            _ => unreachable!("vertical path entered with a horizontal strategy"),
+            crate::bitmap::VerticalMode::Hybrid => {
+                // Hybrid lives in both worlds: bitmaps at the first
+                // lattice level, diffsets below the flip.
+                rec.counter("mining/bitmap_words", outcome.bitmap_words);
+                rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
+            }
         }
         for (d, &attempts) in outcome.attempts_per_level.iter().enumerate() {
             let k = d + 3;
@@ -476,14 +562,16 @@ fn count_chunked(
     data: &TransactionSet,
     num_candidates: usize,
     threads: Threads,
+    grain: Grain,
     cancel: &CancelToken,
     count_chunk: impl Fn(&[Vec<ItemId>], &mut [u64]) + Sync,
 ) -> Result<Vec<u64>, Interrupt> {
-    // Fine grain: one transaction is cheap to count, so workers only pay
-    // off with thousands of transactions each.
+    // Fine grain by default: one transaction is cheap to count, so
+    // workers only pay off with thousands of transactions each. The
+    // auto policy may pick coarse for heavy rows.
     let counts = try_par_map_reduce_grained(
         threads,
-        Grain::Fine,
+        grain,
         cancel,
         "mining/apriori.count",
         data.transactions(),
@@ -510,6 +598,7 @@ fn count_hash_subset(
     candidates: &[Vec<ItemId>],
     k: usize,
     threads: Threads,
+    grain: Grain,
     cancel: &CancelToken,
 ) -> Result<Vec<u64>, Interrupt> {
     let mut index: HashMap<&[ItemId], usize> = HashMap::with_capacity(candidates.len());
@@ -518,7 +607,7 @@ fn count_hash_subset(
         index.insert(c.as_slice(), pos);
         live_items.extend(c.iter().copied());
     }
-    count_chunked(data, candidates.len(), threads, cancel, |chunk, counts| {
+    count_chunked(data, candidates.len(), threads, grain, cancel, |chunk, counts| {
         let mut filtered: Vec<ItemId> = Vec::new();
         let mut subset: Vec<ItemId> = Vec::with_capacity(k);
         for t in chunk {
@@ -570,6 +659,7 @@ fn count_prefix_trie(
     candidates: &[Vec<ItemId>],
     _k: usize,
     threads: Threads,
+    grain: Grain,
     cancel: &CancelToken,
 ) -> Result<Vec<u64>, Interrupt> {
     let mut root = TrieNode::default();
@@ -580,7 +670,7 @@ fn count_prefix_trie(
         }
         node.leaf = Some(pos);
     }
-    count_chunked(data, candidates.len(), threads, cancel, |chunk, counts| {
+    count_chunked(data, candidates.len(), threads, grain, cancel, |chunk, counts| {
         for t in chunk {
             walk_trie(&root, t, counts);
         }
@@ -665,7 +755,11 @@ mod tests {
             {
                 let base = AprioriConfig::apriori_kc(MinSupport::Count(support), filter);
                 let oracle = mine(&data, &base.clone().with_counting(CountingStrategy::HashSubset));
-                for strategy in [CountingStrategy::VerticalBitmap, CountingStrategy::Diffset] {
+                for strategy in [
+                    CountingStrategy::VerticalBitmap,
+                    CountingStrategy::Diffset,
+                    CountingStrategy::Hybrid,
+                ] {
                     let got = mine(&data, &base.clone().with_counting(strategy));
                     assert_eq!(oracle.levels, got.levels, "{strategy:?} support {support}");
                     assert_eq!(
@@ -685,10 +779,43 @@ mod tests {
             CountingStrategy::PrefixTrie,
             CountingStrategy::VerticalBitmap,
             CountingStrategy::Diffset,
+            CountingStrategy::Hybrid,
+            CountingStrategy::Auto,
         ] {
             assert_eq!(CountingStrategy::parse(s.name()), Ok(s));
+            assert!(CountingStrategy::ALL_NAMES.contains(&s.name()));
         }
-        assert!(CountingStrategy::parse("quantum").is_err());
+        let err = CountingStrategy::parse("quantum").unwrap_err();
+        for name in CountingStrategy::ALL_NAMES {
+            assert!(err.contains(name), "error must list {name:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_and_matches_the_oracle() {
+        let data = toy();
+        let oracle = mine(
+            &data,
+            &AprioriConfig::apriori(MinSupport::Count(2))
+                .with_counting(CountingStrategy::HashSubset),
+        );
+        let rec = Recorder::new();
+        let auto = mine(
+            &data,
+            &AprioriConfig::apriori(MinSupport::Count(2))
+                .with_counting(CountingStrategy::Auto)
+                .with_recorder(rec.clone()),
+        );
+        assert_eq!(oracle.levels, auto.levels);
+        let metrics = rec.snapshot();
+        let code = metrics.counter("mining/auto_choice").expect("decision recorded");
+        assert!(code > 0, "Auto must resolve to a fixed strategy");
+        assert_eq!(metrics.counter("mining/auto_stats_transactions"), Some(4));
+        assert_eq!(metrics.counter("mining/auto_stats_items"), Some(5));
+        // Degenerate 4-row toy data: the policy picks the trie, and the
+        // named-choice counter mirrors the code.
+        assert_eq!(code, CountingStrategy::PrefixTrie.code());
+        assert_eq!(metrics.counter("mining/auto_choice/prefix-trie"), Some(1));
     }
 
     #[test]

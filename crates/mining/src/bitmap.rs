@@ -10,14 +10,20 @@
 //!   and everything denser as a [`TidSet`], choosing the representation
 //!   per set so memory tracks density instead of database size;
 //! * [`TriangularC2`] + [`mine_vertical_levels`] — the vertical mining
-//!   engine behind the `bitmap` and `diffset` counting strategies: pass 2
-//!   counts **all** of C₂ in one streaming scan of the encoded
-//!   transactions through a triangular array indexed by item-pair rank
-//!   (built after the KC+ filters, so removed pairs never occupy a
+//!   engine behind the `bitmap`, `diffset` and `hybrid` counting
+//!   strategies: pass 2 counts **all** of C₂ in one streaming scan of the
+//!   encoded transactions through a triangular array indexed by item-pair
+//!   rank (built after the KC+ filters, so removed pairs never occupy a
 //!   counter), and deeper passes run an Eclat-style equivalence-class
 //!   DFS over materialised TID lists — or, in diffset mode, dEclat
 //!   *diffsets* (`d(P∪{y,z}) = d(P∪z) \ d(P∪y)`), whose memory is
-//!   proportional to support deltas rather than supports.
+//!   proportional to support deltas rather than supports. The hybrid mode
+//!   ([`VerticalMode::Hybrid`]) keeps the first lattice level on
+//!   word-packed bitmaps (bounded popcount joins), then flips each
+//!   equivalence class to diffsets below the first recursion level with
+//!   members rank-ordered by ascending support — the dEclat layout that
+//!   keeps every diffset small — so the expensive top-level
+//!   `t(x) \ t(y)` builds from full per-item TID vectors never happen.
 //!
 //! Every path is exact: the engine produces the same itemsets and
 //! supports as horizontal Apriori counting, bit for bit, at any thread
@@ -259,6 +265,32 @@ impl TidList {
         }
     }
 
+    /// The TIDs of `self` absent from `other`, ascending — the diffset
+    /// primitive lifted to every representation pair. For two dense lists
+    /// this is a word-wise `a & !b` with bit extraction; mixed and sparse
+    /// pairs fall back to merges, never materialising a bitmap.
+    pub fn difference_tids(&self, other: &TidList) -> Vec<u32> {
+        match (&self.repr, &other.repr) {
+            (TidRepr::Dense(a), TidRepr::Dense(b)) => {
+                let mut out = Vec::new();
+                for (w, &word) in a.words.iter().enumerate() {
+                    let mut bits = word & !b.words.get(w).copied().unwrap_or(0);
+                    while bits != 0 {
+                        let t = bits.trailing_zeros();
+                        out.push((w * 64) as u32 + t);
+                        bits &= bits - 1;
+                    }
+                }
+                out
+            }
+            (TidRepr::Sparse(tids), TidRepr::Dense(set)) => {
+                tids.iter().copied().filter(|&t| !set.contains(t as usize)).collect()
+            }
+            (TidRepr::Dense(_), TidRepr::Sparse(b)) => diff_sorted(&self.tids(), b),
+            (TidRepr::Sparse(a), TidRepr::Sparse(b)) => diff_sorted(a, b),
+        }
+    }
+
     /// Intersection with `other`, re-choosing the result's representation
     /// by its own density.
     pub fn intersect(&self, other: &TidList) -> TidList {
@@ -428,6 +460,25 @@ impl TriangularC2 {
     }
 }
 
+/// Which vertical payload the equivalence-class DFS carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerticalMode {
+    /// Materialised hybrid [`TidList`]s at every depth, joined by bounded
+    /// popcount / merge intersections.
+    Bitmap,
+    /// dEclat diffsets at every depth below pass 2, including the
+    /// expensive top-level `t(x) \ t(y)` builds from full per-item TID
+    /// vectors.
+    Diffset,
+    /// Bitmaps for the first lattice level (class members are pair TID
+    /// lists built by bounded popcount joins), then a flip to diffsets
+    /// below the first recursion level, with class members rank-ordered
+    /// by ascending support so later joins subtract the larger sets and
+    /// every diffset stays small. Output is bit-identical to both other
+    /// modes; only wall-clock and memory shape change.
+    Hybrid,
+}
+
 /// What [`mine_vertical_levels`] found beyond level 2.
 #[derive(Debug, Default)]
 pub struct VerticalOutcome {
@@ -442,13 +493,15 @@ pub struct VerticalOutcome {
     /// the `mining/bitmap_words` metric (0 in diffset mode).
     pub bitmap_words: u64,
     /// Total bytes across every materialised diffset — the
-    /// `mining/diffset_bytes` metric (0 in bitmap mode).
+    /// `mining/diffset_bytes` metric (0 in bitmap mode; hybrid reports
+    /// both this and `bitmap_words`).
     pub diffset_bytes: u64,
 }
 
 /// One equivalence-class member during the DFS: the item extending the
 /// class prefix, its support, and the vertical payload (a TID list in
-/// bitmap mode, a diffset in diffset mode).
+/// bitmap mode and at the top level of hybrid mode, a diffset in diffset
+/// mode and below the hybrid flip level).
 enum Member {
     Tids(ItemId, TidList),
     Diff(ItemId, u64, Vec<u32>),
@@ -461,20 +514,30 @@ impl Member {
             Member::Diff(item, _, _) => *item,
         }
     }
+
+    fn support(&self) -> u64 {
+        match self {
+            Member::Tids(_, t) => t.support(),
+            Member::Diff(_, support, _) => *support,
+        }
+    }
 }
 
 /// Mines every frequent itemset of size ≥ 3 from the frequent items `l1`
 /// and the frequent post-filter pairs `l2` by equivalence-class DFS over
-/// vertical structures — materialised hybrid [`TidList`]s when `diffsets`
-/// is false, dEclat diffsets when true.
+/// vertical structures, in the payload discipline chosen by `mode` —
+/// materialised hybrid [`TidList`]s, dEclat diffsets, or the
+/// bitmap-then-diffset hybrid (see [`VerticalMode`]).
 ///
 /// Classes (one per first item of an `l2` pair) are independent, so they
-/// fan out on the pool; per-class results are merged in item order, so
-/// the output — and every metric derived from it — is identical at any
-/// thread count. Memory for materialised lists is reserved against
-/// `budget` for the lifetime of each class (feeding the peak watermark)
-/// but never rejects work: the vertical engine is an exact counting
-/// backend, not a degradation point.
+/// fan out on the pool; per-class results are merged in item order and
+/// each output level is sorted lexicographically, so the output — and
+/// every metric derived from it — is identical at any thread count *and*
+/// for any member ordering a mode chooses internally (hybrid rank-orders
+/// members by ascending support). Memory for materialised lists is
+/// reserved against `budget` for the lifetime of each class (feeding the
+/// peak watermark) but never rejects work: the vertical engine is an
+/// exact counting backend, not a degradation point.
 #[allow(clippy::too_many_arguments)]
 pub fn mine_vertical_levels(
     data: &TransactionSet,
@@ -482,7 +545,7 @@ pub fn mine_vertical_levels(
     l2: &[FrequentItemset],
     threshold: u64,
     filter: &PairFilter,
-    diffsets: bool,
+    mode: VerticalMode,
     threads: Threads,
     cancel: &CancelToken,
     budget: &MemoryBudget,
@@ -509,9 +572,9 @@ pub fn mine_vertical_levels(
             }
         }
     }
-    // Bitmap mode materialises the hybrid per-item lists once, shared
-    // read-only by every class.
-    let item_lists: Vec<TidList> = if diffsets {
+    // Bitmap and hybrid modes materialise the hybrid per-item lists
+    // once, shared read-only by every class.
+    let item_lists: Vec<TidList> = if mode == VerticalMode::Diffset {
         Vec::new()
     } else {
         item_tids.iter().map(|tids| TidList::from_sorted_tids(n, tids.clone())).collect()
@@ -551,12 +614,12 @@ pub fn mine_vertical_levels(
             // Materialise the class members. Supports come from the
             // triangular pass-2 counts carried in `l2` — never recounted.
             let mut member_bytes = 0usize;
-            let members: Vec<Member> = pairs
+            let mut members: Vec<Member> = pairs
                 .iter()
                 .map(|pair| {
                     let z = pair.items[1];
                     let zr = rank[z as usize] as usize;
-                    if diffsets {
+                    if mode == VerticalMode::Diffset {
                         let d = diff_sorted(&item_tids[root_rank], &item_tids[zr]);
                         res.diffset_bytes += (d.len() * std::mem::size_of::<u32>()) as u64;
                         member_bytes += d.len() * std::mem::size_of::<u32>();
@@ -568,6 +631,14 @@ pub fn mine_vertical_levels(
                     }
                 })
                 .collect();
+            // Hybrid rank-orders members by ascending support so each
+            // member joins with larger-support partners, keeping the
+            // diffsets built at the flip level small. The item id breaks
+            // ties for determinism; the DFS enumerates the same itemset
+            // set in any member order, and emitted itemsets are sorted.
+            if mode == VerticalMode::Hybrid {
+                members.sort_by_key(|m| (m.support(), m.item()));
+            }
             // Track-only reservation for the lifetime of the class.
             let _ = budget.reserve(member_bytes);
             let root = pairs[0].items[0];
@@ -578,6 +649,7 @@ pub fn mine_vertical_levels(
                 0,
                 threshold,
                 filter,
+                mode,
                 budget,
                 &mut res.attempts,
                 &mut res.diffset_bytes,
@@ -624,6 +696,14 @@ pub fn mine_vertical_levels(
 /// pair inside `prefix ∪ {yᵢ}` was checked when its members entered a
 /// class, and `(p, yⱼ)` for `p ∈ prefix` was checked when `yⱼ` entered
 /// the *current* class.
+///
+/// In [`VerticalMode::Hybrid`] the TID-list level is depth 0 and every
+/// child class it produces is diffsets: the join counts on bitmaps with
+/// a bounded popcount, then builds `d(P∪{yᵢ,yⱼ}) = t(P∪yᵢ) \ t(P∪yⱼ)`
+/// directly from the two lists, skipping the full top-level
+/// `t(x) \ t(y)` vectors that pure diffset mode pays for. Because hybrid
+/// members are rank-ordered by support rather than item id, emitted
+/// itemsets are sorted before being pushed.
 #[allow(clippy::too_many_arguments)]
 fn extend_class(
     members: &[Member],
@@ -631,6 +711,7 @@ fn extend_class(
     depth: usize,
     threshold: u64,
     filter: &PairFilter,
+    mode: VerticalMode,
     budget: &MemoryBudget,
     attempts: &mut Vec<usize>,
     diffset_bytes: &mut u64,
@@ -639,6 +720,7 @@ fn extend_class(
     if attempts.len() <= depth {
         attempts.push(0);
     }
+    let flip = mode == VerticalMode::Hybrid;
     for i in 0..members.len() {
         let mut new_members: Vec<Member> = Vec::new();
         let mut new_bytes = 0usize;
@@ -658,10 +740,23 @@ fn extend_class(
                     let mut items = prefix.clone();
                     items.push(yi);
                     items.push(yj);
+                    if flip {
+                        items.sort_unstable();
+                    }
                     out.push(FrequentItemset { items, support });
-                    let joined = ti.intersect(tj);
-                    new_bytes += joined.approx_bytes();
-                    new_members.push(Member::Tids(yj, joined));
+                    if flip {
+                        // d(P∪{yᵢ,yⱼ}) = t(P∪yᵢ) \ t(P∪yⱼ), built from
+                        // the lists already in hand — no full per-item
+                        // TID vectors involved.
+                        let d = ti.difference_tids(tj);
+                        *diffset_bytes += (d.len() * std::mem::size_of::<u32>()) as u64;
+                        new_bytes += d.len() * std::mem::size_of::<u32>();
+                        new_members.push(Member::Diff(yj, support, d));
+                    } else {
+                        let joined = ti.intersect(tj);
+                        new_bytes += joined.approx_bytes();
+                        new_members.push(Member::Tids(yj, joined));
+                    }
                 }
                 (Member::Diff(_, sup_i, di), Member::Diff(_, _, dj)) => {
                     // d(P∪{yᵢ,yⱼ}) = d(P∪yⱼ) \ d(P∪yᵢ);
@@ -674,6 +769,9 @@ fn extend_class(
                     let mut items = prefix.clone();
                     items.push(yi);
                     items.push(yj);
+                    if flip {
+                        items.sort_unstable();
+                    }
                     out.push(FrequentItemset { items, support });
                     *diffset_bytes += (d.len() * std::mem::size_of::<u32>()) as u64;
                     new_bytes += d.len() * std::mem::size_of::<u32>();
@@ -691,6 +789,7 @@ fn extend_class(
                 depth + 1,
                 threshold,
                 filter,
+                mode,
                 budget,
                 attempts,
                 diffset_bytes,
@@ -768,6 +867,58 @@ mod tests {
         assert_eq!(joined.support(), 8);
         assert!(!joined.is_dense(), "8 of 4096 must shrink to the array form");
         assert_eq!(joined.tids(), (2040..2048).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sparse_factor_boundary_pins_representation_re_choice() {
+        // The auto policy reasons about density against SPARSE_FACTOR, so
+        // the exact boundary is a contract: a set of `count` TIDs over `n`
+        // transactions is sparse iff `count * SPARSE_FACTOR < n`.
+        let n = 4096;
+        let boundary = n / SPARSE_FACTOR; // 128: first dense cardinality
+        let below: Vec<u32> = (0..boundary as u32 - 1).collect();
+        let at: Vec<u32> = (0..boundary as u32).collect();
+        assert!(!list(n, &below).is_dense(), "count*32 < n must stay sparse");
+        assert!(list(n, &at).is_dense(), "count*32 == n must go dense");
+
+        // The same boundary governs re-choice after intersection: two
+        // dense inputs whose overlap straddles the threshold must land on
+        // the matching side.
+        let a: Vec<u32> = (0..2048).collect();
+        let hi_start = 2048 - boundary as u32;
+        let overlap_at = list(n, &a).intersect(&list(n, &(hi_start..4096).collect::<Vec<u32>>()));
+        assert_eq!(overlap_at.support(), boundary as u64);
+        assert!(overlap_at.is_dense(), "a boundary-sized result must re-choose dense");
+        let overlap_below =
+            list(n, &a).intersect(&list(n, &(hi_start + 1..4096).collect::<Vec<u32>>()));
+        assert_eq!(overlap_below.support(), boundary as u64 - 1);
+        assert!(!overlap_below.is_dense(), "one below the boundary must re-choose sparse");
+    }
+
+    #[test]
+    fn difference_tids_matches_diff_sorted_across_representations() {
+        let n = 2048;
+        let a_tids: Vec<u32> = (0..n as u32).filter(|t| t % 3 == 0).collect(); // dense
+        let b_tids: Vec<u32> = (0..n as u32).filter(|t| t % 5 == 0).collect(); // dense
+        let c_tids: Vec<u32> = (0..n as u32).filter(|t| t % 97 == 0).collect(); // sparse
+        let a = list(n, &a_tids);
+        let b = list(n, &b_tids);
+        let c = list(n, &c_tids);
+        assert!(a.is_dense() && b.is_dense() && !c.is_dense());
+        for (x, xt, y, yt) in [
+            (&a, &a_tids, &b, &b_tids), // dense \ dense
+            (&a, &a_tids, &c, &c_tids), // dense \ sparse
+            (&c, &c_tids, &a, &a_tids), // sparse \ dense
+            (&c, &c_tids, &c, &c_tids), // sparse \ sparse
+        ] {
+            assert_eq!(x.difference_tids(y), diff_sorted(xt, yt));
+        }
+        // Support arithmetic the hybrid flip relies on:
+        // sup(x∩y) = sup(x) − |t(x) \ t(y)|.
+        assert_eq!(
+            a.support() - a.difference_tids(&b).len() as u64,
+            a.intersection_count(&b)
+        );
     }
 
     #[test]

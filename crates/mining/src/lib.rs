@@ -9,7 +9,11 @@
 //!   removed from `C₂`, with two support-counting backends;
 //! * [`bitmap`] — vertical TID representations (word-packed bitsets, a
 //!   hybrid dense/sparse [`TidList`], dEclat diffsets) and the triangular
-//!   pass-2 kernel behind the `bitmap`/`diffset` counting strategies;
+//!   pass-2 kernel behind the `bitmap`/`diffset`/`hybrid` counting
+//!   strategies;
+//! * [`strategy`] — the workload-sampled policy behind
+//!   [`CountingStrategy::Auto`]: a pure [`choose`]`(`[`WorkloadStats`]`)`
+//!   mapping cheap encode-time statistics to a strategy + grain;
 //! * [`filter`] — the [`PairFilter`] abstraction: `Φ` dependency pairs
 //!   (KC) and same-feature-type pairs (KC+);
 //! * [`fpgrowth`] — FP-Growth with the same filter, demonstrating the
@@ -63,10 +67,12 @@ pub mod item;
 pub mod result;
 pub(crate) mod robust;
 pub mod rules;
+pub mod strategy;
 
 pub use apriori::{apriori_gen, mine, try_mine, AprioriConfig, CountingStrategy};
 pub use apriori_tid::{mine_apriori_tid, try_mine_apriori_tid, AprioriTidConfig};
-pub use bitmap::{diff_sorted, TidList, TidSet, TriangularC2, SPARSE_FACTOR};
+pub use bitmap::{diff_sorted, TidList, TidSet, TriangularC2, VerticalMode, SPARSE_FACTOR};
+pub use strategy::{choose, WorkloadStats};
 pub use closed::{closed_itemsets, maximal_itemsets};
 pub use eclat::{mine_eclat, try_mine_eclat, EclatConfig};
 pub use filter::PairFilter;

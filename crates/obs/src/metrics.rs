@@ -194,6 +194,20 @@ impl Metrics {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Counters whose name starts with `prefix`, in name order — how
+    /// families like `mining/auto_stats_*` are read back as a group.
+    /// `BTreeMap` range scan: cost is proportional to the matches, not
+    /// the counter population.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// All histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
@@ -318,6 +332,21 @@ mod tests {
         assert_eq!(ab.span("rows").unwrap().count, 2);
         assert_eq!(ab.span("rows").unwrap().total_ns, 750);
         assert_eq!(ab.histogram("row_len").unwrap().count, 2);
+    }
+
+    #[test]
+    fn counters_with_prefix_scans_the_family() {
+        let mut m = Metrics::new();
+        m.add_counter("mining/auto_choice", 5);
+        m.add_counter("mining/auto_stats_items", 17);
+        m.add_counter("mining/auto_stats_transactions", 60000);
+        m.add_counter("mining/bitmap_words", 99);
+        let family: Vec<(&str, u64)> = m.counters_with_prefix("mining/auto_stats_").collect();
+        assert_eq!(
+            family,
+            vec![("mining/auto_stats_items", 17), ("mining/auto_stats_transactions", 60000)]
+        );
+        assert_eq!(m.counters_with_prefix("nope/").count(), 0);
     }
 
     #[test]

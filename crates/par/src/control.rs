@@ -235,6 +235,20 @@ impl MemoryBudget {
     pub fn peak(&self) -> usize {
         self.inner.as_ref().map(|i| i.peak.load(Ordering::Relaxed)).unwrap_or(0)
     }
+
+    /// The configured byte limit, or `None` when unlimited.
+    pub fn limit(&self) -> Option<usize> {
+        self.inner.as_ref().map(|i| i.limit)
+    }
+
+    /// Bytes still available before the limit (saturating at 0), or
+    /// `None` when unlimited. A cheap planning input: strategy policies
+    /// read it to avoid picking a backend whose working set cannot fit.
+    pub fn headroom(&self) -> Option<usize> {
+        self.inner
+            .as_ref()
+            .map(|i| i.limit.saturating_sub(i.used.load(Ordering::Relaxed)))
+    }
 }
 
 /// RAII guard for a budget reservation: releases on drop. Obtained via

@@ -141,6 +141,14 @@ pub enum Grain {
 }
 
 impl Grain {
+    /// The policy/metric name of the grain.
+    pub fn name(self) -> &'static str {
+        match self {
+            Grain::Coarse => "coarse",
+            Grain::Fine => "fine",
+        }
+    }
+
     /// Fewest items a worker must receive for spawning it to pay off.
     fn min_items_per_worker(self) -> usize {
         match self {

@@ -43,7 +43,7 @@ code=$?
 set -e
 test "$code" -eq 5 || { echo "expected exit 5 on injected worker panic, got $code"; exit 1; }
 
-echo "==> strategy-equivalence gate (all counting backends bit-identical)"
+echo "==> strategy-equivalence gate (all counting backends incl. hybrid/auto bit-identical; choose() pure)"
 cargo test --release -q -p geopattern-integration --test strategy_equivalence
 cargo test --release -q -p geopattern-integration --test bitmap_properties
 
@@ -57,7 +57,7 @@ echo "==> experiments scaling (emits BENCH_scaling.json, default grid)"
 cargo run --release -q -p geopattern-bench --bin experiments -- scaling
 test -s BENCH_scaling.json
 
-echo "==> experiments counting smoke (emits BENCH_counting.json; bitmap must beat hash-subset)"
+echo "==> experiments counting smoke (emits BENCH_counting.json; bitmap > hash-subset, hybrid ≥ 3x hash-subset, auto ≤ 1.15x best fixed)"
 cargo run --release -q -p geopattern-bench --bin experiments -- counting --check
 test -s BENCH_counting.json
 
