@@ -53,9 +53,11 @@ use std::time::Instant;
 
 /// Writes a benchmark document to `BENCH_<name>.json` in the working
 /// directory (best-effort: a read-only directory only loses the artifact).
+/// The write is atomic (temp file + rename), so a crash mid-run never
+/// leaves a torn JSON document behind.
 fn write_bench(name: &str, json: &str) {
     let path = format!("BENCH_{name}.json");
-    match std::fs::write(&path, json) {
+    match geopattern_par::atomic_write(&path, json.as_bytes()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }

@@ -7,6 +7,7 @@
 //!                 [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets] [--rules]
 //!                 [--metrics json] [--timeout SECS] [--memory-budget BYTES]
 //!                 [--tile-size N] [--format wkt|gpb|auto]
+//!                 [--journal FILE] [--resume] [--max-retries N]
 //! geopattern generate-city [--grid 6] [--seed 1] [--out city.gpd] [--format wkt|gpb]
 //! geopattern relate <WKT_A> <WKT_B>
 //! geopattern gain --t 2,2,2 --n 2
@@ -19,18 +20,29 @@
 //! over an `N × N` spatial tile grid; the mined patterns are
 //! bit-identical to the flat (untiled) path.
 //!
+//! `--journal FILE` makes the run crash-safe: extraction tiles and mining
+//! levels append durable records as they complete, and `--resume` reopens
+//! the journal so a rerun skips everything already journaled — the
+//! resumed output is bit-identical to an uninterrupted run. The journal
+//! is fingerprinted over the output-affecting configuration; `--resume`
+//! against a journal from a different configuration is a configuration
+//! error (exit code 2). `--max-retries N` retries a run whose worker
+//! panicked, with capped exponential backoff; each retry resumes from the
+//! journal the failed attempt left behind.
+//!
 //! Exit codes: `0` success, `1` usage or I/O error, `2` invalid mining
 //! configuration, `3` unusable data (e.g. empty reference layer), `4` run
 //! cancelled or `--timeout` exceeded, `5` worker panic (isolated by the
-//! pool; the process still exits cleanly).
+//! pool; the process still exits cleanly), `6` retry budget exhausted.
 //!
 //! `GEOPATTERN_FAILPOINTS` (e.g. `mining/apriori.count=panic@1:42`)
 //! activates deterministic fault-injection points for testing — see
 //! `geopattern_testkit::failpoint`.
 
 use geopattern::{
-    from_gpb, to_gpb, Algorithm, CancelToken, CountingStrategy, ExtractionConfig, KnowledgeBase,
-    MemoryBudget, MiningPipeline, MinSupport, Recorder, SpatialDataset, Threads, Tiling,
+    atomic_write, fnv1a64, from_gpb, to_gpb, Algorithm, CancelToken, CountingStrategy,
+    ExtractionConfig, JobRunner, Journal, KnowledgeBase, MemoryBudget, MiningPipeline, MinSupport,
+    Recorder, SpatialDataset, Threads, Tiling,
 };
 use geopattern_datagen::{generate_city, CityConfig};
 use geopattern_geom::from_wkt;
@@ -98,7 +110,8 @@ fn print_usage() {
          geopattern mine <dataset.gpd|.gpb> [--minsup F] [--minconf F] [--algorithm A]\n                  \
          [--counting C] [--dep TYPE_A TYPE_B]... [--threads N|auto] [--itemsets]\n                  \
          [--rules] [--metrics json] [--timeout SECS] [--memory-budget BYTES]\n                  \
-         [--tile-size N] [--format wkt|gpb|auto]\n  \
+         [--tile-size N] [--format wkt|gpb|auto]\n                  \
+         [--journal FILE] [--resume] [--max-retries N]\n  \
          geopattern generate-city [--grid N] [--seed S] [--out FILE] [--format wkt|gpb]\n  \
          geopattern relate <WKT_A> <WKT_B>\n  \
          geopattern gain --t T1,T2,... --n N\n\n\
@@ -115,9 +128,13 @@ fn print_usage() {
          on stdout after the report (a partial report on interrupted runs).\n\
          --timeout SECS cancels the run at a deadline (exit code 4).\n\
          --memory-budget BYTES (suffixes k/m/g) degrades gracefully instead of failing:\n\
-         AprioriTid restarts as plain Apriori; Eclat / FP-Growth abandon branches.\n\n\
+         AprioriTid restarts as plain Apriori; Eclat / FP-Growth abandon branches.\n\
+         --journal FILE makes the run crash-safe (durable per-tile / per-level records);\n\
+         --resume reopens the journal and skips everything already journaled, with\n\
+         bit-identical output. --max-retries N retries worker panics with capped\n\
+         exponential backoff; each retry resumes from the shared journal.\n\n\
          EXIT CODES: 0 ok, 1 usage or I/O error, 2 invalid configuration, 3 unusable data,\n             \
-         4 cancelled or timed out, 5 worker panic"
+         4 cancelled or timed out, 5 worker panic, 6 retry budget exhausted"
     );
 }
 
@@ -240,15 +257,28 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         .unwrap_or(Threads::Auto);
     let show_itemsets = take_switch(&mut args, "--itemsets");
     let show_rules = take_switch(&mut args, "--rules");
-    let cancel = match take_flag(&mut args, "--timeout")? {
+    // Kept as a Duration (not a pre-built token): a retrying run needs a
+    // FRESH CancelToken per attempt — a token tripped by a panicking
+    // attempt would poison every retry.
+    let timeout = match take_flag(&mut args, "--timeout")? {
         Some(v) => {
             let secs: f64 = v.parse().map_err(|_| format!("bad --timeout {v:?}"))?;
-            let timeout = std::time::Duration::try_from_secs_f64(secs)
-                .map_err(|_| format!("bad --timeout {v:?} (want non-negative seconds)"))?;
-            CancelToken::with_timeout(timeout)
+            Some(
+                std::time::Duration::try_from_secs_f64(secs)
+                    .map_err(|_| format!("bad --timeout {v:?} (want non-negative seconds)"))?,
+            )
         }
-        None => CancelToken::none(),
+        None => None,
     };
+    let max_retries: u32 = take_flag(&mut args, "--max-retries")?
+        .map(|v| v.parse().map_err(|_| format!("bad --max-retries {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let journal_path = take_flag(&mut args, "--journal")?;
+    let resume = take_switch(&mut args, "--resume");
+    if resume && journal_path.is_none() {
+        return Err("--resume needs --journal FILE".into());
+    }
     let budget = match take_flag(&mut args, "--memory-budget")? {
         Some(v) => MemoryBudget::bytes(parse_bytes(&v)?),
         None => MemoryBudget::unlimited(),
@@ -292,23 +322,66 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
     let dataset = load_dataset(&path, &bytes, format)?;
     drop(load_span);
 
+    // The journal fingerprint covers every output-affecting knob, so a
+    // stale journal from a different configuration is rejected up front
+    // instead of silently seeding the wrong resume state.
+    let journal = match &journal_path {
+        Some(jp) => {
+            let fingerprint = fnv1a64(
+                format!(
+                    "{}|{minsup}|{minconf}|{}|{tile_size}|{path}",
+                    algorithm.name(),
+                    counting.name()
+                )
+                .as_bytes(),
+            );
+            // --resume opens strictly so a fingerprint mismatch (the
+            // configuration changed under the journal) fails loudly
+            // instead of silently starting over; a missing file just
+            // means nothing has been journaled yet.
+            let opened = if resume && std::path::Path::new(jp).exists() {
+                Journal::open(jp, fingerprint)
+            } else {
+                Journal::create(jp, fingerprint)
+            };
+            Some(opened.map_err(|e| {
+                let code = if e.kind() == std::io::ErrorKind::InvalidData { 2 } else { 1 };
+                CmdError { code, msg: format!("journal {jp}: {e}") }
+            })?)
+        }
+        None => None,
+    };
+
     let tiling = if tile_size > 0 {
         Tiling::Grid { tiles_per_axis: tile_size }
     } else {
         Tiling::Flat
     };
-    let outcome = MiningPipeline::new()
-        .algorithm(algorithm)
-        .min_support(MinSupport::Fraction(minsup))
-        .min_confidence(minconf)
-        .knowledge(knowledge)
-        .counting(counting)
-        .extraction(ExtractionConfig::default().with_tiling(tiling))
-        .threads(threads)
-        .recorder(recorder.clone())
-        .cancel_token(cancel)
-        .memory_budget(budget)
-        .run(&dataset);
+    let runner = JobRunner::new(max_retries).with_recorder(recorder.clone());
+    let outcome = runner.run(|_attempt| {
+        let cancel = match timeout {
+            Some(t) => CancelToken::with_timeout(t),
+            None => CancelToken::none(),
+        };
+        let mut pipeline = MiningPipeline::new()
+            .algorithm(algorithm)
+            .min_support(MinSupport::Fraction(minsup))
+            .min_confidence(minconf)
+            .knowledge(knowledge.clone())
+            .counting(counting)
+            .extraction(ExtractionConfig::default().with_tiling(tiling))
+            .threads(threads)
+            .recorder(recorder.clone())
+            .cancel_token(cancel)
+            .memory_budget(budget.clone());
+        if let Some(j) = &journal {
+            pipeline = pipeline.journal(j.clone());
+        }
+        pipeline.run(&dataset)
+    });
+    if let Some(j) = &journal {
+        recorder.counter("robust/journal_bytes", j.bytes());
+    }
     let report = match outcome {
         Ok(report) => report,
         Err(e) => {
@@ -342,7 +415,9 @@ fn cmd_mine(args: &[String]) -> Result<(), CmdError> {
         }
     }
     if metrics_format.is_some() {
-        println!("\nmetrics: {}", report.metrics().to_json());
+        // The live snapshot, not the report's: it includes counters
+        // recorded after the run finished (e.g. robust/journal_bytes).
+        println!("\nmetrics: {}", recorder.snapshot().to_json());
     }
     Ok(())
 }
@@ -373,7 +448,9 @@ fn cmd_generate_city(args: &[String]) -> Result<(), CmdError> {
     };
     match out {
         Some(path) => {
-            std::fs::write(&path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+            // Atomic temp-file + rename commit: a crash mid-write leaves
+            // either the old file or the new one, never a torn dataset.
+            atomic_write(&path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
             println!(
                 "wrote {path}: {} districts, {} relevant layers ({} bytes)",
                 city.reference.len(),

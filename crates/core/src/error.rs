@@ -45,12 +45,20 @@ pub enum Error {
         /// The panic payload, rendered as text.
         message: String,
     },
+    /// A [`crate::JobRunner`] exhausted its retry budget; `last` is the
+    /// error of the final attempt.
+    RetriesExhausted {
+        /// Total attempts made (initial run plus retries).
+        attempts: u32,
+        /// The final attempt's error.
+        last: Box<Error>,
+    },
 }
 
 impl Error {
     /// Stable process exit code for the CLI: configuration errors are `2`,
     /// data errors are `3`, cancelled or timed-out runs are `4`, isolated
-    /// worker panics are `5`.
+    /// worker panics are `5`, exhausted retry budgets are `6`.
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::InvalidMinConfidence(_)
@@ -59,6 +67,7 @@ impl Error {
             Error::EmptyReferenceLayer => 3,
             Error::Cancelled | Error::DeadlineExceeded => 4,
             Error::WorkerPanic { .. } => 5,
+            Error::RetriesExhausted { .. } => 6,
         }
     }
 }
@@ -94,6 +103,9 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded => write!(f, "deadline exceeded"),
             Error::WorkerPanic { stage, message } => {
                 write!(f, "worker panicked in stage {stage:?}: {message}")
+            }
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "job failed after {attempts} attempt(s); last error: {last}")
             }
         }
     }
@@ -133,5 +145,16 @@ mod tests {
         assert_eq!(panic.exit_code(), 5);
         assert!(panic.to_string().contains("mining/apriori.count"));
         assert!(panic.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn retries_exhausted_wraps_the_final_error() {
+        let e = Error::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(Error::WorkerPanic { stage: "mine".into(), message: "boom".into() }),
+        };
+        assert_eq!(e.exit_code(), 6);
+        assert!(e.to_string().contains("3 attempt(s)"));
+        assert!(e.to_string().contains("boom"));
     }
 }

@@ -96,11 +96,13 @@ pub mod convert;
 pub mod error;
 pub mod pipeline;
 pub mod report;
+pub mod runner;
 
 pub use convert::{dependency_filter, same_type_filter, to_transactions};
 pub use error::Error;
 pub use pipeline::{Algorithm, EncodedTransactions, ExtractedTable, MiningPipeline};
 pub use report::PatternReport;
+pub use runner::JobRunner;
 
 // Re-export the layer crates under stable names.
 pub use geopattern_datagen as datagen;
@@ -120,10 +122,12 @@ pub use geopattern_mining::{
 };
 pub use geopattern_geom::TileGrid;
 pub use geopattern_obs::{Metrics, Recorder};
-pub use geopattern_par::{CancelToken, Interrupt, MemoryBudget, ShardLog, Threads};
+pub use geopattern_par::{
+    atomic_write, fnv1a64, CancelToken, Interrupt, Journal, MemoryBudget, ShardLog, Threads,
+};
 pub use geopattern_qsr::{DistanceScheme, SpatialPredicate, TopologicalRelation};
 pub use geopattern_sdb::{
-    extract_predicates, from_gpb, to_gpb, ExtractionConfig, ExtractionStats, Feature,
+    extract_predicates, from_gpb, to_gpb, write_gpb, ExtractionConfig, ExtractionStats, Feature,
     FeatureTypeTaxonomy, GpbError, GpbReader, KnowledgeBase, Layer, Predicate, PredicateTable,
     SpatialDataset, TaxonomyError, Tiling,
 };

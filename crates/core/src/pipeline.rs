@@ -26,11 +26,21 @@ use geopattern_mining::{
     TransactionSet,
 };
 use geopattern_obs::Recorder;
-use geopattern_par::{CancelToken, MemoryBudget, Threads};
+use geopattern_par::{CancelToken, Journal, MemoryBudget, Threads};
 use geopattern_sdb::{
     extract_predicates, ExtractionConfig, ExtractionStats, FeatureTypeTaxonomy, KnowledgeBase,
     PredicateTable, SpatialDataset,
 };
+
+/// Attaches `journal` (when present) to a miner config via that config
+/// type's `with_journal` — keeps the nine algorithm branches in
+/// [`MiningPipeline::mine`] free of repeated `if let` noise.
+fn journaled<T>(journal: &Option<Journal>, config: T, attach: fn(T, Journal) -> T) -> T {
+    match journal {
+        Some(j) => attach(config, j.clone()),
+        None => config,
+    }
+}
 
 /// Which mining algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +125,7 @@ pub struct MiningPipeline {
     recorder: Recorder,
     cancel: CancelToken,
     budget: MemoryBudget,
+    journal: Option<Journal>,
 }
 
 impl Default for MiningPipeline {
@@ -131,6 +142,7 @@ impl Default for MiningPipeline {
             recorder: Recorder::disabled(),
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
+            journal: None,
         }
     }
 }
@@ -230,6 +242,22 @@ impl MiningPipeline {
         self
     }
 
+    /// Attaches a crash-recovery [`Journal`]: extraction tiles and mining
+    /// levels / classes / branches append durable records as they
+    /// complete, and a rerun over the same journal *resumes* — journaled
+    /// units are served from disk, only the missing tail is recomputed,
+    /// and the resumed output is bit-identical to an uninterrupted run at
+    /// any thread count. Metrics are NOT bit-identical on resume (skipped
+    /// units never re-record their per-pass counters); the
+    /// `robust/resume_*_skipped` counters say how much work the journal
+    /// saved. The journal must belong to the same configuration and data
+    /// (callers enforce this via the journal's fingerprint); mismatched
+    /// records are detected and degrade to recomputation.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// The [`ExtractionConfig`] the extraction stage actually runs:
     /// the configured predicate selection and tiling policy, with the
     /// control plane — threads, recorder, cancel token, memory budget —
@@ -244,12 +272,17 @@ impl MiningPipeline {
     /// and it matches every other stage (counting, mining), which always
     /// honoured the pipeline's settings.
     pub fn resolved_extraction(&self) -> ExtractionConfig {
-        self.extraction
+        let mut resolved = self
+            .extraction
             .clone()
             .with_threads(self.threads)
             .with_recorder(self.recorder.clone())
             .with_cancel(self.cancel.clone())
-            .with_budget(self.budget.clone())
+            .with_budget(self.budget.clone());
+        if let Some(journal) = &self.journal {
+            resolved = resolved.with_journal(journal.clone());
+        }
+        resolved
     }
 
     /// Validates the thresholds every mining entry point shares.
@@ -340,77 +373,113 @@ impl MiningPipeline {
         let result = match self.algorithm {
             Algorithm::Apriori => try_mine(
                 &transactions,
-                &AprioriConfig::apriori(self.min_support)
-                    .with_counting(self.counting)
-                    .with_threads(self.threads)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    AprioriConfig::apriori(self.min_support)
+                        .with_counting(self.counting)
+                        .with_threads(self.threads)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    AprioriConfig::with_journal,
+                ),
             )?,
             Algorithm::AprioriKc => try_mine(
                 &transactions,
-                &AprioriConfig::apriori_kc(self.min_support, deps)
-                    .with_counting(self.counting)
-                    .with_threads(self.threads)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    AprioriConfig::apriori_kc(self.min_support, deps)
+                        .with_counting(self.counting)
+                        .with_threads(self.threads)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    AprioriConfig::with_journal,
+                ),
             )?,
             Algorithm::AprioriKcPlus => try_mine(
                 &transactions,
-                &AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
-                    .with_counting(self.counting)
-                    .with_threads(self.threads)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    AprioriConfig::apriori_kc_plus(self.min_support, deps, same)
+                        .with_counting(self.counting)
+                        .with_threads(self.threads)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    AprioriConfig::with_journal,
+                ),
             )?,
             Algorithm::FpGrowth => try_mine_fp(
                 &transactions,
-                &FpGrowthConfig::new(self.min_support)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    FpGrowthConfig::new(self.min_support)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    FpGrowthConfig::with_journal,
+                ),
             )?,
             Algorithm::FpGrowthKcPlus => try_mine_fp(
                 &transactions,
-                &FpGrowthConfig::new(self.min_support)
-                    .with_filter(deps.union(&same))
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    FpGrowthConfig::new(self.min_support)
+                        .with_filter(deps.union(&same))
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    FpGrowthConfig::with_journal,
+                ),
             )?,
             Algorithm::Eclat => try_mine_eclat(
                 &transactions,
-                &EclatConfig::new(self.min_support)
-                    .with_threads(self.threads)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    EclatConfig::new(self.min_support)
+                        .with_threads(self.threads)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    EclatConfig::with_journal,
+                ),
             )?,
             Algorithm::EclatKcPlus => try_mine_eclat(
                 &transactions,
-                &EclatConfig::new(self.min_support)
-                    .with_filter(deps.union(&same))
-                    .with_threads(self.threads)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    EclatConfig::new(self.min_support)
+                        .with_filter(deps.union(&same))
+                        .with_threads(self.threads)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    EclatConfig::with_journal,
+                ),
             )?,
             Algorithm::AprioriTid => try_mine_apriori_tid(
                 &transactions,
-                &AprioriTidConfig::new(self.min_support)
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    AprioriTidConfig::new(self.min_support)
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    AprioriTidConfig::with_journal,
+                ),
             )?,
             Algorithm::AprioriTidKcPlus => try_mine_apriori_tid(
                 &transactions,
-                &AprioriTidConfig::new(self.min_support)
-                    .with_filter(deps.union(&same))
-                    .with_recorder(rec.clone())
-                    .with_cancel(cancel)
-                    .with_budget(budget),
+                &journaled(
+                    &self.journal,
+                    AprioriTidConfig::new(self.min_support)
+                        .with_filter(deps.union(&same))
+                        .with_recorder(rec.clone())
+                        .with_cancel(cancel)
+                        .with_budget(budget),
+                    AprioriTidConfig::with_journal,
+                ),
             )?,
         };
         drop(mine_span);

@@ -21,10 +21,13 @@
 
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
+use crate::journal;
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
 use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{try_par_map_reduce_grained, CancelToken, Grain, Interrupt, MemoryBudget, Threads};
+use geopattern_par::{
+    try_par_map_reduce_grained, CancelToken, Grain, Interrupt, Journal, MemoryBudget, Threads,
+};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -146,6 +149,16 @@ pub struct AprioriConfig {
     /// degradation target of last resort, so it only *tracks* its usage
     /// (feeding `robust/budget_bytes_peak`); it never degrades itself.
     pub budget: MemoryBudget,
+    /// Durable checkpoint journal. When set, every completed pass appends
+    /// its frequent level, and a new run over the same journal seeds the
+    /// level loop past the journaled prefix instead of recounting it — the
+    /// resumed output (itemsets, supports, statistics) is bit-identical to
+    /// an uninterrupted run. The caller is responsible for matching the
+    /// journal to the run (see [`Journal`]'s fingerprint); a journal whose
+    /// first level disagrees with the data is ignored and everything is
+    /// recomputed. Skipped passes are counted on
+    /// `robust/resume_levels_skipped` (journal-enabled runs only).
+    pub journal: Option<Journal>,
 }
 
 impl AprioriConfig {
@@ -161,6 +174,7 @@ impl AprioriConfig {
             recorder: Recorder::disabled(),
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
+            journal: None,
         }
     }
 
@@ -211,6 +225,12 @@ impl AprioriConfig {
     /// Attaches a memory budget (builder style).
     pub fn with_budget(mut self, budget: MemoryBudget) -> AprioriConfig {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a checkpoint journal (builder style).
+    pub fn with_journal(mut self, journal: Journal) -> AprioriConfig {
+        self.journal = Some(journal);
         self
     }
 
@@ -283,12 +303,65 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
 
     let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
 
-    if config.counting.is_vertical() {
-        return try_mine_vertical(data, config, threshold, stats, levels, start);
+    // Checkpoint/resume: the journal holds a contiguous completed-level
+    // prefix, validated against the freshly recomputed L₁ (a journal from
+    // different data or a mismatched configuration is discarded and the
+    // run recomputes everything). Each completed pass below appends its
+    // level, so a crashed run restarts at the first unfinished pass.
+    let journaled =
+        journal::level_prefix(config.journal.as_ref(), journal::APRIORI_LEVEL, &levels[0]);
+    if journaled.is_empty() {
+        if let Some(j) = &config.journal {
+            let _ = j.append(
+                journal::APRIORI_LEVEL,
+                1,
+                &journal::encode_level(journal::FLAG_LEVEL, num_items as u64, 0, 0, &levels[0]),
+            );
+        }
     }
 
-    let mut k = 2;
-    loop {
+    if config.counting.is_vertical() {
+        return try_mine_vertical(data, config, threshold, stats, levels, journaled, start);
+    }
+
+    // Seed the loop from the journaled prefix: each record beyond L₁
+    // replays exactly the statistics pushes its pass would have made, and
+    // a terminal record (empty level, empty candidate set, or completion
+    // marker) means there is nothing left to mine.
+    let mut complete = journaled.first().is_some_and(|r| r.is_terminal());
+    let mut skipped = 0u64;
+    for record in journaled.iter().skip(1) {
+        skipped += 1;
+        match record.flag {
+            journal::FLAG_NO_CANDIDATES => {
+                stats.candidates_per_level.push(record.candidates as usize);
+                stats.pairs_removed_dependencies = record.removed_dep as usize;
+                stats.pairs_removed_same_type = record.removed_same as usize;
+                complete = true;
+            }
+            journal::FLAG_LEVEL => {
+                stats.candidates_per_level.push(record.candidates as usize);
+                stats.frequent_per_level.push(record.itemsets.len());
+                stats.pairs_removed_dependencies = record.removed_dep as usize;
+                stats.pairs_removed_same_type = record.removed_same as usize;
+                if record.itemsets.is_empty() {
+                    complete = true;
+                } else {
+                    levels.push(record.itemsets.clone());
+                }
+            }
+            _ => complete = true,
+        }
+    }
+    if config.journal.is_some() {
+        rec.counter("robust/resume_levels_skipped", skipped);
+    }
+
+    let mut k = levels.len() + 1;
+    // `complete` is decided entirely by the journaled prefix; the loop
+    // itself only exits through its `break`s.
+    #[allow(clippy::while_immutable_condition)]
+    while !complete {
         // Pass boundary: the cooperative cancellation point of Listing 1's
         // outer loop, plus the sequential fail-point site.
         robust::fire("mining/apriori.pass", &config.cancel);
@@ -320,8 +393,22 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
         }
         stats.candidates_per_level.push(candidates.len());
         if candidates.is_empty() {
+            if let Some(j) = &config.journal {
+                let _ = j.append(
+                    journal::APRIORI_LEVEL,
+                    k as u64,
+                    &journal::encode_level(
+                        journal::FLAG_NO_CANDIDATES,
+                        0,
+                        stats.pairs_removed_dependencies as u64,
+                        stats.pairs_removed_same_type as u64,
+                        &[],
+                    ),
+                );
+            }
             break;
         }
+        let num_candidates = candidates.len();
 
         // Track (never reject: Apriori is the fallback of last resort) the
         // candidate set against the budget for the duration of the pass.
@@ -352,6 +439,19 @@ pub fn try_mine(data: &TransactionSet, config: &AprioriConfig) -> Result<MiningR
             .collect();
         rec.counter(&format!("apriori.pass{k}.frequent"), lk.len() as u64);
         stats.frequent_per_level.push(lk.len());
+        if let Some(j) = &config.journal {
+            let _ = j.append(
+                journal::APRIORI_LEVEL,
+                k as u64,
+                &journal::encode_level(
+                    journal::FLAG_LEVEL,
+                    num_candidates as u64,
+                    stats.pairs_removed_dependencies as u64,
+                    stats.pairs_removed_same_type as u64,
+                    &lk,
+                ),
+            );
+        }
         if lk.is_empty() {
             break;
         }
@@ -383,10 +483,52 @@ fn try_mine_vertical(
     threshold: u64,
     mut stats: MiningStats,
     mut levels: Vec<Vec<FrequentItemset>>,
+    journaled: Vec<journal::LevelRecord>,
     start: Instant,
 ) -> Result<MiningResult, Interrupt> {
     let rec = &config.recorder;
+
+    // Resume granularity here is the lattice level: a journaled L₂ skips
+    // pass 2, and a journal ending in a terminal record replays the whole
+    // descent. An *incomplete* descent (crash below pass 2) is redone from
+    // L₂ — its per-level records are only written together with the
+    // completion marker, so they never form an unfinished tail.
+    let run_complete = journaled.last().is_some_and(|r| r.is_terminal());
+    let usable = if run_complete { journaled.len() } else { journaled.len().min(2) };
+    let mut skipped = 0u64;
+    for record in journaled.iter().take(usable).skip(1) {
+        skipped += 1;
+        match record.flag {
+            journal::FLAG_NO_CANDIDATES => {
+                stats.candidates_per_level.push(record.candidates as usize);
+                stats.pairs_removed_dependencies = record.removed_dep as usize;
+                stats.pairs_removed_same_type = record.removed_same as usize;
+            }
+            journal::FLAG_LEVEL => {
+                stats.candidates_per_level.push(record.candidates as usize);
+                stats.frequent_per_level.push(record.itemsets.len());
+                stats.pairs_removed_dependencies = record.removed_dep as usize;
+                stats.pairs_removed_same_type = record.removed_same as usize;
+                if !record.itemsets.is_empty() {
+                    levels.push(record.itemsets.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    if config.journal.is_some() {
+        rec.counter("robust/resume_levels_skipped", skipped);
+    }
+
     'mining: {
+        if run_complete {
+            break 'mining;
+        }
+        if levels.len() >= 2 {
+            // L₂ came from the journal; go straight to the descent.
+            vertical_descent(data, config, threshold, &mut stats, &mut levels)?;
+            break 'mining;
+        }
         // Pass-2 boundary: same fail-point and cancellation cadence as
         // the horizontal loop.
         robust::fire("mining/apriori.pass", &config.cancel);
@@ -419,8 +561,22 @@ fn try_mine_vertical(
         rec.counter("mining/c2_pairs_filtered", (before - candidates.len()) as u64);
         stats.candidates_per_level.push(candidates.len());
         if candidates.is_empty() {
+            if let Some(j) = &config.journal {
+                let _ = j.append(
+                    journal::APRIORI_LEVEL,
+                    2,
+                    &journal::encode_level(
+                        journal::FLAG_NO_CANDIDATES,
+                        0,
+                        stats.pairs_removed_dependencies as u64,
+                        stats.pairs_removed_same_type as u64,
+                        &[],
+                    ),
+                );
+            }
             break 'mining;
         }
+        let num_candidates = candidates.len();
 
         let candidate_bytes = robust::nested_vec_bytes(&candidates);
         let _ = config.budget.reserve(candidate_bytes);
@@ -442,60 +598,25 @@ fn try_mine_vertical(
             .collect();
         rec.counter("apriori.pass2.frequent", l2.len() as u64);
         stats.frequent_per_level.push(l2.len());
+        if let Some(j) = &config.journal {
+            let _ = j.append(
+                journal::APRIORI_LEVEL,
+                2,
+                &journal::encode_level(
+                    journal::FLAG_LEVEL,
+                    num_candidates as u64,
+                    stats.pairs_removed_dependencies as u64,
+                    stats.pairs_removed_same_type as u64,
+                    &l2,
+                ),
+            );
+        }
         drop(pass_span);
         if l2.is_empty() {
             break 'mining;
         }
         levels.push(l2);
-
-        // Passes 3 and up in one vertical descent.
-        robust::fire("mining/apriori.pass", &config.cancel);
-        robust::checkpoint(&config.cancel, rec)?;
-        let deep_span = rec.span("vertical");
-        let filter = config.combined_filter();
-        let mode = match config.counting {
-            CountingStrategy::VerticalBitmap => crate::bitmap::VerticalMode::Bitmap,
-            CountingStrategy::Diffset => crate::bitmap::VerticalMode::Diffset,
-            CountingStrategy::Hybrid => crate::bitmap::VerticalMode::Hybrid,
-            _ => unreachable!("vertical path entered with a horizontal strategy"),
-        };
-        let outcome = crate::bitmap::mine_vertical_levels(
-            data,
-            &levels[0],
-            &levels[1],
-            threshold,
-            &filter,
-            mode,
-            config.threads,
-            &config.cancel,
-            &config.budget,
-        )?;
-        drop(deep_span);
-        match mode {
-            crate::bitmap::VerticalMode::Bitmap => {
-                rec.counter("mining/bitmap_words", outcome.bitmap_words);
-            }
-            crate::bitmap::VerticalMode::Diffset => {
-                rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
-            }
-            crate::bitmap::VerticalMode::Hybrid => {
-                // Hybrid lives in both worlds: bitmaps at the first
-                // lattice level, diffsets below the flip.
-                rec.counter("mining/bitmap_words", outcome.bitmap_words);
-                rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
-            }
-        }
-        for (d, &attempts) in outcome.attempts_per_level.iter().enumerate() {
-            let k = d + 3;
-            rec.counter(&format!("apriori.pass{k}.candidates"), attempts as u64);
-            stats.candidates_per_level.push(attempts);
-            let frequent = outcome.levels.get(d).map(Vec::len).unwrap_or(0);
-            rec.counter(&format!("apriori.pass{k}.frequent"), frequent as u64);
-            stats.frequent_per_level.push(frequent);
-        }
-        // Downward closure means no gaps: every non-empty level extends
-        // the previous one.
-        levels.extend(outcome.levels.into_iter().filter(|l| !l.is_empty()));
+        vertical_descent(data, config, threshold, &mut stats, &mut levels)?;
     }
 
     rec.counter("apriori.passes", levels.len() as u64);
@@ -503,6 +624,99 @@ fn try_mine_vertical(
     robust::record_budget_peak(&config.budget, rec);
     stats.duration = start.elapsed();
     Ok(MiningResult { levels, stats })
+}
+
+/// Passes 3 and up in one vertical descent over TID structures, appended
+/// to `levels`/`stats` in place. When a journal is configured, the
+/// descent's per-level records and the run-completion marker are written
+/// *after* the descent finishes — an interrupted descent leaves only the
+/// journaled L₂ behind and is redone from there on resume.
+fn vertical_descent(
+    data: &TransactionSet,
+    config: &AprioriConfig,
+    threshold: u64,
+    stats: &mut MiningStats,
+    levels: &mut Vec<Vec<FrequentItemset>>,
+) -> Result<(), Interrupt> {
+    let rec = &config.recorder;
+    robust::fire("mining/apriori.pass", &config.cancel);
+    robust::checkpoint(&config.cancel, rec)?;
+    let deep_span = rec.span("vertical");
+    let filter = config.combined_filter();
+    let mode = match config.counting {
+        CountingStrategy::VerticalBitmap => crate::bitmap::VerticalMode::Bitmap,
+        CountingStrategy::Diffset => crate::bitmap::VerticalMode::Diffset,
+        CountingStrategy::Hybrid => crate::bitmap::VerticalMode::Hybrid,
+        _ => unreachable!("vertical path entered with a horizontal strategy"),
+    };
+    let outcome = crate::bitmap::mine_vertical_levels(
+        data,
+        &levels[0],
+        &levels[1],
+        threshold,
+        &filter,
+        mode,
+        config.threads,
+        &config.cancel,
+        &config.budget,
+    )?;
+    drop(deep_span);
+    match mode {
+        crate::bitmap::VerticalMode::Bitmap => {
+            rec.counter("mining/bitmap_words", outcome.bitmap_words);
+        }
+        crate::bitmap::VerticalMode::Diffset => {
+            rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
+        }
+        crate::bitmap::VerticalMode::Hybrid => {
+            // Hybrid lives in both worlds: bitmaps at the first
+            // lattice level, diffsets below the flip.
+            rec.counter("mining/bitmap_words", outcome.bitmap_words);
+            rec.counter("mining/diffset_bytes", outcome.diffset_bytes);
+        }
+    }
+    for (d, &attempts) in outcome.attempts_per_level.iter().enumerate() {
+        let k = d + 3;
+        rec.counter(&format!("apriori.pass{k}.candidates"), attempts as u64);
+        stats.candidates_per_level.push(attempts);
+        let frequent = outcome.levels.get(d).map(Vec::len).unwrap_or(0);
+        rec.counter(&format!("apriori.pass{k}.frequent"), frequent as u64);
+        stats.frequent_per_level.push(frequent);
+    }
+    if let Some(j) = &config.journal {
+        // One record per *attempted* depth (matching the statistics loop
+        // above — the deepest attempt may have found nothing), then the
+        // completion marker at the next contiguous shard.
+        for (d, &attempts) in outcome.attempts_per_level.iter().enumerate() {
+            let level = outcome.levels.get(d).map(Vec::as_slice).unwrap_or(&[]);
+            let _ = j.append(
+                journal::APRIORI_LEVEL,
+                (d + 3) as u64,
+                &journal::encode_level(
+                    journal::FLAG_LEVEL,
+                    attempts as u64,
+                    stats.pairs_removed_dependencies as u64,
+                    stats.pairs_removed_same_type as u64,
+                    level,
+                ),
+            );
+        }
+        let _ = j.append(
+            journal::APRIORI_LEVEL,
+            (outcome.attempts_per_level.len() + 3) as u64,
+            &journal::encode_level(
+                journal::FLAG_COMPLETE,
+                0,
+                stats.pairs_removed_dependencies as u64,
+                stats.pairs_removed_same_type as u64,
+                &[],
+            ),
+        );
+    }
+    // Downward closure means no gaps: every non-empty level extends
+    // the previous one.
+    levels.extend(outcome.levels.into_iter().filter(|l| !l.is_empty()));
+    Ok(())
 }
 
 /// The `apriori_gen` candidate generator: join `L(k−1)` with itself on the

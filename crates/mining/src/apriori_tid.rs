@@ -15,10 +15,11 @@
 use crate::apriori::{self, AprioriConfig};
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
+use crate::journal;
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
 use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{CancelToken, Interrupt, MemoryBudget};
+use geopattern_par::{CancelToken, Interrupt, Journal, MemoryBudget};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -41,6 +42,12 @@ pub struct AprioriTidConfig {
     /// by plain Apriori (identical output, bounded memory), counted in
     /// `stats.degradations` and `robust/degradations`.
     pub budget: MemoryBudget,
+    /// Optional crash-recovery journal. Completed passes append a level
+    /// record under `apriori_tid/level`; a resumed run seeds the level loop
+    /// past the journaled prefix (rebuilding `C̄ₖ` with one containment
+    /// scan) and produces bit-identical output. A journal whose L1 does not
+    /// match the recomputed L1 is ignored. Disabled by default.
+    pub journal: Option<Journal>,
 }
 
 impl AprioriTidConfig {
@@ -52,6 +59,7 @@ impl AprioriTidConfig {
             recorder: Recorder::disabled(),
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
+            journal: None,
         }
     }
 
@@ -76,6 +84,12 @@ impl AprioriTidConfig {
     /// Attaches a memory budget (builder style).
     pub fn with_budget(mut self, budget: MemoryBudget) -> AprioriTidConfig {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a crash-recovery journal (builder style).
+    pub fn with_journal(mut self, journal: Journal) -> AprioriTidConfig {
+        self.journal = Some(journal);
         self
     }
 }
@@ -123,7 +137,7 @@ pub fn try_mine_apriori_tid(
             // pairs exactly as AprioriTid's does (counted under the same
             // same_type statistic), and plain Apriori's per-pass candidate
             // sets only ride the budget as tracking, never rejection.
-            let fallback = AprioriConfig::apriori_kc_plus(
+            let mut fallback = AprioriConfig::apriori_kc_plus(
                 config.min_support,
                 PairFilter::none(),
                 config.filter.clone(),
@@ -131,6 +145,12 @@ pub fn try_mine_apriori_tid(
             .with_recorder(config.recorder.clone())
             .with_cancel(config.cancel.clone())
             .with_budget(config.budget.clone());
+            // The fallback journals under its own `apriori/level` kind, so a
+            // resumed degraded run replays the degradation deterministically
+            // and then resumes the Apriori levels.
+            if let Some(j) = &config.journal {
+                fallback = fallback.with_journal(j.clone());
+            }
             let mut result = apriori::try_mine(data, &fallback)?;
             result.stats.degradations += 1;
             Ok(result)
@@ -170,19 +190,83 @@ fn mine_tid_within_budget(
     rec.counter("apriori_tid.pass1.candidates", num_items as u64);
     rec.counter("apriori_tid.pass1.frequent", l1.len() as u64);
 
-    // C̄₁: per transaction, the sorted list of frequent-1-candidate indices.
-    let l1_index: Vec<Option<usize>> = {
-        let mut map = vec![None; num_items];
-        for (pos, f) in l1.iter().enumerate() {
-            map[f.items[0] as usize] = Some(pos);
+    // Checkpoint/resume: consume the journaled prefix (if any) before
+    // building the transformed database, so a completed run never pays for
+    // `C̄₁` again.
+    let journaled = journal::level_prefix(config.journal.as_ref(), journal::TID_LEVEL, &l1);
+    if journaled.is_empty() {
+        if let Some(j) = &config.journal {
+            let _ = j.append(
+                journal::TID_LEVEL,
+                1,
+                &journal::encode_level(journal::FLAG_LEVEL, num_items as u64, 0, 0, &l1),
+            );
         }
-        map
+    }
+    let mut complete = journaled.first().is_some_and(|r| r.is_terminal());
+    let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
+    let mut skipped = 0u64;
+    for record in journaled.iter().skip(1) {
+        skipped += 1;
+        match record.flag {
+            journal::FLAG_NO_CANDIDATES => {
+                stats.candidates_per_level.push(record.candidates as usize);
+                stats.pairs_removed_same_type = record.removed_same as usize;
+                complete = true;
+            }
+            journal::FLAG_LEVEL => {
+                stats.candidates_per_level.push(record.candidates as usize);
+                stats.frequent_per_level.push(record.itemsets.len());
+                stats.pairs_removed_same_type = record.removed_same as usize;
+                if record.itemsets.is_empty() {
+                    complete = true;
+                } else {
+                    levels.push(record.itemsets.clone());
+                }
+            }
+            _ => complete = true,
+        }
+    }
+    if config.journal.is_some() {
+        rec.counter("robust/resume_levels_skipped", skipped);
+    }
+    if complete {
+        robust::record_budget_peak(&config.budget, rec);
+        stats.duration = start.elapsed();
+        return Ok(TidOutcome::Done(MiningResult { levels, stats }));
+    }
+
+    // C̄ at the resume point: on a fresh run, C̄₁ — per transaction, the
+    // sorted list of frequent-1-candidate indices. On resume, one
+    // containment scan rebuilds the entries as positions into the last
+    // journaled frequent level (ascending, matching the remap order an
+    // uninterrupted run would have produced).
+    let mut cbar: Vec<Vec<usize>> = if levels.len() == 1 {
+        let l1_index: Vec<Option<usize>> = {
+            let mut map = vec![None; num_items];
+            for (pos, f) in levels[0].iter().enumerate() {
+                map[f.items[0] as usize] = Some(pos);
+            }
+            map
+        };
+        data.transactions()
+            .iter()
+            .map(|t| t.iter().filter_map(|&i| l1_index[i as usize]).collect())
+            .collect()
+    } else {
+        let last = levels.last().expect("levels is never empty");
+        data.transactions()
+            .iter()
+            .map(|t| {
+                let present: HashSet<ItemId> = t.iter().copied().collect();
+                last.iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.items.iter().all(|i| present.contains(i)))
+                    .map(|(pos, _)| pos)
+                    .collect()
+            })
+            .collect()
     };
-    let mut cbar: Vec<Vec<usize>> = data
-        .transactions()
-        .iter()
-        .map(|t| t.iter().filter_map(|&i| l1_index[i as usize]).collect())
-        .collect();
 
     // The transformed database is the structure that can outgrow memory;
     // keep its current size reserved against the budget for the whole run.
@@ -192,8 +276,7 @@ fn mine_tid_within_budget(
         return Ok(TidOutcome::Degrade);
     }
 
-    let mut levels: Vec<Vec<FrequentItemset>> = vec![l1];
-    let mut k = 2usize;
+    let mut k = levels.len() + 1;
 
     loop {
         robust::fire("mining/apriori_tid.pass", &config.cancel);
@@ -204,6 +287,21 @@ fn mine_tid_within_budget(
         let _pass_span = rec.span(&format!("pass{k}"));
         let prev = &levels[k - 2];
         if prev.len() < 2 {
+            // No join is possible; mark the run complete (this exit pushes
+            // no per-pass statistics, so a bare completion record suffices).
+            if let Some(j) = &config.journal {
+                let _ = j.append(
+                    journal::TID_LEVEL,
+                    k as u64,
+                    &journal::encode_level(
+                        journal::FLAG_COMPLETE,
+                        0,
+                        stats.pairs_removed_dependencies as u64,
+                        stats.pairs_removed_same_type as u64,
+                        &[],
+                    ),
+                );
+            }
             break;
         }
         // Join step over the previous *frequent* list (lexicographic).
@@ -257,6 +355,19 @@ fn mine_tid_within_budget(
         }
         stats.candidates_per_level.push(candidates.len());
         if candidates.is_empty() {
+            if let Some(j) = &config.journal {
+                let _ = j.append(
+                    journal::TID_LEVEL,
+                    k as u64,
+                    &journal::encode_level(
+                        journal::FLAG_NO_CANDIDATES,
+                        0,
+                        stats.pairs_removed_dependencies as u64,
+                        stats.pairs_removed_same_type as u64,
+                        &[],
+                    ),
+                );
+            }
             break;
         }
 
@@ -288,6 +399,19 @@ fn mine_tid_within_budget(
         }
         rec.counter(&format!("apriori_tid.pass{k}.frequent"), lk.len() as u64);
         stats.frequent_per_level.push(lk.len());
+        if let Some(j) = &config.journal {
+            let _ = j.append(
+                journal::TID_LEVEL,
+                k as u64,
+                &journal::encode_level(
+                    journal::FLAG_LEVEL,
+                    candidates.len() as u64,
+                    stats.pairs_removed_dependencies as u64,
+                    stats.pairs_removed_same_type as u64,
+                    &lk,
+                ),
+            );
+        }
         if lk.is_empty() {
             break;
         }

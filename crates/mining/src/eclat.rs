@@ -10,10 +10,12 @@
 
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
+use crate::journal;
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
 use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{try_par_map, CancelToken, Interrupt, MemoryBudget, Threads};
+use geopattern_par::{try_par_map, CancelToken, Interrupt, Journal, MemoryBudget, Threads};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 pub use crate::bitmap::TidSet;
@@ -40,6 +42,12 @@ pub struct EclatConfig {
     /// extensions are skipped — a lossy degradation counted per branch in
     /// `stats.degradations` and `robust/degradations`.
     pub budget: MemoryBudget,
+    /// Optional crash-recovery journal. Each completed equivalence class
+    /// appends its itemsets under `eclat/class` keyed by the class's
+    /// position in the frequent-1 list; a resumed run serves journaled
+    /// classes from the record instead of re-searching them. Disabled by
+    /// default.
+    pub journal: Option<Journal>,
 }
 
 impl EclatConfig {
@@ -52,6 +60,7 @@ impl EclatConfig {
             recorder: Recorder::disabled(),
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
+            journal: None,
         }
     }
 
@@ -82,6 +91,12 @@ impl EclatConfig {
     /// Attaches a memory budget (builder style).
     pub fn with_budget(mut self, budget: MemoryBudget) -> EclatConfig {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a crash-recovery journal (builder style).
+    pub fn with_journal(mut self, journal: Journal) -> EclatConfig {
+        self.journal = Some(journal);
         self
     }
 }
@@ -137,12 +152,28 @@ pub fn try_mine_eclat(
     // branches alongside its itemsets so the degradation total is summed
     // in item order — deterministic at any thread count.
     let search_span = rec.span("search");
+    let resumed = AtomicU64::new(0);
     let per_prefix = try_par_map(
         config.threads,
         &config.cancel,
         "mining/eclat.class",
         &frequent,
         |pos, (item, set)| {
+            // A journaled class is served from its record — no re-search,
+            // and the class's fail sites never fire. The record's root
+            // itemset must match the recomputed one or it is ignored.
+            if let Some(j) = &config.journal {
+                if let Some(payload) = j.lookup(journal::ECLAT_CLASS, pos as u64) {
+                    if let Some((out, aborted)) = journal::decode_class(&payload) {
+                        let root =
+                            FrequentItemset { items: vec![*item], support: set.count() };
+                        if out.first() == Some(&root) {
+                            resumed.fetch_add(1, Ordering::Relaxed);
+                            return (out, aborted as usize);
+                        }
+                    }
+                }
+            }
             robust::fire("mining/eclat.class", &config.cancel);
             let mut out: Vec<FrequentItemset> =
                 vec![FrequentItemset { items: vec![*item], support: set.count() }];
@@ -158,10 +189,25 @@ pub fn try_mine_eclat(
                 &mut aborted,
                 &mut out,
             );
+            // Journal the completed class as a side effect: the pool
+            // discards all output on interrupt, so only records that reach
+            // the file persist — and a half-run leaves a usable prefix.
+            if !config.cancel.interrupted() {
+                if let Some(j) = &config.journal {
+                    let _ = j.append(
+                        journal::ECLAT_CLASS,
+                        pos as u64,
+                        &journal::encode_class(aborted as u64, &out),
+                    );
+                }
+            }
             (out, aborted)
         },
     )?;
     drop(search_span);
+    if config.journal.is_some() {
+        rec.counter("robust/resume_classes_skipped", resumed.load(Ordering::Relaxed));
+    }
     // Per-class itemset counts, recorded in item order after the ordered
     // merge so the histogram is identical for every thread count.
     let mut degradations = 0usize;

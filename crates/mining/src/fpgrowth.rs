@@ -12,10 +12,11 @@
 
 use crate::filter::PairFilter;
 use crate::item::{ItemId, TransactionSet};
+use crate::journal;
 use crate::result::{FrequentItemset, MiningResult, MiningStats, MinSupport};
 use crate::robust;
 use geopattern_obs::Recorder;
-use geopattern_par::{ApproxBytes, CancelToken, Interrupt, MemoryBudget};
+use geopattern_par::{ApproxBytes, CancelToken, Interrupt, Journal, MemoryBudget};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -37,6 +38,12 @@ pub struct FpGrowthConfig {
     /// aborted (the pattern itself is kept) — a lossy degradation counted
     /// per branch in `stats.degradations` and `robust/degradations`.
     pub budget: MemoryBudget,
+    /// Optional crash-recovery journal. Each completed top-level prefix
+    /// branch appends its itemsets under `fpgrowth/branch` keyed by the
+    /// branch's position in the growth order; a resumed run serves
+    /// journaled branches from the record instead of re-growing them.
+    /// Disabled by default.
+    pub journal: Option<Journal>,
 }
 
 impl FpGrowthConfig {
@@ -48,6 +55,7 @@ impl FpGrowthConfig {
             recorder: Recorder::disabled(),
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
+            journal: None,
         }
     }
 
@@ -72,6 +80,12 @@ impl FpGrowthConfig {
     /// Attaches a memory budget (builder style).
     pub fn with_budget(mut self, budget: MemoryBudget) -> FpGrowthConfig {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a crash-recovery journal (builder style).
+    pub fn with_journal(mut self, journal: Journal) -> FpGrowthConfig {
+        self.journal = Some(journal);
         self
     }
 }
@@ -217,17 +231,85 @@ pub fn try_mine_fp(
         .filter(|&(_, c)| c >= threshold)
         .collect();
     let mut degradations = 0usize;
-    let grown = fp_mine(
-        &tree,
-        &item_counts,
-        threshold,
-        config,
-        &[],
-        &mut degradations,
-        &mut found,
-    );
+    // The top level of `fp_mine`, unrolled so every prefix branch is a
+    // journaling unit: a completed branch's itemsets (and aborted-branch
+    // count) persist under `fpgrowth/branch` keyed by growth position, and
+    // a resumed run serves them from the record instead of re-growing.
+    robust::fire("mining/fpgrowth.grow", &config.cancel);
+    robust::checkpoint(&config.cancel, rec)?;
+    let mut items: Vec<(&ItemId, &u64)> = item_counts.iter().collect();
+    items.sort_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)));
+    let mut resumed = 0u64;
+    for (branch, (&item, &count)) in items.into_iter().enumerate() {
+        if let Some(j) = &config.journal {
+            if let Some(payload) = j.lookup(journal::FP_BRANCH, branch as u64) {
+                if let Some((sets, aborted)) = journal::decode_class(&payload) {
+                    // The record's root must match the recomputed branch
+                    // root, or the record is ignored and the branch regrown.
+                    let ok = sets
+                        .first()
+                        .is_some_and(|f| f.items == [item] && f.support == count);
+                    if ok {
+                        found.extend(sets);
+                        degradations += aborted as usize;
+                        resumed += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        let branch_start = found.len();
+        let deg_start = degradations;
+        let pattern = vec![item];
+        found.push(FrequentItemset { items: pattern.clone(), support: count });
+        let base = tree.conditional_base(item);
+        let mut cond_counts: HashMap<ItemId, u64> = HashMap::new();
+        for (path, c) in &base {
+            for &p in path {
+                *cond_counts.entry(p).or_insert(0) += c;
+            }
+        }
+        cond_counts.retain(|_, c| *c >= threshold);
+        if !cond_counts.is_empty() {
+            let mut cond_tree = FpTree::new();
+            for (path, c) in &base {
+                let mut filtered: Vec<ItemId> =
+                    path.iter().copied().filter(|p| cond_counts.contains_key(p)).collect();
+                filtered.sort_unstable();
+                if !filtered.is_empty() {
+                    cond_tree.insert(&filtered, *c);
+                }
+            }
+            match config.budget.try_guard(cond_tree.approx_bytes()) {
+                Some(_guard) => {
+                    fp_mine(
+                        &cond_tree,
+                        &cond_counts,
+                        threshold,
+                        config,
+                        &pattern,
+                        &mut degradations,
+                        &mut found,
+                    )?;
+                }
+                None => degradations += 1,
+            }
+        }
+        if let Some(j) = &config.journal {
+            let _ = j.append(
+                journal::FP_BRANCH,
+                branch as u64,
+                &journal::encode_class(
+                    (degradations - deg_start) as u64,
+                    &found[branch_start..],
+                ),
+            );
+        }
+    }
     drop(grow_span);
-    grown?;
+    if config.journal.is_some() {
+        rec.counter("robust/resume_branches_skipped", resumed);
+    }
     if degradations > 0 {
         rec.counter("robust/degradations", degradations as u64);
     }

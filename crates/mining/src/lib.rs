@@ -64,6 +64,7 @@ pub mod filter;
 pub mod fpgrowth;
 pub mod gain;
 pub mod item;
+pub(crate) mod journal;
 pub mod result;
 pub(crate) mod robust;
 pub mod rules;

@@ -56,8 +56,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub mod control;
+pub mod journal;
 
 pub use control::{ApproxBytes, BudgetGuard, CancelToken, Interrupt, MemoryBudget, ShardLog};
+pub use journal::{atomic_write, fnv1a64, Journal};
 
 /// Upper bound on configurable worker counts; anything above this is a
 /// typo or an attack, not a machine.

@@ -29,10 +29,8 @@
 //!
 //! [`extract_predicates`] is the single extraction entry point. Everything
 //! a run needs — what to extract, how many threads, the [`Recorder`], the
-//! [`CancelToken`], the [`MemoryBudget`] and the [`Tiling`] policy — is
-//! carried on [`ExtractionConfig`]; the historic `extract` /
-//! `extract_recorded` / `try_extract_recorded` trio survives as deprecated
-//! shims that forward here.
+//! [`CancelToken`], the [`MemoryBudget`], the [`Tiling`] policy and the
+//! optional durable [`Journal`] — is carried on [`ExtractionConfig`].
 //!
 //! Extraction parallelises over reference features (rows are independent)
 //! on the in-tree [`geopattern_par`] pool — or, under [`Tiling::Grid`],
@@ -57,7 +55,7 @@ use crate::feature::{Feature, Layer};
 use crate::predicate_table::{Predicate, PredicateTable};
 use geopattern_geom::{take_kernel_counters, GeomDim, IntersectionMatrix, PreparedGeometry};
 use geopattern_obs::{Metrics, Recorder};
-use geopattern_par::{try_par_map, CancelToken, Interrupt, MemoryBudget, ShardLog, Threads};
+use geopattern_par::{try_par_map, CancelToken, Interrupt, Journal, MemoryBudget, ShardLog, Threads};
 use geopattern_qsr::{
     classify, geometry_direction, DistanceScheme, SpatialPredicate, TopologicalRelation,
 };
@@ -134,6 +132,16 @@ pub struct ExtractionConfig {
     /// is marked completed once all its rows finished un-interrupted, so
     /// after a fault the log names exactly the finished shards.
     pub shard_log: Option<ShardLog>,
+    /// Optional durable journal: under [`Tiling::Grid`], each completed
+    /// tile's rows are persisted as they finish, and tiles already present
+    /// in the journal are *reloaded instead of re-extracted* — the on-disk
+    /// generalisation of `shard_log`. The caller is responsible for
+    /// matching the journal to the run (the journal's fingerprint guards
+    /// this at the CLI level); resumed output is bit-identical to an
+    /// uninterrupted run at any thread count. Resumed tiles skip their
+    /// per-row metrics (histograms, kernel counters) — the counters
+    /// derived from the persisted [`ExtractionStats`] still match.
+    pub journal: Option<Journal>,
 }
 
 impl Default for ExtractionConfig {
@@ -151,6 +159,7 @@ impl Default for ExtractionConfig {
             cancel: CancelToken::none(),
             budget: MemoryBudget::unlimited(),
             shard_log: None,
+            journal: None,
         }
     }
 }
@@ -208,6 +217,14 @@ impl ExtractionConfig {
     /// [`Tiling::Grid`]).
     pub fn with_shard_log(mut self, log: ShardLog) -> ExtractionConfig {
         self.shard_log = Some(log);
+        self
+    }
+
+    /// Attaches a durable journal (effective under [`Tiling::Grid`]):
+    /// completed tiles persist as they finish and journaled tiles are
+    /// reloaded instead of re-extracted. See the `journal` field docs.
+    pub fn with_journal(mut self, journal: Journal) -> ExtractionConfig {
+        self.journal = Some(journal);
         self
     }
 
@@ -349,55 +366,6 @@ pub fn extract_predicates(
             crate::tiled::extract_tiled(reference, relevant, config, tiles_per_axis)
         }
     }
-}
-
-/// Extracts a predicate table with a default-constructed control plane.
-#[deprecated(
-    note = "use `extract_predicates`; the recorder and cancel token now live on `ExtractionConfig`"
-)]
-pub fn extract(
-    reference: &Layer,
-    relevant: &[&Layer],
-    config: &ExtractionConfig,
-) -> (PredicateTable, ExtractionStats) {
-    // Historic contract: uncontrolled and unrecorded, so it cannot fail.
-    let config = config
-        .clone()
-        .with_recorder(Recorder::disabled())
-        .with_cancel(CancelToken::none());
-    extract_predicates(reference, relevant, &config)
-        .expect("uncontrolled extraction cannot be interrupted")
-}
-
-/// Extracts with an explicit recorder.
-#[deprecated(
-    note = "use `extract_predicates` with `ExtractionConfig::with_recorder`"
-)]
-pub fn extract_recorded(
-    reference: &Layer,
-    relevant: &[&Layer],
-    config: &ExtractionConfig,
-    recorder: &Recorder,
-) -> (PredicateTable, ExtractionStats) {
-    let config =
-        config.clone().with_recorder(recorder.clone()).with_cancel(CancelToken::none());
-    extract_predicates(reference, relevant, &config)
-        .expect("uncontrolled extraction cannot be interrupted")
-}
-
-/// Extracts with an explicit recorder and cancellation token.
-#[deprecated(
-    note = "use `extract_predicates` with `ExtractionConfig::with_recorder` / `with_cancel`"
-)]
-pub fn try_extract_recorded(
-    reference: &Layer,
-    relevant: &[&Layer],
-    config: &ExtractionConfig,
-    recorder: &Recorder,
-    cancel: &CancelToken,
-) -> Result<(PredicateTable, ExtractionStats), Interrupt> {
-    let config = config.clone().with_recorder(recorder.clone()).with_cancel(cancel.clone());
-    extract_predicates(reference, relevant, &config)
 }
 
 /// The flat (untiled) extraction path: one parallel work list over the
@@ -1097,32 +1065,4 @@ mod tests {
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_extract_predicates() {
-        let (district, slums, schools, police) = toy_layers();
-        let layers = [&slums, &schools, &police];
-        let config = ExtractionConfig::topological_only();
-        let (want_table, want_stats) = run(&district, &layers, &config);
-
-        let (t1, s1) = extract(&district, &layers, &config);
-        assert_eq!((t1.rows(), s1), (want_table.rows(), want_stats));
-
-        let rec = Recorder::new();
-        let (t2, s2) = extract_recorded(&district, &layers, &config, &rec);
-        assert_eq!((t2.rows(), s2), (want_table.rows(), want_stats));
-        assert_eq!(rec.snapshot().counter("extract.rows"), Some(1));
-
-        let (t3, s3) =
-            try_extract_recorded(&district, &layers, &config, &Recorder::disabled(), &CancelToken::none())
-                .unwrap();
-        assert_eq!((t3.rows(), s3), (want_table.rows(), want_stats));
-
-        // The explicit parameters win over whatever the config carries:
-        // a poisoned config token is ignored by the `extract` shim.
-        let poisoned = CancelToken::new();
-        poisoned.cancel();
-        let (t4, _) = extract(&district, &layers, &config.clone().with_cancel(poisoned));
-        assert_eq!(t4.rows(), want_table.rows());
-    }
 }

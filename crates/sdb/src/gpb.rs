@@ -233,6 +233,15 @@ fn encode_layer(layer: &Layer, is_reference: bool, strings: &mut StringTable, ou
     out.extend_from_slice(&body);
 }
 
+/// Serialises a dataset to the binary format and writes it to `path`
+/// crash-safely: the bytes go to a temp file in the same directory, are
+/// `fsync`ed, and are then `rename`d into place — a killed process never
+/// leaves a truncated `.gpb` behind (see
+/// [`geopattern_par::atomic_write`]).
+pub fn write_gpb(path: impl AsRef<std::path::Path>, dataset: &SpatialDataset) -> std::io::Result<()> {
+    geopattern_par::atomic_write(path, &to_gpb(dataset))
+}
+
 /// Serialises a dataset to the binary format. Deterministic: the same
 /// dataset always produces the same bytes.
 pub fn to_gpb(dataset: &SpatialDataset) -> Vec<u8> {

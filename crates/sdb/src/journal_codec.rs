@@ -1,0 +1,195 @@
+//! Byte codec for journaled extraction state.
+//!
+//! Journal payloads are opaque to [`geopattern_par::Journal`]; this module
+//! owns the encoding of the extraction-side records: one completed tile's
+//! row batches (predicates + stats + working-set footprint). The format is
+//! little-endian, length-prefixed, and deliberately simple — a resumed run
+//! decodes with [`Reader`], and *any* malformed payload decodes to `None`,
+//! which callers treat as "not journaled, recompute" (never a panic).
+//!
+//! Spatial relations are encoded as indexes into the fixed `ALL` arrays of
+//! [`TopologicalRelation`] / [`CardinalDirection`], so the payload stays
+//! stable as long as those orderings do (they are part of the paper's
+//! vocabulary, not an implementation detail).
+
+use crate::predicate_table::Predicate;
+use geopattern_qsr::{
+    CardinalDirection, QualitativeRelation, SpatialPredicate, TopologicalRelation,
+};
+
+/// Appends a `u32` little-endian.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian reader over a journal payload. Every
+/// `take_*` returns `None` past the end instead of panicking, so corrupt
+/// payloads degrade to "recompute this unit".
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    /// Whether every byte has been consumed (decoders check this so a
+    /// payload with trailing garbage is rejected, not silently accepted).
+    pub(crate) fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_str(&mut self) -> Option<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.buf.get(self.at..self.at.checked_add(len)?)?;
+        self.at += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// Predicate tags. Spatial predicates split by relation family so the
+/// fixed-vocabulary families ride on one index byte.
+const TAG_NONSPATIAL: u8 = 0;
+const TAG_TOPOLOGICAL: u8 = 1;
+const TAG_DISTANCE: u8 = 2;
+const TAG_DIRECTION: u8 = 3;
+
+/// Encodes one predicate.
+pub(crate) fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
+    match p {
+        Predicate::NonSpatial { attribute, value } => {
+            out.push(TAG_NONSPATIAL);
+            put_str(out, attribute);
+            put_str(out, value);
+        }
+        Predicate::Spatial(sp) => match &sp.relation {
+            QualitativeRelation::Topological(rel) => {
+                out.push(TAG_TOPOLOGICAL);
+                let index = TopologicalRelation::ALL
+                    .iter()
+                    .position(|r| r == rel)
+                    .expect("ALL covers every topological relation") as u8;
+                out.push(index);
+                put_str(out, &sp.feature_type);
+            }
+            QualitativeRelation::Distance(band) => {
+                out.push(TAG_DISTANCE);
+                put_str(out, band);
+                put_str(out, &sp.feature_type);
+            }
+            QualitativeRelation::Direction(dir) => {
+                out.push(TAG_DIRECTION);
+                let index = CardinalDirection::ALL
+                    .iter()
+                    .position(|d| d == dir)
+                    .expect("ALL covers every direction") as u8;
+                out.push(index);
+                put_str(out, &sp.feature_type);
+            }
+        },
+    }
+}
+
+/// Decodes one predicate; `None` on any malformed byte.
+pub(crate) fn take_predicate(r: &mut Reader) -> Option<Predicate> {
+    Some(match r.take_u8()? {
+        TAG_NONSPATIAL => {
+            let attribute = r.take_str()?;
+            let value = r.take_str()?;
+            Predicate::NonSpatial { attribute, value }
+        }
+        TAG_TOPOLOGICAL => {
+            let rel = *TopologicalRelation::ALL.get(r.take_u8()? as usize)?;
+            let feature_type = r.take_str()?;
+            Predicate::Spatial(SpatialPredicate {
+                relation: QualitativeRelation::Topological(rel),
+                feature_type,
+            })
+        }
+        TAG_DISTANCE => {
+            let band = r.take_str()?;
+            let feature_type = r.take_str()?;
+            Predicate::Spatial(SpatialPredicate {
+                relation: QualitativeRelation::Distance(band),
+                feature_type,
+            })
+        }
+        TAG_DIRECTION => {
+            let dir = *CardinalDirection::ALL.get(r.take_u8()? as usize)?;
+            let feature_type = r.take_str()?;
+            Predicate::Spatial(SpatialPredicate {
+                relation: QualitativeRelation::Direction(dir),
+                feature_type,
+            })
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_round_trip() {
+        let all = vec![
+            Predicate::NonSpatial { attribute: "murderRate".into(), value: "high".into() },
+            Predicate::Spatial(SpatialPredicate::topological(
+                TopologicalRelation::Contains,
+                "slum",
+            )),
+            Predicate::Spatial(SpatialPredicate::distance("veryClose", "school")),
+            Predicate::Spatial(SpatialPredicate::direction(
+                CardinalDirection::NorthEast,
+                "policeCenter",
+            )),
+        ];
+        let mut buf = Vec::new();
+        for p in &all {
+            put_predicate(&mut buf, p);
+        }
+        let mut r = Reader::new(&buf);
+        for p in &all {
+            assert_eq!(&take_predicate(&mut r).unwrap(), p);
+        }
+        assert!(r.done());
+    }
+
+    #[test]
+    fn malformed_bytes_decode_to_none() {
+        for bad in [&[9u8][..], &[1, 200, 0][..], &[0, 255, 255, 255, 255][..]] {
+            assert!(take_predicate(&mut Reader::new(bad)).is_none(), "{bad:?}");
+        }
+    }
+}

@@ -34,14 +34,13 @@ pub mod predicate_table;
 pub mod rtree;
 pub mod summary;
 pub mod taxonomy;
+pub(crate) mod journal_codec;
 pub(crate) mod tiled;
 
 pub use dataset::{DatasetError, SpatialDataset};
 pub use discretize::{discretize_attribute, BinningStrategy, DiscretizeError};
-#[allow(deprecated)]
-pub use extract::{extract, extract_recorded, try_extract_recorded};
 pub use extract::{extract_predicates, ExtractionConfig, ExtractionStats, Tiling};
-pub use gpb::{from_gpb, to_gpb, GpbError, GpbReader};
+pub use gpb::{from_gpb, to_gpb, write_gpb, GpbError, GpbReader};
 pub use feature::{Feature, Layer};
 pub use join::{spatial_join, spatial_join_intersecting, JoinPair};
 pub use knowledge::KnowledgeBase;

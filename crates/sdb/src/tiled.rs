@@ -37,16 +37,32 @@
 //!   `sdb/extract.tile` fires at tile starts;
 //! * a configured [`ShardLog`](geopattern_par::ShardLog) records exactly
 //!   the tiles that completed all their rows un-interrupted — the
-//!   checkpoint a retry would resume from.
+//!   checkpoint a retry would resume from;
+//! * a configured [`Journal`](geopattern_par::Journal) is the *durable*
+//!   version of the same checkpoint: a completed tile's rows (predicates,
+//!   stats, and footprint) are appended the moment the tile finishes, and
+//!   a tile already present in the journal is decoded and returned
+//!   instead of re-extracted (`robust/resume_tiles_skipped` counts them).
+//!   Because the merge below consumes per-tile batches in global row
+//!   order either way, a resumed run's table — predicate numbering
+//!   included — is bit-identical to an uninterrupted one at any thread
+//!   count. A journaled tile whose payload fails to decode (torn or
+//!   corrupted beyond the journal's own frame checks) is re-extracted.
 
 use crate::extract::{
     extract_row, merge_batches, prepare_layers, ExtractionConfig, ExtractionStats, PreparedLayer,
     RowBatch,
 };
 use crate::feature::Layer;
+use crate::journal_codec::{self as codec, Reader};
 use crate::predicate_table::PredicateTable;
 use geopattern_geom::{Geometry, Rect, TileGrid};
+use geopattern_obs::Metrics;
 use geopattern_par::{try_par_map, Interrupt};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Journal record kind for one completed tile.
+pub(crate) const TILE_KIND: &str = "extract/tile";
 
 /// One tile's plan: the reference rows it owns (ascending) and their
 /// union envelope.
@@ -108,22 +124,41 @@ pub(crate) fn extract_tiled(
         prepare_layers(reference, relevant, config, window, record)?
     };
 
+    let resumed = AtomicU64::new(0);
     let tile_batches = {
         let _tiles_span = recorder.span("tiles");
         try_par_map(config.threads, cancel, "extract/tiles", &tasks, |tile, task| {
+            // A journaled tile is reloaded, not re-extracted — and skips
+            // the fail point: the unit already completed in a past run.
+            if let Some(journal) = &config.journal {
+                if let Some(payload) = journal.lookup(TILE_KIND, tile as u64) {
+                    if let Some(batch) = decode_tile(&payload, task) {
+                        resumed.fetch_add(1, Ordering::Relaxed);
+                        return batch;
+                    }
+                }
+            }
             if geopattern_testkit::failpoint::trigger("sdb/extract.tile") {
                 cancel.cancel();
             }
             let batch = extract_one_tile(task, reference, &layers, config, full_scan, buffer, record);
-            if let Some(log) = &config.shard_log {
-                // A tile whose row loop was cut short must not checkpoint.
-                if !cancel.interrupted() {
+            // A tile whose row loop was cut short must not checkpoint.
+            if !cancel.interrupted() {
+                if let Some(log) = &config.shard_log {
                     log.mark(tile);
+                }
+                if let Some(journal) = &config.journal {
+                    // Best-effort: a full disk must not fail the run — the
+                    // tile simply isn't resumable.
+                    let _ = journal.append(TILE_KIND, tile as u64, &encode_tile(&batch));
                 }
             }
             batch
         })?
     };
+    if config.journal.is_some() {
+        recorder.counter("robust/resume_tiles_skipped", resumed.load(Ordering::Relaxed));
+    }
 
     let _merge_span = recorder.span("merge");
     // Re-order per-tile batches into global row order: every row was
@@ -195,6 +230,58 @@ fn extract_one_tile(
         config.budget.release(sub_bytes);
     }
     TileBatch { batches, sub_features }
+}
+
+/// Encodes one completed tile for the journal: its footprint plus every
+/// owned row's predicates and stats, in row order.
+fn encode_tile(batch: &TileBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u64(&mut out, batch.sub_features as u64);
+    codec::put_u32(&mut out, batch.batches.len() as u32);
+    for (row, rb) in &batch.batches {
+        codec::put_u32(&mut out, *row);
+        codec::put_u64(&mut out, rb.stats.candidate_pairs as u64);
+        codec::put_u64(&mut out, rb.stats.pruned_pairs as u64);
+        codec::put_u64(&mut out, rb.stats.spatial_predicates as u64);
+        codec::put_u32(&mut out, rb.predicates.len() as u32);
+        for p in &rb.predicates {
+            codec::put_predicate(&mut out, p);
+        }
+    }
+    out
+}
+
+/// Decodes a journaled tile, validating that it covers exactly the rows
+/// `task` owns (in order). `None` — re-extract — on any mismatch or
+/// malformed byte. Resumed rows carry empty [`Metrics`]: per-row
+/// histograms and kernel counters describe work that was *not redone*;
+/// the table and stats are what bit-identity is defined over.
+fn decode_tile(payload: &[u8], task: &TileTask) -> Option<TileBatch> {
+    let mut r = Reader::new(payload);
+    let sub_features = r.take_u64()? as usize;
+    let rows = r.take_u32()? as usize;
+    if rows != task.rows.len() {
+        return None;
+    }
+    let mut batches = Vec::with_capacity(rows);
+    for &expected_row in &task.rows {
+        let row = r.take_u32()?;
+        if row != expected_row {
+            return None;
+        }
+        let stats = ExtractionStats {
+            candidate_pairs: r.take_u64()? as usize,
+            pruned_pairs: r.take_u64()? as usize,
+            spatial_predicates: r.take_u64()? as usize,
+        };
+        let npred = r.take_u32()? as usize;
+        let mut predicates = Vec::with_capacity(npred.min(payload.len()));
+        for _ in 0..npred {
+            predicates.push(codec::take_predicate(&mut r)?);
+        }
+        batches.push((row, RowBatch { predicates, stats, metrics: Metrics::new() }));
+    }
+    r.done().then_some(TileBatch { batches, sub_features })
 }
 
 /// Rough heap footprint of one feature (coordinates dominate), for
@@ -417,6 +504,95 @@ mod tests {
         failpoint::deactivate("sdb/extract.tile");
         assert_eq!(err, Interrupt::Cancelled);
         assert!(log.is_empty(), "an interrupted tile must not checkpoint");
+    }
+
+    #[test]
+    fn journaled_tiles_resume_bit_identical() {
+        use geopattern_par::Journal;
+        let (districts, slums, schools) = scene();
+        let relevant = [&slums, &schools];
+        let dir = std::env::temp_dir()
+            .join(format!("geopattern-tile-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let control = extract_predicates(
+            &districts,
+            &relevant,
+            &ExtractionConfig::topological_only()
+                .with_tiling(Tiling::Grid { tiles_per_axis: 3 }),
+        )
+        .unwrap();
+
+        // A completed run fills the journal with every tile.
+        let full = Journal::create(dir.join("full.journal"), 7).unwrap();
+        let config = ExtractionConfig::topological_only()
+            .with_tiling(Tiling::Grid { tiles_per_axis: 3 })
+            .with_journal(full.clone());
+        let first = extract_predicates(&districts, &relevant, &config).unwrap();
+        assert_eq!(first.0.rows(), control.0.rows());
+        assert_eq!(full.records(TILE_KIND).len(), 9);
+
+        // Simulate a crash that persisted only some tiles: copy a strict
+        // subset of the records into a fresh journal, then resume from it
+        // at several thread counts. Output must match the control exactly
+        // and the journaled tiles must be skipped, not re-extracted.
+        for keep in [1usize, 4, 9] {
+            for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+                // Fresh partial journal per run: a resumed run back-fills
+                // its journal, which would leak into the next iteration.
+                let partial =
+                    Journal::create(dir.join(format!("partial{keep}.journal")), 7).unwrap();
+                for (shard, payload) in full.records(TILE_KIND).into_iter().take(keep) {
+                    partial.append(TILE_KIND, shard, &payload).unwrap();
+                }
+                let rec = Recorder::new();
+                let resumed = extract_predicates(
+                    &districts,
+                    &relevant,
+                    &ExtractionConfig::topological_only()
+                        .with_tiling(Tiling::Grid { tiles_per_axis: 3 })
+                        .with_threads(threads)
+                        .with_recorder(rec.clone())
+                        .with_journal(partial.clone()),
+                )
+                .unwrap();
+                assert_eq!(resumed.0.predicates(), control.0.predicates(), "{keep} {threads:?}");
+                assert_eq!(resumed.0.rows(), control.0.rows(), "{keep} {threads:?}");
+                assert_eq!(resumed.1, control.1, "{keep} {threads:?}");
+                assert_eq!(
+                    rec.snapshot().counter("robust/resume_tiles_skipped"),
+                    Some(keep as u64),
+                    "{keep} {threads:?}"
+                );
+                // The resumed run back-filled the journal to completion.
+                assert_eq!(partial.records(TILE_KIND).len(), 9);
+                // Counters derived from persisted stats still match.
+                let m = rec.snapshot();
+                assert_eq!(
+                    m.counter("extract.candidate_pairs"),
+                    Some(control.1.candidate_pairs as u64)
+                );
+            }
+        }
+
+        // A corrupt payload falls back to re-extraction, never a panic.
+        let bad = Journal::create(dir.join("bad.journal"), 7).unwrap();
+        bad.append(TILE_KIND, 0, b"definitely not a tile").unwrap();
+        let rec = Recorder::new();
+        let out = extract_predicates(
+            &districts,
+            &relevant,
+            &ExtractionConfig::topological_only()
+                .with_tiling(Tiling::Grid { tiles_per_axis: 3 })
+                .with_recorder(rec.clone())
+                .with_journal(bad),
+        )
+        .unwrap();
+        assert_eq!(out.0.rows(), control.0.rows());
+        assert_eq!(rec.snapshot().counter("robust/resume_tiles_skipped"), Some(0));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

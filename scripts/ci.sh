@@ -43,6 +43,44 @@ code=$?
 set -e
 test "$code" -eq 5 || { echo "expected exit 5 on injected worker panic, got $code"; exit 1; }
 
+echo "==> kill-and-resume gate (journaled crash, resume bit-identical, journal fuzz)"
+cargo test --release -q -p geopattern-integration --test crash_resume
+
+echo "==> CLI crash-safety contract (--journal/--resume/--max-retries, exit 6 on exhaustion)"
+JOURNAL="$(mktemp -t geopattern-ci-XXXXXX.journal)"
+trap 'rm -f "$DATASET" "$JOURNAL"' EXIT
+rm -f "$JOURNAL"
+# Injected worker panics recover within the retry budget (exit 0), and
+# the shared journal lets every retry resume the failed attempt's work.
+GEOPATTERN_FAILPOINTS='mining/apriori.count=panic@0.5:42' \
+    cargo run --release -q -p geopattern --bin geopattern -- \
+    mine "$DATASET" --algorithm apriori --journal "$JOURNAL" --max-retries 8 \
+    >/dev/null 2>&1 \
+    || { echo "expected recovery via --max-retries, got exit $?"; exit 1; }
+# A resumed rerun over the completed journal skips journaled levels.
+resumed_metrics="$(cargo run --release -q -p geopattern --bin geopattern -- \
+    mine "$DATASET" --algorithm apriori --journal "$JOURNAL" --resume --metrics json)"
+echo "$resumed_metrics" | grep -q '"robust/resume_levels_skipped":[1-9]' \
+    || { echo "resume served no journaled levels"; exit 1; }
+# An unwinnable retry budget exhausts with exit code 6.
+rm -f "$JOURNAL"
+set +e
+GEOPATTERN_FAILPOINTS='mining/apriori.count=panic@1:42' \
+    cargo run --release -q -p geopattern --bin geopattern -- \
+    mine "$DATASET" --algorithm apriori --journal "$JOURNAL" --max-retries 2 \
+    >/dev/null 2>&1
+code=$?
+set -e
+test "$code" -eq 6 || { echo "expected exit 6 on exhausted retries, got $code"; exit 1; }
+# Resuming under a changed configuration is a fingerprint mismatch (exit 2).
+set +e
+cargo run --release -q -p geopattern --bin geopattern -- \
+    mine "$DATASET" --algorithm apriori --minsup 0.4 --journal "$JOURNAL" --resume \
+    >/dev/null 2>&1
+code=$?
+set -e
+test "$code" -eq 2 || { echo "expected exit 2 on journal fingerprint mismatch, got $code"; exit 1; }
+
 echo "==> strategy-equivalence gate (all counting backends incl. hybrid/auto bit-identical; choose() pure)"
 cargo test --release -q -p geopattern-integration --test strategy_equivalence
 cargo test --release -q -p geopattern-integration --test bitmap_properties
