@@ -1016,10 +1016,24 @@ fn print_tiling(grid: usize, tiles: usize, check: bool) {
 /// rows and stats identical — the bit-identity contract, observed
 /// end-to-end. With `check`, the run exits non-zero unless SIMD point
 /// location beats the scalar index by ≥ 1.5x on the largest layer.
+/// One vertex-size row of the point-location comparison: scalar index vs
+/// f64 SIMD lanes vs the quantized integer grid.
+struct LocateRow {
+    vertices: usize,
+    probes: usize,
+    scalar_us: u128,
+    simd_us: u128,
+    simd_speedup: f64,
+    quant_us: u128,
+    quant_speedup: f64,
+    quant_resolved: u64,
+    quant_fallbacks: u64,
+}
+
 fn print_kernel(max_vertices: usize, check: bool) {
     use geopattern_geom::{
-        geometry_distance, relate, set_simd_enabled, take_kernel_counters, Geometry,
-        PreparedGeometry, SoaRing,
+        geometry_distance, relate, set_quant_enabled, set_simd_enabled, take_kernel_counters,
+        Geometry, PreparedGeometry, SoaRing,
     };
 
     header("Geometry kernel — segment-indexed vs brute-force");
@@ -1047,7 +1061,11 @@ fn print_kernel(max_vertices: usize, check: bool) {
     );
 
     let mut rows = Vec::new();
-    let mut locate_rows: Vec<(usize, usize, u128, u128, f64, u64, u64)> = Vec::new();
+    let mut locate_rows: Vec<LocateRow> = Vec::new();
+    // Legacy f64 measurements run with the quantized layer off so the
+    // scalar/SIMD numbers keep their meaning; the quant legs flip it on.
+    set_simd_enabled(true);
+    set_quant_enabled(false);
     for &vertices in &sizes {
         let mut rng = geopattern_testkit::Rng::seed_from_u64(42 + vertices as u64);
         let la = geopattern_datagen::random_layer(&mut rng, "a", COUNT, vertices, EXTENT);
@@ -1094,6 +1112,18 @@ fn print_kernel(max_vertices: usize, check: bool) {
                 std::hint::black_box(pa[i].relate_to(&pb[j]));
             }
         });
+        // Quantized relate leg: identical matrices (asserted), with the
+        // integer grid resolving point-in-ring probes ahead of the lanes.
+        set_quant_enabled(true);
+        for &(i, j) in &relate_pairs {
+            assert_eq!(pa[i].relate_to(&pb[j]), relate(ga[i], gb[j]), "quant relate diverged");
+        }
+        let relate_quant_us = time_us_n(reps, || {
+            for &(i, j) in &relate_pairs {
+                std::hint::black_box(pa[i].relate_to(&pb[j]));
+            }
+        });
+        set_quant_enabled(false);
         let dist_brute_us = time_us_n(reps, || {
             for &(i, j) in &dist_pairs {
                 std::hint::black_box(geometry_distance(ga[i], gb[j]) <= BOUND);
@@ -1150,16 +1180,38 @@ fn print_kernel(max_vertices: usize, check: bool) {
             }
         });
         let simd_counters = take_kernel_counters();
+        // Quantized point location: identity per probe (certain answers
+        // are exact on the grid, ambiguous ones fall back), then
+        // throughput against the same probe set.
+        set_quant_enabled(true);
+        for &(i, p) in &probes {
+            assert_eq!(
+                soas[i].locate(p),
+                soas[i].index().locate(p),
+                "quant locate diverged at {p:?}"
+            );
+        }
+        let _ = take_kernel_counters();
+        let locate_quant_us = time_us_n(reps, || {
+            for &(i, p) in &probes {
+                std::hint::black_box(soas[i].locate(p));
+            }
+        });
+        let quant_counters = take_kernel_counters();
+        set_quant_enabled(false);
         let locate_speedup = locate_scalar_us as f64 / locate_simd_us.max(1) as f64;
-        locate_rows.push((
+        let quant_speedup = locate_simd_us as f64 / locate_quant_us.max(1) as f64;
+        locate_rows.push(LocateRow {
             vertices,
-            probes.len(),
-            locate_scalar_us,
-            locate_simd_us,
-            locate_speedup,
-            simd_counters.simd_lanes_tested,
-            simd_counters.simd_fallback_exact,
-        ));
+            probes: probes.len(),
+            scalar_us: locate_scalar_us,
+            simd_us: locate_simd_us,
+            simd_speedup: locate_speedup,
+            quant_us: locate_quant_us,
+            quant_speedup,
+            quant_resolved: quant_counters.quant_cells_resolved,
+            quant_fallbacks: quant_counters.quant_fallback_exact,
+        });
 
         let relate_speedup = relate_brute_us as f64 / relate_indexed_us.max(1) as f64;
         let dist_speedup = dist_brute_us as f64 / dist_indexed_us.max(1) as f64;
@@ -1170,17 +1222,22 @@ fn print_kernel(max_vertices: usize, check: bool) {
             dist_pairs.len(),
             counters.distance_early_exit,
         );
+        let relate_quant_speedup = relate_indexed_us as f64 / relate_quant_us.max(1) as f64;
         rows.push(format!(
             "{{\"vertices\":{vertices},\"relate_pairs\":{},\"relate_brute_us\":{relate_brute_us},\
              \"relate_indexed_us\":{relate_indexed_us},\"relate_speedup\":{},\
+             \"relate_quant_us\":{relate_quant_us},\"relate_quant_speedup\":{},\
              \"distance_pairs\":{},\"distance_brute_us\":{dist_brute_us},\
              \"distance_indexed_us\":{dist_indexed_us},\"distance_speedup\":{},\
              \"distance_early_exit\":{},\"segtree_nodes_visited\":{},\"pairs_exact\":{},\
              \"locate_probes\":{},\"locate_scalar_us\":{locate_scalar_us},\
              \"locate_simd_us\":{locate_simd_us},\"locate_speedup\":{},\
-             \"simd_lanes_tested\":{},\"simd_fallback_exact\":{}}}",
+             \"simd_lanes_tested\":{},\"simd_fallback_exact\":{},\
+             \"locate_quant_us\":{locate_quant_us},\"quant_speedup\":{},\
+             \"quant_lanes_tested\":{},\"quant_cells_resolved\":{},\"quant_fallback_exact\":{}}}",
             relate_pairs.len(),
             json_f64(relate_speedup),
+            json_f64(relate_quant_speedup),
             dist_pairs.len(),
             json_f64(dist_speedup),
             counters.distance_early_exit,
@@ -1190,27 +1247,89 @@ fn print_kernel(max_vertices: usize, check: bool) {
             json_f64(locate_speedup),
             simd_counters.simd_lanes_tested,
             simd_counters.simd_fallback_exact,
+            json_f64(quant_speedup),
+            quant_counters.quant_lanes_tested,
+            quant_counters.quant_cells_resolved,
+            quant_counters.quant_fallback_exact,
         ));
     }
     println!("\nall indexed outputs verified bit-identical to brute-force");
 
     println!(
-        "\npoint location — scalar segment index vs SIMD lanes (identity verified per probe)"
+        "\npoint location — scalar segment index vs SIMD lanes vs quantized grid \
+         (identity verified per probe)"
     );
     println!(
-        "{:>9} {:>8} {:>12} {:>12} {:>8} {:>14} {:>10}",
-        "vertices", "probes", "scalar µs", "simd µs", "speedup", "lanes tested", "fallbacks"
+        "{:>9} {:>8} {:>12} {:>12} {:>8} {:>12} {:>8} {:>10} {:>10}",
+        "vertices",
+        "probes",
+        "scalar µs",
+        "simd µs",
+        "speedup",
+        "quant µs",
+        "vs simd",
+        "resolved",
+        "fallbacks"
     );
-    for &(vertices, probes, scalar_us, simd_us, speedup, lanes, fallbacks) in &locate_rows {
+    for row in &locate_rows {
         println!(
-            "{vertices:>9} {probes:>8} {scalar_us:>12} {simd_us:>12} {speedup:>7.2}x \
-             {lanes:>14} {fallbacks:>10}"
+            "{:>9} {:>8} {:>12} {:>12} {:>7.2}x {:>12} {:>7.2}x {:>10} {:>10}",
+            row.vertices,
+            row.probes,
+            row.scalar_us,
+            row.simd_us,
+            row.simd_speedup,
+            row.quant_us,
+            row.quant_speedup,
+            row.quant_resolved,
+            row.quant_fallbacks,
         );
     }
 
+    // Lattice fallback workload: integer-vertex polygons probed at cell
+    // centres and at their own vertices. Cell centres land far from every
+    // snapped edge (certain), the vertices are on the boundary (ambiguous),
+    // so this measures how rarely the quant layer has to fall back when the
+    // data is grid-friendly.
+    let mut rng = geopattern_testkit::Rng::seed_from_u64(7);
+    let lattice: Vec<SoaRing> = (0..12)
+        .map(|_| {
+            let poly = geopattern_datagen::lattice_polygon(&mut rng, 12);
+            SoaRing::build(poly.exterior())
+        })
+        .collect();
+    set_quant_enabled(true);
+    let _ = take_kernel_counters();
+    let mut lattice_probes = 0usize;
+    for soa in &lattice {
+        let env = soa.index().envelope();
+        let (w, h) = (env.max.x - env.min.x, env.max.y - env.min.y);
+        const G: usize = 16;
+        for k in 0..G * G {
+            let (gx, gy) = (k % G, k / G);
+            let p = geopattern_geom::coord(
+                env.min.x + (gx as f64 + 0.5) / G as f64 * w,
+                env.min.y + (gy as f64 + 0.5) / G as f64 * h,
+            );
+            assert_eq!(soa.locate(p), soa.index().locate(p), "lattice locate diverged at {p:?}");
+            lattice_probes += 1;
+        }
+    }
+    let lattice_counters = take_kernel_counters();
+    set_quant_enabled(false);
+    let lattice_fallback_frac =
+        lattice_counters.quant_fallback_exact as f64 / lattice_probes.max(1) as f64;
+    println!(
+        "\nlattice workload: {lattice_probes} probes, {} resolved on the grid, \
+         {} exact fallbacks ({:.2}% of probes)",
+        lattice_counters.quant_cells_resolved,
+        lattice_counters.quant_fallback_exact,
+        100.0 * lattice_fallback_frac,
+    );
+
     // End-to-end bit-identity: a real extraction (topological + bounded
     // distance) must emit the same predicate table, rows and stats with
-    // the SIMD layer off and on, at every thread count.
+    // every (SIMD, quant) toggle combination, at every thread count.
     let ds = generate_city(&CityConfig { grid: 8, ..Default::default() });
     let cell = CityConfig::default().cell;
     let config = ExtractionConfig::topological_only().with_distance(
@@ -1219,8 +1338,9 @@ fn print_kernel(max_vertices: usize, check: bool) {
     );
     let refs = ds.relevant_refs();
     let mut baseline = None;
-    for simd in [false, true] {
+    for (simd, quant) in [(false, false), (true, false), (false, true), (true, true)] {
         set_simd_enabled(simd);
+        set_quant_enabled(quant);
         for n in [1usize, 2, 8] {
             let t = if n == 1 { Threads::Serial } else { Threads::Fixed(n) };
             let (table, stats) = extract_predicates(&ds.reference, &refs, &config.clone().with_threads(t))
@@ -1228,17 +1348,18 @@ fn print_kernel(max_vertices: usize, check: bool) {
             match &baseline {
                 None => baseline = Some((table, stats)),
                 Some((bt, bs)) => {
-                    assert_eq!(table.predicates(), bt.predicates(), "simd={simd} {n} thr");
-                    assert_eq!(table.rows(), bt.rows(), "simd={simd} {n} thr rows differ");
-                    assert_eq!(&stats, bs, "simd={simd} {n} thr stats differ");
+                    assert_eq!(table.predicates(), bt.predicates(), "simd={simd} quant={quant} {n} thr");
+                    assert_eq!(table.rows(), bt.rows(), "simd={simd} quant={quant} {n} thr rows differ");
+                    assert_eq!(&stats, bs, "simd={simd} quant={quant} {n} thr stats differ");
                 }
             }
         }
     }
     set_simd_enabled(true);
-    let (bt, _) = baseline.expect("six extraction runs");
+    set_quant_enabled(true);
+    let (bt, _) = baseline.expect("twelve extraction runs");
     println!(
-        "\nextraction bit-identity: {} rows × {} predicates identical with SIMD off/on at 1/2/8 threads",
+        "\nextraction bit-identity: {} rows × {} predicates identical with SIMD×quant off/on at 1/2/8 threads",
         bt.num_rows(),
         bt.predicates().len()
     );
@@ -1253,13 +1374,19 @@ fn print_kernel(max_vertices: usize, check: bool) {
     doc.key("distance_bound");
     doc.raw(&json_f64(BOUND));
     doc.raw(",");
+    doc.key("lattice_probes");
+    doc.raw(&lattice_probes.to_string());
+    doc.raw(",");
+    doc.key("lattice_quant_fallback");
+    doc.raw(&lattice_counters.quant_fallback_exact.to_string());
+    doc.raw(",");
     doc.key("series");
     doc.raw(&format!("[{}]}}", rows.join(",")));
     write_bench("kernel", &doc.into_string());
 
     if check {
-        let &(vertices, _, _, _, speedup, _, _) =
-            locate_rows.last().expect("at least one layer measured");
+        let row = locate_rows.last().expect("at least one layer measured");
+        let (vertices, speedup, quant_speedup) = (row.vertices, row.simd_speedup, row.quant_speedup);
         if speedup < 1.5 {
             eprintln!(
                 "\nCHECK FAILED: SIMD point location {speedup:.2}x on the {vertices}-vertex \
@@ -1267,8 +1394,26 @@ fn print_kernel(max_vertices: usize, check: bool) {
             );
             std::process::exit(1);
         }
+        if quant_speedup < 1.3 {
+            eprintln!(
+                "\nCHECK FAILED: quantized point location {quant_speedup:.2}x on the \
+                 {vertices}-vertex layer (need ≥ 1.3x over the f64 SIMD path)"
+            );
+            std::process::exit(1);
+        }
+        if lattice_fallback_frac >= 0.05 {
+            eprintln!(
+                "\nCHECK FAILED: quant_fallback_exact is {:.2}% of lattice probes \
+                 (need < 5%)",
+                100.0 * lattice_fallback_frac
+            );
+            std::process::exit(1);
+        }
         println!(
-            "\ncheck passed: SIMD point location {speedup:.2}x ≥ 1.5x on the {vertices}-vertex layer"
+            "\ncheck passed: SIMD locate {speedup:.2}x ≥ 1.5x, quant locate {quant_speedup:.2}x \
+             ≥ 1.3x on the {vertices}-vertex layer; lattice fallbacks {:.2}% < 5%; \
+             extraction bit-identical across all toggles",
+            100.0 * lattice_fallback_frac
         );
     }
 }

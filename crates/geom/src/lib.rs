@@ -43,6 +43,7 @@ pub mod linestring;
 pub mod point;
 pub mod polygon;
 pub mod prepared;
+pub mod quant;
 pub mod relate;
 pub mod robust;
 pub mod segment;
@@ -64,6 +65,7 @@ pub use linestring::{LineString, MultiLineString};
 pub use point::{MultiPoint, Point};
 pub use polygon::{MultiPolygon, PointLocation, Polygon, Ring};
 pub use prepared::PreparedGeometry;
+pub use quant::{quant_enabled, set_quant_enabled, QuantRing, Quantizer};
 pub use relate::{intersects, relate, Dim, IntersectionMatrix, Part};
 pub use robust::{orient2d, orientation, Orientation};
 pub use segment::{SegSegIntersection, Segment};

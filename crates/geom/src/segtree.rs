@@ -40,6 +40,9 @@ thread_local! {
     static DISTANCE_EARLY_EXIT: Cell<u64> = const { Cell::new(0) };
     static SIMD_LANES_TESTED: Cell<u64> = const { Cell::new(0) };
     static SIMD_FALLBACK_EXACT: Cell<u64> = const { Cell::new(0) };
+    static QUANT_CELLS_RESOLVED: Cell<u64> = const { Cell::new(0) };
+    static QUANT_FALLBACK_EXACT: Cell<u64> = const { Cell::new(0) };
+    static QUANT_LANES_TESTED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Snapshot of the thread-local kernel counters.
@@ -65,6 +68,18 @@ pub struct KernelCounters {
     /// Queries the SIMD fast path handed back to the exact robust
     /// predicates because a lane landed in the boundary epsilon band.
     pub simd_fallback_exact: u64,
+    /// Point-location queries the quantized integer fast path
+    /// ([`crate::quant`]) answered with certainty (the query cell was
+    /// strictly outside the snap band of every edge).
+    pub quant_cells_resolved: u64,
+    /// Queries the quantized fast path handed back to the exact `f64`
+    /// path because the query cell landed within the snap band of some
+    /// edge (or could not be quantized at all).
+    pub quant_fallback_exact: u64,
+    /// `i32` lanes evaluated by the quantized leaf kernels: ring-crossing
+    /// lanes plus integer envelope-rejection lanes in bounded-distance
+    /// traversals.
+    pub quant_lanes_tested: u64,
 }
 
 /// Reads **and resets** this thread's kernel counters.
@@ -79,6 +94,9 @@ pub fn take_kernel_counters() -> KernelCounters {
         distance_early_exit: DISTANCE_EARLY_EXIT.with(|c| c.take()),
         simd_lanes_tested: SIMD_LANES_TESTED.with(|c| c.take()),
         simd_fallback_exact: SIMD_FALLBACK_EXACT.with(|c| c.take()),
+        quant_cells_resolved: QUANT_CELLS_RESOLVED.with(|c| c.take()),
+        quant_fallback_exact: QUANT_FALLBACK_EXACT.with(|c| c.take()),
+        quant_lanes_tested: QUANT_LANES_TESTED.with(|c| c.take()),
     }
 }
 
@@ -93,6 +111,26 @@ pub(crate) fn note_simd_lanes(n: u64) {
 #[inline]
 pub(crate) fn note_simd_fallback(n: u64) {
     SIMD_FALLBACK_EXACT.with(|c| c.set(c.get() + n));
+}
+
+/// Records point-location queries the quantized integer fast path
+/// answered with certainty.
+#[inline]
+pub(crate) fn note_quant_resolved(n: u64) {
+    QUANT_CELLS_RESOLVED.with(|c| c.set(c.get() + n));
+}
+
+/// Records snap-band fallbacks from the quantized fast path to the exact
+/// `f64` path.
+#[inline]
+pub(crate) fn note_quant_fallback(n: u64) {
+    QUANT_FALLBACK_EXACT.with(|c| c.set(c.get() + n));
+}
+
+/// Records `i32` lanes evaluated by the quantized leaf kernels.
+#[inline]
+pub(crate) fn note_quant_lanes(n: u64) {
+    QUANT_LANES_TESTED.with(|c| c.set(c.get() + n));
 }
 
 #[inline]
@@ -160,6 +198,138 @@ pub struct SegTree {
     env_miny: Vec<f64>,
     env_maxx: Vec<f64>,
     env_maxy: Vec<f64>,
+    /// Entry envelopes snapped outward onto the tree-wide integer grid
+    /// ([`crate::quant`]) for the bounded-distance prescreen; `None` when
+    /// the tree is empty or its envelope cannot be quantized.
+    qenv: Option<QuantEnv>,
+}
+
+/// Quantized entry envelopes: each entry's box rounded *outward* by at
+/// least one full cell (absorbing the rounding error of the `f64`
+/// floor/ceil), so the quantized box always covers the true envelope and
+/// integer gaps are true lower bounds (in cells) of envelope distances.
+#[derive(Debug, Clone)]
+struct QuantEnv {
+    qz: crate::quant::Quantizer,
+    minx: Vec<i32>,
+    miny: Vec<i32>,
+    maxx: Vec<i32>,
+    maxy: Vec<i32>,
+}
+
+/// Cells beyond the grid span that outward snapping may legitimately
+/// produce (one cell of padding plus one of `f64` slack).
+const QENV_SLACK: f64 = 2.0;
+
+impl QuantEnv {
+    fn build(entries: &[(Rect, u32)], nodes: &[Node]) -> Option<QuantEnv> {
+        let root = nodes.last()?.rect;
+        if ![root.min.x, root.min.y, root.max.x, root.max.y].iter().all(|v| v.is_finite()) {
+            return None;
+        }
+        let qz = crate::quant::Quantizer::for_rect(&root);
+        let (x0, y0) = qz.origin();
+        let cell = qz.cell();
+        let lim = crate::quant::SPAN as f64 + QENV_SLACK;
+        let lo = |v: f64, o: f64| -> Option<i32> {
+            let c = ((v - o) / cell).floor() - 1.0;
+            (c.abs() <= lim).then_some(c as i32)
+        };
+        let hi = |v: f64, o: f64| -> Option<i32> {
+            let c = ((v - o) / cell).ceil() + 1.0;
+            (c.abs() <= lim).then_some(c as i32)
+        };
+        let mut qe = QuantEnv {
+            qz,
+            minx: Vec::with_capacity(entries.len()),
+            miny: Vec::with_capacity(entries.len()),
+            maxx: Vec::with_capacity(entries.len()),
+            maxy: Vec::with_capacity(entries.len()),
+        };
+        for (r, _) in entries {
+            qe.minx.push(lo(r.min.x, x0)?);
+            qe.miny.push(lo(r.min.y, y0)?);
+            qe.maxx.push(hi(r.max.x, x0)?);
+            qe.maxy.push(hi(r.max.y, y0)?);
+        }
+        Some(qe)
+    }
+
+    /// The pruning threshold in cells: `ceil(limit/cell)` plus a margin
+    /// absorbing the query's own snap displacement and the `f64` slack of
+    /// the comparisons. `None` disables the prescreen (non-finite limit,
+    /// or a limit so large relative to the cell that integer gaps cannot
+    /// discriminate safely).
+    fn limit_cells(&self, limit: f64) -> Option<i64> {
+        if !limit.is_finite() {
+            return None;
+        }
+        let lc = (limit / self.qz.cell()).ceil() + 4.0;
+        (lc.abs() <= (1i64 << 30) as f64).then_some(lc as i64)
+    }
+
+    /// Quantizes a probe point together with the squared threshold, or
+    /// `None` when the prescreen cannot run for this query.
+    fn point_query(&self, p: Coord, limit: f64) -> Option<(i64, i64, i128)> {
+        let lc = self.limit_cells(limit)?;
+        let (px, py) = self.qz.quantize(p)?;
+        Some((px as i64, py as i64, lc as i128 * lc as i128))
+    }
+
+    /// Snaps a probe rectangle outward onto this grid, or `None` when it
+    /// falls outside the representable span.
+    fn snap_rect(&self, r: &Rect) -> Option<(i64, i64, i64, i64)> {
+        let (x0, y0) = self.qz.origin();
+        let cell = self.qz.cell();
+        let lim = crate::quant::SPAN as f64 + QENV_SLACK;
+        let snap = |v: f64, o: f64, d: f64| -> Option<i64> {
+            let c = if d < 0.0 { ((v - o) / cell).floor() - 1.0 } else { ((v - o) / cell).ceil() + 1.0 };
+            (c.abs() <= lim).then_some(c as i64)
+        };
+        Some((
+            snap(r.min.x, x0, -1.0)?,
+            snap(r.min.y, y0, -1.0)?,
+            snap(r.max.x, x0, 1.0)?,
+            snap(r.max.y, y0, 1.0)?,
+        ))
+    }
+
+    /// True when every entry in `first..first + count` has an integer
+    /// envelope gap to the probe point certainly exceeding the limit —
+    /// the whole leaf can be rejected without touching `f64` bounds.
+    fn leaf_all_beyond_point(&self, first: usize, count: usize, px: i64, py: i64, limit2: i128) -> bool {
+        note_quant_lanes(count as u64);
+        for j in first..first + count {
+            let gx = (self.minx[j] as i64 - px).max(px - self.maxx[j] as i64).max(0);
+            let gy = (self.miny[j] as i64 - py).max(py - self.maxy[j] as i64).max(0);
+            let g2 = gx as i128 * gx as i128 + gy as i128 * gy as i128;
+            if g2 <= limit2 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rect flavour of [`QuantEnv::leaf_all_beyond_point`].
+    fn leaf_all_beyond_rect(
+        &self,
+        first: usize,
+        count: usize,
+        q: (i64, i64, i64, i64),
+        limit2: i128,
+    ) -> bool {
+        note_quant_lanes(count as u64);
+        let (qminx, qminy, qmaxx, qmaxy) = q;
+        for j in first..first + count {
+            let gx = (self.minx[j] as i64 - qmaxx).max(qminx - self.maxx[j] as i64).max(0);
+            let gy = (self.miny[j] as i64 - qmaxy).max(qminy - self.maxy[j] as i64).max(0);
+            let g2 = gx as i128 * gx as i128 + gy as i128 * gy as i128;
+            if g2 <= limit2 {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl SegTree {
@@ -233,7 +403,8 @@ impl SegTree {
             env_maxx[i] = r.max.x;
             env_maxy[i] = r.max.y;
         }
-        SegTree { entries, nodes, env_minx, env_miny, env_maxx, env_maxy }
+        let qenv = QuantEnv::build(&entries, &nodes);
+        SegTree { entries, nodes, env_minx, env_miny, env_maxx, env_maxy, qenv }
     }
 
     /// Envelope distance lower bounds for one leaf's entries, evaluated
@@ -347,6 +518,16 @@ impl SegTree {
         let mut visited = 0u64;
         let mut exact = 0u64;
         let mut pruned = 0u64;
+        // Quantized whole-leaf rejection: when every entry's integer
+        // envelope gap certainly exceeds the limit, the f64 decision loop
+        // would have pruned each entry individually (the integer gap is a
+        // conservative lower bound with margin), so skipping the leaf
+        // changes no answer and keeps `distance_early_exit` identical.
+        let qpoint = if crate::quant::quant_enabled() {
+            self.qenv.as_ref().and_then(|qe| qe.point_query(p, limit))
+        } else {
+            None
+        };
         let mut stack: Vec<usize> = vec![root];
         'search: while let Some(ni) = stack.pop() {
             visited += 1;
@@ -358,6 +539,13 @@ impl SegTree {
             }
             let (first, count) = (node.first as usize, node.count as usize);
             if node.leaf {
+                if let Some((px, py, limit2)) = qpoint {
+                    let qe = self.qenv.as_ref().expect("qpoint implies qenv");
+                    if qe.leaf_all_beyond_point(first, count, px, py, limit2) {
+                        pruned += count as u64;
+                        continue;
+                    }
+                }
                 // Lane-parallel envelope lower bounds; the decision loop
                 // below consumes the same values the scalar computation
                 // yields, so pruning is bit-identical either way.
@@ -420,6 +608,13 @@ impl SegTree {
         let mut visited = 0u64;
         let mut exact = 0u64;
         let mut pruned = 0u64;
+        // Quantized whole-leaf rejection against `other`'s grid: same
+        // conservative contract as in point_distance_within.
+        let qlimit = if crate::quant::quant_enabled() {
+            other.qenv.as_ref().and_then(|qe| qe.limit_cells(limit))
+        } else {
+            None
+        };
         let mut stack: Vec<(usize, usize)> = vec![(ra, rb)];
         'search: while let Some((ia, ib)) = stack.pop() {
             visited += 1;
@@ -436,6 +631,19 @@ impl SegTree {
                     let eb = &other.entries[nb.first as usize..(nb.first + nb.count) as usize];
                     let simd = crate::simd::simd_enabled();
                     for a in ea {
+                        if let (Some(lc), Some(qe)) = (qlimit, other.qenv.as_ref()) {
+                            if let Some(qr) = qe.snap_rect(&a.0) {
+                                if qe.leaf_all_beyond_rect(
+                                    nb.first as usize,
+                                    nb.count as usize,
+                                    qr,
+                                    lc as i128 * lc as i128,
+                                ) {
+                                    pruned += nb.count as u64;
+                                    continue;
+                                }
+                            }
+                        }
                         let lbs = simd
                             .then(|| other.leaf_rect_lbs(nb.first as usize, nb.count as usize, &a.0));
                         for (off, b) in eb.iter().enumerate() {

@@ -43,7 +43,10 @@
 
 use crate::coord::Coord;
 use crate::polygon::{PointLocation, Ring};
-use crate::segtree::{note_simd_fallback, note_simd_lanes, RingIndex};
+use crate::quant::{quant_enabled, QuantRing};
+use crate::segtree::{
+    note_quant_fallback, note_quant_resolved, note_simd_fallback, note_simd_lanes, RingIndex,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
@@ -105,6 +108,10 @@ pub fn set_simd_enabled(on: bool) {
 #[derive(Debug, Clone)]
 pub struct SoaRing {
     index: RingIndex,
+    /// The quantized integer sibling ([`crate::quant`]): consulted first
+    /// when `GEOPATTERN_QUANT` is on, with snap-band fallbacks landing on
+    /// the lanes below (or the exact index).
+    quant: QuantRing,
     /// Number of real (distinct) edges.
     len: usize,
     /// Stripe count; `starts` has `stripes + 1` entries.
@@ -125,6 +132,7 @@ impl SoaRing {
     /// Builds the stripe-bucketed SoA layout (and the embedded exact
     /// index) over a ring.
     pub fn build(ring: &Ring) -> SoaRing {
+        let quant = QuantRing::build(ring);
         let index = RingIndex::build(ring);
         let edges = index.edges();
         let len = edges.len();
@@ -181,12 +189,17 @@ impl SoaRing {
                 *slot = at + 1;
             }
         }
-        SoaRing { index, len, stripes, y0, stripe_h, starts, ax, ay, bx, by }
+        SoaRing { index, quant, len, stripes, y0, stripe_h, starts, ax, ay, bx, by }
     }
 
     /// The embedded exact index (the fallback and scalar-mode path).
     pub fn index(&self) -> &RingIndex {
         &self.index
+    }
+
+    /// The embedded quantized integer ring (the first fast path).
+    pub fn quant(&self) -> &QuantRing {
+        &self.quant
     }
 
     /// Number of real edges.
@@ -270,11 +283,22 @@ impl SoaRing {
         Some(if crossings % 2 == 1 { PointLocation::Inside } else { PointLocation::Outside })
     }
 
-    /// Classifies `p`, taking the fast path when enabled and falling back
-    /// to the exact index in the epsilon band (counted under
-    /// `geom/simd_fallback_exact`). Bit-identical to
-    /// [`RingIndex::locate`] in every mode.
+    /// Classifies `p`, taking the quantized integer fast path first when
+    /// enabled (snap-band fallbacks counted under
+    /// `geom/quant_fallback_exact`), then the `f64` lanes when enabled
+    /// (epsilon-band fallbacks under `geom/simd_fallback_exact`), then
+    /// the exact index. Bit-identical to [`RingIndex::locate`] in every
+    /// mode.
     pub fn locate(&self, p: Coord) -> PointLocation {
+        if quant_enabled() {
+            match self.quant.try_locate(p) {
+                Some(loc) => {
+                    note_quant_resolved(1);
+                    return loc;
+                }
+                None => note_quant_fallback(1),
+            }
+        }
         if !simd_enabled() {
             return self.index.locate(p);
         }
@@ -378,6 +402,8 @@ mod tests {
         let r = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
         let soa = SoaRing::build(&r);
         set_simd_enabled(true);
+        let was_quant = crate::quant::quant_enabled();
+        crate::quant::set_quant_enabled(false);
         let _ = take_kernel_counters();
         assert_eq!(soa.locate(coord(5.0, 5.0)), PointLocation::Inside);
         let c = take_kernel_counters();
@@ -386,6 +412,24 @@ mod tests {
         assert_eq!(soa.locate(coord(5.0, 0.0)), PointLocation::OnBoundary);
         let c = take_kernel_counters();
         assert_eq!(c.simd_fallback_exact, 1, "boundary probe must fall back");
+        crate::quant::set_quant_enabled(was_quant);
+    }
+
+    #[test]
+    fn quant_path_resolves_and_counts_before_simd() {
+        let _guard = test_toggle_lock();
+        let r = ring(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let soa = SoaRing::build(&r);
+        set_simd_enabled(true);
+        crate::quant::set_quant_enabled(true);
+        let _ = take_kernel_counters();
+        assert_eq!(soa.locate(coord(5.0, 5.0)), PointLocation::Inside);
+        let c = take_kernel_counters();
+        assert!(c.quant_cells_resolved >= 1, "interior probe must resolve on the grid");
+        assert_eq!(c.simd_lanes_tested, 0, "quant certainty must short-circuit f64 lanes");
+        assert_eq!(soa.locate(coord(5.0, 0.0)), PointLocation::OnBoundary);
+        let c = take_kernel_counters();
+        assert!(c.quant_fallback_exact >= 1, "boundary probe must fall out of the grid path");
     }
 
     #[test]

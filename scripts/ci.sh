@@ -88,6 +88,9 @@ cargo test --release -q -p geopattern-integration --test bitmap_properties
 echo "==> SIMD leaf-kernel gate (lane paths bit-identical to scalar)"
 cargo test --release -q -p geopattern-integration --test simd_properties
 
+echo "==> quantized-kernel gate (int32 grid bit-identical to f64; certain answers exact; .gpb v2 column feeds from_grid)"
+cargo test --release -q -p geopattern-integration --test quant_properties
+
 echo "==> tiling-equivalence gate (tiled extraction bit-identical to flat)"
 cargo test --release -q -p geopattern-integration --test tiling_properties
 
@@ -99,7 +102,7 @@ echo "==> experiments counting smoke (emits BENCH_counting.json; bitmap > hash-s
 cargo run --release -q -p geopattern-bench --bin experiments -- counting --check
 test -s BENCH_counting.json
 
-echo "==> experiments kernel (emits BENCH_kernel.json; SIMD must beat scalar locate ≥1.5x)"
+echo "==> experiments kernel (emits BENCH_kernel.json; SIMD ≥1.5x scalar locate, quant ≥1.3x SIMD locate, lattice fallbacks <5%, extraction bit-identical across SIMD×quant toggles)"
 cargo run --release -q -p geopattern-bench --bin experiments -- kernel --max 256 --check
 test -s BENCH_kernel.json
 

@@ -15,6 +15,7 @@
 
 use geopattern::{from_gpb, to_gpb, SpatialDataset};
 use geopattern_datagen::{generate_city, CityConfig};
+use geopattern_sdb::{to_gpb_v1, GpbReader};
 use geopattern_testkit::Rng;
 
 /// Hostile fragments spliced into the text at random positions.
@@ -190,6 +191,91 @@ fn corrupted_binary_bytes_never_panic_the_reader() {
         if let Ok(decoded) = from_gpb(&bytes) {
             let _ = decoded.to_text();
         }
+        // The quantized-column decode path (version-2 payloads: quantizer
+        // headers, delta streams) must hold the same property — every
+        // layer, never a panic, typed errors only.
+        if let Ok(reader) = GpbReader::open(&bytes) {
+            let window = geopattern_geom::Rect::new(
+                geopattern_geom::coord(f64::MIN, f64::MIN),
+                geopattern_geom::coord(f64::MAX, f64::MAX),
+            );
+            for layer in 0..reader.num_layers() {
+                let _ = reader.read_layer_window_quant(layer, &window);
+            }
+        }
         let _ = i;
+    }
+}
+
+#[test]
+fn corrupted_quant_sections_never_panic_the_reader() {
+    // Target the version-2 tail of each layer specifically: the quantizer
+    // header (three f64s after the has-quant flag) and the two i32 delta
+    // columns. Random stomps over the back half of the payload land there
+    // far more often than whole-file mutation does.
+    let ds = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() });
+    let pristine = to_gpb(&ds);
+    let mut rng = Rng::seed_from_u64(0x0_4A17_B10C);
+    for i in 0..400 {
+        let mut bytes = pristine.clone();
+        let tail = bytes.len() / 2;
+        for _ in 0..1 + rng.below_usize(4) {
+            let at = tail + rng.below_usize(bytes.len() - tail);
+            match rng.below(3) {
+                // Out-of-range delta / absurd header float.
+                0 => {
+                    let end = (at + 4).min(bytes.len());
+                    for b in &mut bytes[at..end] {
+                        *b = 0xFF;
+                    }
+                }
+                // Zero run (cell = 0.0 headers, stuck deltas).
+                1 => {
+                    let end = (at + 8).min(bytes.len());
+                    for b in &mut bytes[at..end] {
+                        *b = 0;
+                    }
+                }
+                // Single-byte flip.
+                _ => bytes[at] = rng.below(256) as u8,
+            }
+        }
+        if let Ok(reader) = GpbReader::open(&bytes) {
+            let window = geopattern_geom::Rect::new(
+                geopattern_geom::coord(f64::MIN, f64::MIN),
+                geopattern_geom::coord(f64::MAX, f64::MAX),
+            );
+            for layer in 0..reader.num_layers() {
+                // Ok or typed GpbError; a decoded column must be usable.
+                if let Ok((_, Some(col))) = reader.read_layer_window_quant(layer, &window) {
+                    assert_eq!(col.qx.len(), col.qy.len());
+                }
+            }
+        }
+        let _ = i;
+    }
+}
+
+#[test]
+fn v1_writer_output_reads_back_byte_identically() {
+    // The legacy writer must still produce version-1 bytes that decode to
+    // the same dataset as the version-2 writer, and re-encoding the
+    // decoded dataset must reproduce the exact same v1 byte stream
+    // (binary determinism, no quantized column involved).
+    let ds = generate_city(&CityConfig { grid: 3, seed: 5, ..Default::default() });
+    let v1 = to_gpb_v1(&ds);
+    let reader = GpbReader::open(&v1).expect("v1 bytes open");
+    assert_eq!(reader.version(), 1);
+    let back = from_gpb(&v1).expect("v1 bytes decode");
+    assert_eq!(back.to_text(), ds.to_text());
+    assert_eq!(to_gpb_v1(&back), v1, "v1 encoding is not a fixed point");
+    // And no layer reports a quantized column.
+    let window = geopattern_geom::Rect::new(
+        geopattern_geom::coord(f64::MIN, f64::MIN),
+        geopattern_geom::coord(f64::MAX, f64::MAX),
+    );
+    for layer in 0..reader.num_layers() {
+        let (_, col) = reader.read_layer_window_quant(layer, &window).expect("v1 windowed read");
+        assert!(col.is_none(), "v1 layer {layer} grew a quantized column");
     }
 }
